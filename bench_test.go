@@ -1,0 +1,406 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per experiment (E1-E9, see
+// DESIGN.md), reporting the measured quantities via b.ReportMetric so the
+// numbers appear alongside the timing in `go test -bench`. The Ablation
+// benchmarks exercise the design choices DESIGN.md flags: cut method,
+// repeater insertion, snap strategy, and mapping objective.
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/chips"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/dynlogic"
+	"repro/internal/pipeline"
+	"repro/internal/place"
+	"repro/internal/procvar"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// BenchmarkE1_SpeedSurvey regenerates the section 2 survey comparison:
+// methodology endpoints vs the published chips.
+func BenchmarkE1_SpeedSurvey(b *testing.B) {
+	design := core.DatapathDesign(16, 4)
+	var best, custom core.Evaluation
+	for i := 0; i < b.N; i++ {
+		var err error
+		best, err = core.Evaluate(design, core.BestPracticeASIC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		custom, err = core.Evaluate(design, core.FullCustom())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(best.ShippedMHz, "bestASIC_MHz")
+	b.ReportMetric(custom.ShippedMHz, "custom_MHz")
+	b.ReportMetric(chips.Gap(chips.IBMPowerPC1GHz, chips.TypicalASIC), "survey_gap_x")
+}
+
+// BenchmarkE2_FactorLadder regenerates the section 3 factor table.
+func BenchmarkE2_FactorLadder(b *testing.B) {
+	var l core.Ladder
+	for i := 0; i < b.N; i++ {
+		var err error
+		l, err = core.FactorLadder(core.DatapathDesign(16, 4), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range l.Steps {
+		b.ReportMetric(s.Mult, s.Name+"_x")
+	}
+	b.ReportMetric(l.Total(), "total_x")
+}
+
+// BenchmarkE3_Pipelining regenerates the section 4 pipelining speedups.
+func BenchmarkE3_Pipelining(b *testing.B) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathComb(lib, 16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep pipeline.Report
+	for i := 0; i < b.N; i++ {
+		rep, _, err = pipeline.Evaluate(n, pipeline.Options{
+			Stages: 5, Seq: lib.DefaultSeq(2), Method: pipeline.BalancedDelay,
+		}, sta.ASICClocking(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Speedup, "speedup5_x")
+	b.ReportMetric(100*rep.OverheadFrac, "overhead_pct")
+	b.ReportMetric(rep.Cycle.FO4(), "cycle_FO4")
+}
+
+// BenchmarkE4_SkewLatch regenerates the section 4.1 skew comparison.
+func BenchmarkE4_SkewLatch(b *testing.B) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathComb(lib, 16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pipeline.Options{Stages: 5, Seq: lib.DefaultSeq(2), Method: pipeline.BalancedDelay}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		asic, _, err := pipeline.Evaluate(n, opts, sta.ASICClocking(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		custom, _, err := pipeline.Evaluate(n, opts, sta.CustomClocking(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(asic.Cycle) / float64(custom.Cycle)
+	}
+	b.ReportMetric(gain, "skew_gain_x")
+}
+
+// BenchmarkE5_Floorplan regenerates the section 5 floorplanning study on
+// a 100 mm^2 die.
+func BenchmarkE5_Floorplan(b *testing.B) {
+	lib := cell.RichASIC()
+	wm := wire.NewModel(units.ASIC025)
+	die := place.Die{SideMM: 10}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		n, err := circuits.DatapathChain(lib, 16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measure := func(q place.Quality, seed int64) float64 {
+			pl := place.Floorplan(n, die, q, seed)
+			pl.Annotate(n, place.AnnotateOptions{WireModel: wm, Repeaters: true, LocalMM: 0.05})
+			if err := synth.SelectDrives(n, lib, nil); err != nil {
+				b.Fatal(err)
+			}
+			r, err := sta.Analyze(n, sta.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return float64(r.WorstComb)
+		}
+		speedup = measure(place.Naive, 99) / measure(place.Careful, 1)
+	}
+	b.ReportMetric(100*(speedup-1), "speedup_pct")
+}
+
+// BenchmarkE6_Libraries regenerates the section 6 library-richness and
+// sizing comparisons.
+func BenchmarkE6_Libraries(b *testing.B) {
+	rich := cell.RichASIC()
+	two := cell.RestrictDrives(rich, 1, 4)
+	custom := cell.Custom()
+	wl := &wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 1}
+
+	delay := func(lib *cell.Library) float64 {
+		ad, err := circuits.CarryLookahead(lib, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := synth.Map(ad.N, lib, synth.MapOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := synth.SelectDrives(m, lib, wl); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := synth.InsertBuffers(m, lib); err != nil {
+			b.Fatal(err)
+		}
+		if err := synth.SelectDrives(m, lib, nil); err != nil {
+			b.Fatal(err)
+		}
+		r, err := sta.Analyze(m, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(r.WorstComb)
+	}
+
+	var twoPenalty, snapPenalty, tilos float64
+	for i := 0; i < b.N; i++ {
+		twoPenalty = delay(two)/delay(rich) - 1
+
+		ad, err := circuits.CarryLookahead(custom, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := synth.Map(ad.N, custom, synth.MapOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := synth.SelectDrives(m, custom, wl); err != nil {
+			b.Fatal(err)
+		}
+		res, err := sizing.ContinuousTILOS(m, custom, sizing.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tilos = res.Speedup()
+		snapped, err := sizing.SnapToLibrary(m, rich, sizing.SnapNearest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapPenalty = float64(snapped)/float64(res.After) - 1
+	}
+	b.ReportMetric(100*twoPenalty, "twodrive_pct")
+	b.ReportMetric(100*snapPenalty, "snap_pct")
+	b.ReportMetric(tilos, "tilos_x")
+}
+
+// BenchmarkE7_Domino regenerates the section 7 domino conversion.
+func BenchmarkE7_Domino(b *testing.B) {
+	var res dynlogic.Result
+	for i := 0; i < b.N; i++ {
+		ad, err := circuits.CarryLookahead(cell.RichASIC(), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = dynlogic.Dominoize(ad.N, dynlogic.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "domino_x")
+	b.ReportMetric(float64(res.Converted), "converted")
+}
+
+// BenchmarkE8_ProcessVariation regenerates the section 8 Monte Carlo.
+func BenchmarkE8_ProcessVariation(b *testing.B) {
+	var rep procvar.SpeedReport
+	var gap, adv float64
+	for i := 0; i < b.N; i++ {
+		young := procvar.NewProcess().Sample(20000, 1)
+		mature := procvar.MatureProcess().Sample(20000, 2)
+		second := procvar.SecondTierFab().Sample(20000, 3)
+		rep = procvar.Analyze(young)
+		gap = procvar.FabToFabGap(mature, second)
+		adv = procvar.CustomAdvantage(mature, second)
+	}
+	b.ReportMetric(100*rep.TypGain, "typ_gain_pct")
+	b.ReportMetric(100*rep.FastGain, "fast_gain_pct")
+	b.ReportMetric(100*rep.Spread, "spread_pct")
+	b.ReportMetric(100*gap, "fabgap_pct")
+	b.ReportMetric(100*adv, "custom_adv_pct")
+}
+
+// BenchmarkE9_Residual regenerates the section 9 residual arithmetic.
+func BenchmarkE9_Residual(b *testing.B) {
+	var r1, r2 float64
+	for i := 0; i < b.N; i++ {
+		l, err := core.FactorLadder(core.DatapathDesign(16, 4), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r1 = l.Residual(core.StepPipelining, core.StepProcess)
+		r2 = l.Residual(core.StepPipelining, core.StepProcess, core.StepDomino)
+	}
+	b.ReportMetric(r1, "resid_pipe_proc_x")
+	b.ReportMetric(r2, "resid_plus_domino_x")
+}
+
+// BenchmarkAblation_CutMethod compares the balanced-delay cut against
+// naive level slicing (DESIGN.md ablation).
+func BenchmarkAblation_CutMethod(b *testing.B) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathComb(lib, 16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bal, nai pipeline.Report
+	for i := 0; i < b.N; i++ {
+		bal, _, err = pipeline.Evaluate(n, pipeline.Options{
+			Stages: 5, Seq: lib.DefaultSeq(2), Method: pipeline.BalancedDelay,
+		}, sta.ASICClocking(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nai, _, err = pipeline.Evaluate(n, pipeline.Options{
+			Stages: 5, Seq: lib.DefaultSeq(2), Method: pipeline.NaiveLevels,
+		}, sta.ASICClocking(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bal.Cycle.FO4(), "balanced_FO4")
+	b.ReportMetric(nai.Cycle.FO4(), "naive_FO4")
+}
+
+// BenchmarkAblation_Repeaters measures repeater insertion on the
+// floorplanned chain (on vs off).
+func BenchmarkAblation_Repeaters(b *testing.B) {
+	lib := cell.RichASIC()
+	wm := wire.NewModel(units.ASIC025)
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		n, err := circuits.DatapathChain(lib, 16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl := place.Floorplan(n, place.Die{SideMM: 10}, place.Naive, 5)
+		measure := func(rep bool) float64 {
+			pl.Annotate(n, place.AnnotateOptions{WireModel: wm, Repeaters: rep, LocalMM: 0.05})
+			r, err := sta.Analyze(n, sta.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.CombFO4()
+		}
+		off = measure(false)
+		on = measure(true)
+	}
+	b.ReportMetric(off, "noRepeaters_FO4")
+	b.ReportMetric(on, "repeaters_FO4")
+}
+
+// BenchmarkAblation_SnapModes compares nearest vs round-up discrete
+// snapping after continuous sizing.
+func BenchmarkAblation_SnapModes(b *testing.B) {
+	custom := cell.Custom()
+	rich := cell.RichASIC()
+	var nearest, up units.Tau
+	for i := 0; i < b.N; i++ {
+		ad, err := circuits.CarryLookahead(custom, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl := wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 1}
+		for _, nt := range ad.N.Nets() {
+			if fo := len(nt.Sinks) + len(nt.RegSinks); fo > 0 {
+				nt.WireCap = wl.NetCap(fo)
+			}
+		}
+		if _, err := sizing.ContinuousTILOS(ad.N, custom, sizing.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		clone := ad.N.Clone()
+		nearest, err = sizing.SnapToLibrary(ad.N, rich, sizing.SnapNearest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		up, err = sizing.SnapToLibrary(clone, rich, sizing.SnapUp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nearest.FO4(), "nearest_FO4")
+	b.ReportMetric(up.FO4(), "roundup_FO4")
+}
+
+// BenchmarkAblation_MapObjective compares min-delay vs min-area covering.
+func BenchmarkAblation_MapObjective(b *testing.B) {
+	lib := cell.RichASIC()
+	var dArea, dDelay, aArea, aDelay float64
+	for i := 0; i < b.N; i++ {
+		ad, err := circuits.CarryLookahead(lib, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		md, err := synth.Map(ad.N, lib, synth.MapOptions{Objective: synth.MinDelay})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ma, err := synth.Map(ad.N, lib, synth.MapOptions{Objective: synth.MinArea})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := sta.Analyze(md, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ra, err := sta.Analyze(ma, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dArea, dDelay = md.TotalArea(), rd.CombFO4()
+		aArea, aDelay = ma.TotalArea(), ra.CombFO4()
+	}
+	b.ReportMetric(dDelay, "minDelay_FO4")
+	b.ReportMetric(dArea, "minDelay_area")
+	b.ReportMetric(aDelay, "minArea_FO4")
+	b.ReportMetric(aArea, "minArea_area")
+}
+
+// BenchmarkSTA measures raw analyzer throughput on a mapped 32-bit CLA.
+func BenchmarkSTA(b *testing.B) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := synth.Map(ad.N, lib, synth.MapOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(m, sta.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTechMap measures mapper throughput.
+func BenchmarkTechMap(b *testing.B) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Map(ad.N, lib, synth.MapOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

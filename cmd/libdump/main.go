@@ -1,0 +1,55 @@
+// Command libdump writes a library's Liberty-style characterization to
+// stdout — the artifact a foundry ships and the concrete form of the
+// paper's section 6 library-richness comparison (diff the rich and poor
+// dumps to see exactly what an ASIC team was missing).
+//
+// Usage:
+//
+//	libdump [-lib rich|poor|custom|two-drive] [-process asic025|custom025|asic018]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cell"
+	"repro/internal/units"
+)
+
+func main() {
+	libName := flag.String("lib", "rich", "library: rich, poor, custom, two-drive")
+	procName := flag.String("process", "asic025", "process: asic025, custom025, asic018")
+	flag.Parse()
+
+	var lib *cell.Library
+	switch *libName {
+	case "rich":
+		lib = cell.RichASIC()
+	case "poor":
+		lib = cell.PoorASIC()
+	case "custom":
+		lib = cell.Custom()
+	case "two-drive":
+		lib = cell.RestrictDrives(cell.RichASIC(), 1, 4)
+	default:
+		fmt.Fprintf(os.Stderr, "libdump: unknown library %q\n", *libName)
+		os.Exit(1)
+	}
+	var p units.Process
+	switch *procName {
+	case "asic025":
+		p = units.ASIC025
+	case "custom025":
+		p = units.Custom025
+	case "asic018":
+		p = units.ASIC018
+	default:
+		fmt.Fprintf(os.Stderr, "libdump: unknown process %q\n", *procName)
+		os.Exit(1)
+	}
+	if err := cell.WriteLiberty(os.Stdout, lib, p); err != nil {
+		fmt.Fprintln(os.Stderr, "libdump:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command netsim reads a structural Verilog netlist (the dialect
+// cmd/asicflow -dump writes), resolves its cells against a library, and
+// simulates it cycle by cycle: either with random input vectors or with
+// vectors from a file (one line per cycle, `name=0/1` pairs separated by
+// whitespace). Outputs are printed per cycle.
+//
+// Usage:
+//
+//	netsim -in design.v [-lib rich|poor|custom] [-cycles N] [-seed N] [-vectors file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "Verilog netlist to simulate")
+	libName := flag.String("lib", "rich", "cell library: rich, poor, custom")
+	cycles := flag.Int("cycles", 16, "cycles to run with random vectors")
+	seed := flag.Int64("seed", 1, "random vector seed")
+	vectors := flag.String("vectors", "", "vector file (name=bit pairs per line)")
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("no input file (-in)"))
+	}
+
+	var lib *cell.Library
+	switch *libName {
+	case "rich":
+		lib = cell.RichASIC()
+	case "poor":
+		lib = cell.PoorASIC()
+	case "custom":
+		lib = cell.Custom()
+	default:
+		fail(fmt.Errorf("unknown library %q", *libName))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	n, err := netlist.ReadVerilog(f, lib)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %v\n", n)
+
+	sim, err := netlist.NewSimulator(n)
+	if err != nil {
+		fail(err)
+	}
+
+	inputNames := make([]string, 0, len(n.Inputs()))
+	for _, id := range n.Inputs() {
+		inputNames = append(inputNames, n.Net(id).Name)
+	}
+	outputNames := make([]string, 0, len(n.Outputs()))
+	for _, id := range n.Outputs() {
+		outputNames = append(outputNames, n.Net(id).Name)
+	}
+	sort.Strings(outputNames)
+
+	step := func(cyc int, in map[string]bool) {
+		out, err := sim.Step(in)
+		if err != nil {
+			fail(err)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "cycle %3d:", cyc)
+		for _, nm := range outputNames {
+			v := 0
+			if out[nm] {
+				v = 1
+			}
+			fmt.Fprintf(&b, " %s=%d", nm, v)
+		}
+		fmt.Println(b.String())
+	}
+
+	if *vectors != "" {
+		vf, err := os.Open(*vectors)
+		if err != nil {
+			fail(err)
+		}
+		defer vf.Close()
+		sc := bufio.NewScanner(vf)
+		cyc := 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			in := map[string]bool{}
+			for _, nm := range inputNames {
+				in[nm] = false
+			}
+			for _, tok := range strings.Fields(line) {
+				parts := strings.SplitN(tok, "=", 2)
+				if len(parts) != 2 {
+					fail(fmt.Errorf("bad vector token %q", tok))
+				}
+				in[parts[0]] = parts[1] == "1"
+			}
+			step(cyc, in)
+			cyc++
+		}
+		if err := sc.Err(); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	for cyc := 0; cyc < *cycles; cyc++ {
+		in := map[string]bool{}
+		for _, nm := range inputNames {
+			in[nm] = rng.Intn(2) == 1
+		}
+		step(cyc, in)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces Chinnery & Keutzer, "Closing the Gap Between
+// ASIC and Custom: An ASIC Perspective" (DAC 2000), as an executable EDA
+// toolkit: standard-cell libraries, gate-level netlists and circuit
+// generators, static timing analysis, technology mapping, gate sizing,
+// floorplanning with a BACPAC-style interconnect model, pipelining,
+// domino-logic conversion, and process-variation Monte Carlo — plus the
+// paper's factor-decomposition gap model built on top (internal/core).
+//
+// The experiment suite in experiments_test.go and bench_test.go
+// regenerates every quantified claim in the paper; EXPERIMENTS.md records
+// paper-vs-measured values. See README.md for a tour.
+package repro

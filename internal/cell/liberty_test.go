@@ -1,0 +1,63 @@
+package cell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestWriteLibertyStructure(t *testing.T) {
+	var buf bytes.Buffer
+	lib := RichASIC()
+	if err := WriteLiberty(&buf, lib, units.ASIC025); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (rich-asic)", "time_unit", "cell (INV_X1)", "cell (NAND2_X32)",
+		"cell (DFF_X2)", "setup_rising", "hold_rising", "rising_edge",
+		"clock : true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("liberty output missing %q", want)
+		}
+	}
+	// Every combinational cell appears exactly once.
+	if got := strings.Count(out, "cell ("); got != lib.Size()+len(lib.SeqCells()) {
+		t.Fatalf("emitted %d cells, want %d", got, lib.Size()+len(lib.SeqCells()))
+	}
+	// Braces balance.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces")
+	}
+}
+
+func TestWriteLibertyDominoCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLiberty(&buf, Custom(), units.Custom025); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DOM_AND2_X1") {
+		t.Fatal("domino cells missing from custom library dump")
+	}
+	if !strings.Contains(out, "precharged dynamic gate") {
+		t.Fatal("domino annotation missing")
+	}
+}
+
+func TestLibertyDelayValuesTrackModel(t *testing.T) {
+	// The emitted X1 inverter delay at 4-unit load must be one FO4 in
+	// the process: 0.0900 ns in asic-0.25um.
+	var buf bytes.Buffer
+	small := NewLibrary("tiny")
+	small.Add(NewStatic(FuncInv, 1))
+	if err := WriteLiberty(&buf, small, units.ASIC025); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0900") {
+		t.Fatalf("expected the FO4 point 0.0900 ns in table:\n%s", buf.String())
+	}
+}

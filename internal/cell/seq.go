@@ -1,0 +1,132 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// SeqKind distinguishes edge-triggered flip-flops from level-sensitive
+// latches. Latches permit time borrowing across pipeline-stage boundaries
+// when the clocking methodology supports it (section 4.1 of the paper);
+// flip-flops give a hard boundary.
+type SeqKind int
+
+const (
+	// FlipFlop is an edge-triggered register.
+	FlipFlop SeqKind = iota
+	// Latch is a level-sensitive latch, transparent for one clock phase.
+	Latch
+	// PulseLatch is a custom-style pulsed latch with logic folded into
+	// the latch, the technique the paper credits for the Alpha 21264's
+	// low sequencing overhead.
+	PulseLatch
+)
+
+func (k SeqKind) String() string {
+	switch k {
+	case FlipFlop:
+		return "flip-flop"
+	case Latch:
+		return "latch"
+	case PulseLatch:
+		return "pulse-latch"
+	}
+	return fmt.Sprintf("SeqKind(%d)", int(k))
+}
+
+// SeqCell is a sequential library element. Timing numbers are in tau.
+//
+// The per-cycle sequencing overhead of a flip-flop methodology is
+// Setup + ClkToQ (plus the skew budget, which the clock tree owns, not the
+// cell); for transparent latches the setup component can be hidden by time
+// borrowing, which internal/pipeline models.
+type SeqCell struct {
+	Name   string
+	Kind   SeqKind
+	Drive  float64
+	Setup  units.Tau
+	Hold   units.Tau
+	ClkToQ units.Tau
+	// DCap is the data-pin input capacitance.
+	DCap units.Cap
+	// ClkCap is the clock-pin capacitance, which loads the clock tree.
+	ClkCap units.Cap
+	Area   float64
+	LeakNW float64
+}
+
+// Overhead is the portion of every cycle consumed by the cell itself in an
+// edge-clocked methodology: setup plus clock-to-Q.
+func (s *SeqCell) Overhead() units.Tau { return s.Setup + s.ClkToQ }
+
+// Delay returns clock-to-Q driving the given load, treating the output
+// stage as a drive-strength-scaled inverter.
+func (s *SeqCell) Delay(load units.Cap) units.Tau {
+	return s.ClkToQ + units.Tau(float64(load)/s.Drive)
+}
+
+func (s *SeqCell) String() string { return s.Name }
+
+// Sequencing-overhead presets, in FO4 units. The paper's calibration
+// points: a custom design spends roughly 15% of a 15 FO4 cycle on the latch
+// (about 2.3 FO4), while ASIC flip-flops carry guard banding against skew
+// and process and cost noticeably more. Values below are per-cell; the
+// skew budget is added by the clocking model.
+const (
+	asicFFSetupFO4  = 2.0
+	asicFFClkQFO4   = 2.5
+	asicFFHoldFO4   = 0.5
+	customFFSetup   = 1.2
+	customFFClkQ    = 1.6
+	customFFHold    = 0.25
+	customPulseSet  = 0.4
+	customPulseClkQ = 1.2
+	latchSetupFO4   = 1.0
+	latchClkQFO4    = 1.5
+)
+
+// NewSeq builds a sequential cell with the given per-cell timing (FO4 units
+// are converted by the caller via units.FromFO4 if needed).
+func NewSeq(name string, kind SeqKind, drive float64, setup, hold, clkToQ units.Tau) *SeqCell {
+	if drive <= 0 {
+		panic(fmt.Sprintf("cell: non-positive drive %g for %s", drive, name))
+	}
+	return &SeqCell{
+		Name:   name,
+		Kind:   kind,
+		Drive:  drive,
+		Setup:  setup,
+		Hold:   hold,
+		ClkToQ: clkToQ,
+		DCap:   units.Cap(drive * 1.2),
+		ClkCap: units.Cap(drive * 0.8),
+		Area:   12 * drive,
+		LeakNW: 20 * drive,
+	}
+}
+
+// ASICFlipFlop builds a guard-banded ASIC flip-flop at the given drive.
+func ASICFlipFlop(drive float64) *SeqCell {
+	return NewSeq(fmt.Sprintf("DFF_X%g", drive), FlipFlop, drive,
+		units.FromFO4(asicFFSetupFO4), units.FromFO4(asicFFHoldFO4), units.FromFO4(asicFFClkQFO4))
+}
+
+// CustomFlipFlop builds a hand-tuned custom flip-flop.
+func CustomFlipFlop(drive float64) *SeqCell {
+	return NewSeq(fmt.Sprintf("CDFF_X%g", drive), FlipFlop, drive,
+		units.FromFO4(customFFSetup), units.FromFO4(customFFHold), units.FromFO4(customFFClkQ))
+}
+
+// CustomPulseLatch builds a custom pulsed latch with near-zero setup, the
+// lowest-overhead sequencing element in the toolkit.
+func CustomPulseLatch(drive float64) *SeqCell {
+	return NewSeq(fmt.Sprintf("PLAT_X%g", drive), PulseLatch, drive,
+		units.FromFO4(customPulseSet), units.FromFO4(customFFHold), units.FromFO4(customPulseClkQ))
+}
+
+// TransparentLatch builds a level-sensitive latch at the given drive.
+func TransparentLatch(drive float64) *SeqCell {
+	return NewSeq(fmt.Sprintf("LAT_X%g", drive), Latch, drive,
+		units.FromFO4(latchSetupFO4), units.FromFO4(asicFFHoldFO4), units.FromFO4(latchClkQFO4))
+}

@@ -1,0 +1,157 @@
+// Package chips records the published 0.25 um-generation silicon the
+// paper's section 2 survey is built on, as parameter sets: process,
+// clock-cycle depth in FO4, pipeline organization, logic family, and
+// reported frequency. The FO4 calibration check — that reported MHz
+// follows from FO4-per-cycle times the process FO4 delay — is the paper's
+// own footnote-1 method, and anchors every cross-chip comparison the
+// toolkit makes.
+package chips
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Family is the dominant logic family of a design.
+type Family int
+
+// Logic family classifications for surveyed chips.
+const (
+	StaticCMOS Family = iota
+	DominoHeavy
+)
+
+func (f Family) String() string {
+	if f == DominoHeavy {
+		return "dynamic/domino"
+	}
+	return "static CMOS"
+}
+
+// Chip is one surveyed design.
+type Chip struct {
+	Name    string
+	Process units.Process
+	// ReportedMHz is the published clock rate.
+	ReportedMHz float64
+	// FO4PerCycle is the cycle time in FO4 units (15 for the Alpha
+	// 21264, 13 for the IBM 1.0 GHz PowerPC, about 44 for a Tensilica
+	// Xtensa-class ASIC core).
+	FO4PerCycle float64
+	// PipelineStages is the integer pipeline depth.
+	PipelineStages int
+	// IssueWidth is instructions per cycle issued.
+	IssueWidth int
+	// Family is the critical-path logic family.
+	Family Family
+	// SkewFrac is the clock skew budget as a cycle fraction.
+	SkewFrac float64
+	// AreaMM2 and PowerW are the published physicals.
+	AreaMM2 float64
+	PowerW  float64
+	// Custom reports full-custom (vs. synthesized ASIC) methodology.
+	Custom bool
+}
+
+// PredictedMHz derives the clock from FO4 depth and process speed — the
+// consistency check between the survey rows.
+func (c Chip) PredictedMHz() float64 {
+	return c.Process.FrequencyMHz(units.FromFO4(c.FO4PerCycle))
+}
+
+func (c Chip) String() string {
+	return fmt.Sprintf("%s: %d-stage %v, %.0f FO4/cycle, %.0f MHz reported",
+		c.Name, c.PipelineStages, c.Family, c.FO4PerCycle, c.ReportedMHz)
+}
+
+// The survey rows of section 2.
+var (
+	// Alpha21264A: 750 MHz in 0.25 um CMOS at 2.1 V, 90 W, 2.25 cm^2;
+	// seven-stage out-of-order core, domino on critical paths, 15 FO4
+	// cycles, ~5% skew.
+	Alpha21264A = Chip{
+		Name:           "Alpha 21264A",
+		Process:        units.Custom025,
+		ReportedMHz:    750,
+		FO4PerCycle:    15,
+		PipelineStages: 7,
+		IssueWidth:     6,
+		Family:         DominoHeavy,
+		SkewFrac:       0.05,
+		AreaMM2:        225,
+		PowerW:         90,
+		Custom:         true,
+	}
+
+	// IBMPowerPC1GHz: the 1.0 GHz integer processor, 1.8 V, 6.3 W,
+	// 9.8 mm^2; four-stage single-issue pipeline, dynamic logic, 13 FO4.
+	IBMPowerPC1GHz = Chip{
+		Name:           "IBM 1.0GHz integer",
+		Process:        units.Custom025,
+		ReportedMHz:    1000,
+		FO4PerCycle:    13,
+		PipelineStages: 4,
+		IssueWidth:     1,
+		Family:         DominoHeavy,
+		SkewFrac:       0.05,
+		AreaMM2:        9.8,
+		PowerW:         6.3,
+		Custom:         true,
+	}
+
+	// TensilicaXtensa: the 250 MHz configurable ASIC processor, ~4 mm^2,
+	// five-stage single-issue pipeline, static cells, ~44 FO4.
+	TensilicaXtensa = Chip{
+		Name:           "Tensilica Xtensa",
+		Process:        units.ASIC025,
+		ReportedMHz:    250,
+		FO4PerCycle:    44,
+		PipelineStages: 5,
+		IssueWidth:     1,
+		Family:         StaticCMOS,
+		SkewFrac:       0.10,
+		AreaMM2:        4,
+		Custom:         false,
+	}
+
+	// TypicalASIC: the anecdotal 120-150 MHz average ASIC (135 MHz
+	// midpoint), little or no pipelining.
+	TypicalASIC = Chip{
+		Name:           "typical ASIC",
+		Process:        units.ASIC025,
+		ReportedMHz:    135,
+		FO4PerCycle:    82,
+		PipelineStages: 1,
+		IssueWidth:     1,
+		Family:         StaticCMOS,
+		SkewFrac:       0.10,
+		Custom:         false,
+	}
+
+	// FastNetworkASIC: the high-speed network ASICs reaching 200 MHz.
+	FastNetworkASIC = Chip{
+		Name:           "fast network ASIC",
+		Process:        units.ASIC025,
+		ReportedMHz:    200,
+		FO4PerCycle:    55,
+		PipelineStages: 2,
+		IssueWidth:     1,
+		Family:         StaticCMOS,
+		SkewFrac:       0.10,
+		Custom:         false,
+	}
+)
+
+// Survey returns the section 2 rows in presentation order.
+func Survey() []Chip {
+	return []Chip{Alpha21264A, IBMPowerPC1GHz, TensilicaXtensa, FastNetworkASIC, TypicalASIC}
+}
+
+// Gap returns the speed ratio between two chips' reported clocks.
+func Gap(fast, slow Chip) float64 {
+	if slow.ReportedMHz == 0 {
+		return 0
+	}
+	return fast.ReportedMHz / slow.ReportedMHz
+}

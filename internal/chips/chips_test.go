@@ -1,0 +1,91 @@
+package chips
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFO4CalibrationMatchesReportedClocks(t *testing.T) {
+	// The paper's own consistency rule: reported MHz should follow from
+	// FO4-per-cycle and the process FO4 delay, within ~20%. The Alpha
+	// 21264A is the loosest row: its 15-FO4 design point implies ~890
+	// MHz at a 75 ps FO4, while initial parts shipped at 750 MHz (the
+	// line later binned to 833 MHz) — bin conservatism, not a modeling
+	// error.
+	for _, c := range Survey() {
+		pred := c.PredictedMHz()
+		if c.ReportedMHz == 0 {
+			t.Fatalf("%s has no reported clock", c.Name)
+		}
+		err := math.Abs(pred-c.ReportedMHz) / c.ReportedMHz
+		if err > 0.20 {
+			t.Errorf("%s: predicted %.0f MHz vs reported %.0f MHz (%.0f%% off)",
+				c.Name, pred, c.ReportedMHz, 100*err)
+		}
+	}
+}
+
+func TestIBMFootnoteDerivation(t *testing.T) {
+	// Footnote 1: 0.15 um Leff -> 75 ps FO4 -> 13 FO4 per 1.0 GHz cycle.
+	got := IBMPowerPC1GHz.PredictedMHz()
+	if got < 1000 || got > 1050 {
+		t.Fatalf("IBM predicted clock = %.0f MHz, want ~1026", got)
+	}
+}
+
+func TestSurveyGapBand(t *testing.T) {
+	// Section 2: custom runs 6-8x faster than average ASICs.
+	g := Gap(IBMPowerPC1GHz, TypicalASIC)
+	if g < 6 || g > 8.5 {
+		t.Fatalf("IBM/typical gap = %.1f, want 6-8.5", g)
+	}
+	g = Gap(Alpha21264A, TypicalASIC)
+	if g < 5 || g > 7 {
+		t.Fatalf("Alpha/typical gap = %.1f, want ~5.6", g)
+	}
+	// Tensilica is the mid-point: faster than typical, well behind
+	// custom.
+	if Gap(TensilicaXtensa, TypicalASIC) < 1.5 {
+		t.Fatal("Xtensa should clearly beat a typical ASIC")
+	}
+	if Gap(IBMPowerPC1GHz, TensilicaXtensa) < 3 {
+		t.Fatal("custom should clearly beat the ASIC processor")
+	}
+}
+
+func TestSurveyOrderingAndMetadata(t *testing.T) {
+	s := Survey()
+	if len(s) != 5 {
+		t.Fatalf("survey has %d rows, want 5", len(s))
+	}
+	for _, c := range s {
+		if c.String() == "" {
+			t.Fatalf("%s: empty description", c.Name)
+		}
+		if c.Custom && c.Family != DominoHeavy {
+			t.Errorf("%s: surveyed custom chips all use dynamic logic", c.Name)
+		}
+		if !c.Custom && c.Family != StaticCMOS {
+			t.Errorf("%s: surveyed ASICs are static CMOS", c.Name)
+		}
+		if c.Custom && c.SkewFrac > 0.05 {
+			t.Errorf("%s: custom skew budget should be ~5%%", c.Name)
+		}
+	}
+}
+
+func TestGapZeroDenominator(t *testing.T) {
+	if Gap(Alpha21264A, Chip{}) != 0 {
+		t.Fatal("gap against zero-clock chip should be 0")
+	}
+}
+
+func TestPowerDensityDirection(t *testing.T) {
+	// Alpha: 90 W over 225 mm^2 = 0.4 W/mm^2; IBM: 6.3 W over 9.8 mm^2
+	// = 0.64 W/mm^2. Both far above ASIC-class density.
+	alpha := Alpha21264A.PowerW / Alpha21264A.AreaMM2
+	ibm := IBMPowerPC1GHz.PowerW / IBMPowerPC1GHz.AreaMM2
+	if alpha < 0.2 || ibm < 0.2 {
+		t.Fatal("custom power densities should be high")
+	}
+}

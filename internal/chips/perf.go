@@ -1,0 +1,58 @@
+package chips
+
+import "repro/internal/pipeline"
+
+// Performance estimates a chip's relative throughput on a workload:
+// clock times sustained instructions per cycle. The paper's section 4
+// notes the Alpha 21264 issues up to six instructions per cycle with
+// out-of-order and speculative execution, "giving it significantly
+// faster performance when instruction parallelism can be exploited" —
+// clock alone understates the real gap on parallel code and overstates
+// it on serial code.
+func Performance(c Chip, w pipeline.Workload) float64 {
+	eff := w
+	// Machine width caps exploitable ILP; out-of-order, multi-issue
+	// machines (issue width > 1) also hide more dependence latency,
+	// modeled as halving the dependent fraction.
+	eff.ILP = sustainableILP(c, w)
+	if c.IssueWidth > 1 {
+		eff.DependentFrac = w.DependentFrac / 2
+	}
+	return c.ReportedMHz / eff.CPI(c.PipelineStages)
+}
+
+// sustainableILP is the smaller of what the machine issues and what the
+// workload offers (wide machines rarely sustain their peak).
+func sustainableILP(c Chip, w pipeline.Workload) float64 {
+	offered := 1.0
+	switch {
+	case w.DependentFrac < 0.1: // streaming/DSP-like
+		offered = 3.0
+	case w.DependentFrac < 0.5: // general integer
+		offered = 1.8
+	default: // serial control
+		offered = 1.1
+	}
+	machine := float64(c.IssueWidth)
+	if machine < 1 {
+		machine = 1
+	}
+	// Sustained is well below peak: half the machine width plus one.
+	sustained := machine/2 + 0.5
+	if sustained < 1 {
+		sustained = 1
+	}
+	if offered < sustained {
+		return offered
+	}
+	return sustained
+}
+
+// PerformanceGap is the throughput ratio between two chips on a workload.
+func PerformanceGap(fast, slow Chip, w pipeline.Workload) float64 {
+	s := Performance(slow, w)
+	if s == 0 {
+		return 0
+	}
+	return Performance(fast, w) / s
+}

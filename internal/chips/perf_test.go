@@ -1,0 +1,53 @@
+package chips
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestAlphaWidthPaysOnParallelCode(t *testing.T) {
+	// On parallel work the 6-issue Alpha beats the single-issue IBM
+	// core despite a 25% slower clock; on serial control code the
+	// faster clock wins.
+	dsp := pipeline.DSPWorkload()
+	bus := pipeline.BusInterfaceWorkload()
+	if Performance(Alpha21264A, dsp) <= Performance(IBMPowerPC1GHz, dsp) {
+		t.Fatalf("Alpha should win DSP: %.0f vs %.0f",
+			Performance(Alpha21264A, dsp), Performance(IBMPowerPC1GHz, dsp))
+	}
+	if Performance(IBMPowerPC1GHz, bus) <= Performance(Alpha21264A, bus) {
+		t.Fatalf("IBM's clock should win serial code: %.0f vs %.0f",
+			Performance(IBMPowerPC1GHz, bus), Performance(Alpha21264A, bus))
+	}
+}
+
+func TestPerformanceGapVsClockGap(t *testing.T) {
+	// The custom/ASIC throughput gap on integer code exceeds the raw
+	// clock gap once issue width counts (the paper's architecture
+	// factor includes more than pipeline depth).
+	integer := pipeline.IntegerWorkload()
+	clockGap := Gap(Alpha21264A, TypicalASIC)
+	perfGap := PerformanceGap(Alpha21264A, TypicalASIC, integer)
+	if perfGap <= clockGap {
+		t.Fatalf("multi-issue should widen the gap: perf %.1fx vs clock %.1fx", perfGap, clockGap)
+	}
+	if perfGap > 4*clockGap {
+		t.Fatalf("perf gap %.1fx implausibly large vs clock %.1fx", perfGap, clockGap)
+	}
+}
+
+func TestPerformancePositive(t *testing.T) {
+	for _, c := range Survey() {
+		for _, w := range []pipeline.Workload{
+			pipeline.DSPWorkload(), pipeline.IntegerWorkload(), pipeline.BusInterfaceWorkload(),
+		} {
+			if Performance(c, w) <= 0 {
+				t.Fatalf("%s has non-positive performance", c.Name)
+			}
+		}
+	}
+	if PerformanceGap(Alpha21264A, Chip{}, pipeline.IntegerWorkload()) != 0 {
+		t.Fatal("zero-clock denominator should give 0")
+	}
+}

@@ -1,0 +1,248 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func checkNetlist(t *testing.T, n *netlist.Netlist) {
+	t.Helper()
+	if err := n.Check(); err != nil {
+		t.Fatalf("%s: %v", n.Name, err)
+	}
+	if _, err := n.Levelize(); err != nil {
+		t.Fatalf("%s: %v", n.Name, err)
+	}
+}
+
+func analyze(t *testing.T, n *netlist.Netlist) *sta.Result {
+	t.Helper()
+	r, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", n.Name, err)
+	}
+	return r
+}
+
+func TestAdderFamiliesBuildOnAllLibraries(t *testing.T) {
+	for _, lib := range []*cell.Library{cell.RichASIC(), cell.PoorASIC(), cell.Custom()} {
+		for _, w := range []int{4, 16, 32} {
+			if a, err := RippleCarry(lib, w); err != nil {
+				t.Errorf("rca %s w%d: %v", lib.Name, w, err)
+			} else {
+				checkNetlist(t, a.N)
+			}
+			if a, err := CarryLookahead(lib, w); err != nil {
+				t.Errorf("cla %s w%d: %v", lib.Name, w, err)
+			} else {
+				checkNetlist(t, a.N)
+			}
+			if a, err := CarrySelect(lib, w, 4); err != nil {
+				t.Errorf("csel %s w%d: %v", lib.Name, w, err)
+			} else {
+				checkNetlist(t, a.N)
+			}
+			if a, err := KoggeStone(lib, w); err != nil {
+				t.Errorf("ks %s w%d: %v", lib.Name, w, err)
+			} else {
+				checkNetlist(t, a.N)
+			}
+		}
+	}
+}
+
+func TestAdderSumWidths(t *testing.T) {
+	lib := cell.RichASIC()
+	for _, w := range []int{8, 32} {
+		for name, mk := range map[string]func() (*Adder, error){
+			"rca":  func() (*Adder, error) { return RippleCarry(lib, w) },
+			"cla":  func() (*Adder, error) { return CarryLookahead(lib, w) },
+			"csel": func() (*Adder, error) { return CarrySelect(lib, w, 4) },
+			"ks":   func() (*Adder, error) { return KoggeStone(lib, w) },
+		} {
+			a, err := mk()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(a.Sum) != w {
+				t.Errorf("%s w%d: %d sum bits", name, w, len(a.Sum))
+			}
+		}
+	}
+}
+
+func TestFastAddersAreShallower(t *testing.T) {
+	lib := cell.RichASIC()
+	w := 32
+	rca, _ := RippleCarry(lib, w)
+	cla, _ := CarryLookahead(lib, w)
+	ks, _ := KoggeStone(lib, w)
+	dr := analyze(t, rca.N).WorstComb
+	dc := analyze(t, cla.N).WorstComb
+	dk := analyze(t, ks.N).WorstComb
+	if !(dc < dr) {
+		t.Errorf("CLA (%.1f FO4) should beat ripple (%.1f FO4)", dc.FO4(), dr.FO4())
+	}
+	if !(dk < dr) {
+		t.Errorf("Kogge-Stone (%.1f FO4) should beat ripple (%.1f FO4)", dk.FO4(), dr.FO4())
+	}
+	// Ripple should be dramatically slower at 32 bits: the macro-cell
+	// argument of section 4.2.
+	if float64(dr)/float64(dk) < 2 {
+		t.Errorf("ripple/KS ratio = %.2f, want >= 2", float64(dr)/float64(dk))
+	}
+}
+
+func TestCarrySelectBeatsRipple(t *testing.T) {
+	lib := cell.RichASIC()
+	rca, _ := RippleCarry(lib, 32)
+	csel, _ := CarrySelect(lib, 32, 8)
+	dr := analyze(t, rca.N).WorstComb
+	ds := analyze(t, csel.N).WorstComb
+	if !(ds < dr) {
+		t.Errorf("carry-select (%.1f) should beat ripple (%.1f)", ds.FO4(), dr.FO4())
+	}
+}
+
+func TestMultiplierBuilds(t *testing.T) {
+	for _, lib := range []*cell.Library{cell.RichASIC(), cell.PoorASIC()} {
+		m, err := ArrayMultiplier(lib, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", lib.Name, err)
+		}
+		checkNetlist(t, m.N)
+		if len(m.Product) != 16 {
+			t.Fatalf("8x8 product has %d bits, want 16", len(m.Product))
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	lib := cell.RichASIC()
+	s, err := BarrelShifter(lib, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, s.N)
+	if len(s.Amt) != 5 {
+		t.Fatalf("32-bit shifter has %d select bits, want 5", len(s.Amt))
+	}
+	// Depth should be ~log2(w) mux stages, not O(w).
+	r := analyze(t, s.N)
+	if r.Depth() > 12 {
+		t.Fatalf("shifter depth %d too deep for log structure", r.Depth())
+	}
+	if _, err := BarrelShifter(lib, 24); err == nil {
+		t.Fatal("non-power-of-two width must error")
+	}
+}
+
+func TestALU(t *testing.T) {
+	lib := cell.RichASIC()
+	a, err := NewALU(lib, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, a.N)
+	if len(a.Result) != 32 {
+		t.Fatalf("result width %d, want 32", len(a.Result))
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	lib := cell.RichASIC()
+	a, err := RandomLogic(lib, 16, 400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomLogic(lib, 16, 400, 42)
+	checkNetlist(t, a)
+	if a.NumGates() != b.NumGates() || a.NumNets() != b.NumNets() {
+		t.Fatal("same seed must give identical structure")
+	}
+	c, _ := RandomLogic(lib, 16, 400, 43)
+	if c.NumNets() == a.NumNets() && c.Summary().LogicDepth == a.Summary().LogicDepth {
+		// Different seeds could coincide, but both matching is unlikely;
+		// tolerate only if gate mix differs.
+		sa, sc := a.Summary(), c.Summary()
+		same := true
+		for k, v := range sa.CellsByFunc {
+			if sc.CellsByFunc[k] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical netlists")
+		}
+	}
+}
+
+func TestRandomLogicOnPoorLibrary(t *testing.T) {
+	n, err := RandomLogic(cell.PoorASIC(), 12, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, n)
+}
+
+func TestBusInterfaceHasRegisteredLoop(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := BusInterface(lib, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, n)
+	if n.NumRegs() != 8 {
+		t.Fatalf("state register count = %d, want 8", n.NumRegs())
+	}
+}
+
+func TestDatapathChainStagesScaleDelay(t *testing.T) {
+	lib := cell.RichASIC()
+	one, err := DatapathChain(lib, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := DatapathChain(lib, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, one)
+	checkNetlist(t, three)
+	d1 := analyze(t, one).WorstComb
+	d3 := analyze(t, three).WorstComb
+	if float64(d3) < 2*float64(d1) {
+		t.Fatalf("3-slice chain (%.1f FO4) should be ~3x one slice (%.1f FO4)", d3.FO4(), d1.FO4())
+	}
+}
+
+func TestDatapathChainBlocksAssigned(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := DatapathChain(lib, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := map[string]int{}
+	for _, g := range n.Gates() {
+		blocks[g.Block]++
+	}
+	for s := 0; s < 4; s++ {
+		if blocks["slice"+string(rune('0'+s))] == 0 {
+			t.Fatalf("slice%d has no gates", s)
+		}
+	}
+	if blocks[""] != 0 {
+		t.Fatalf("%d gates unassigned to blocks", blocks[""])
+	}
+}
+
+func TestEmitterRequiresMinimumBasis(t *testing.T) {
+	empty := cell.NewLibrary("empty")
+	if _, err := NewEmitter(netlist.New("x"), empty); err == nil {
+		t.Fatal("emitter must reject a library without INV/NAND2")
+	}
+}

@@ -1,0 +1,275 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// RandomLogic builds a seeded random combinational network: nGates gates
+// drawn from the library's available simple functions, wired to earlier
+// signals with locality bias. It stands in for the irregular control logic
+// (decoders, arbiters, state machines) that dominates typical ASICs and
+// that custom techniques help least with.
+func RandomLogic(lib *cell.Library, inputs, nGates int, seed int64) (*netlist.Netlist, error) {
+	if inputs < 2 || nGates < 1 {
+		return nil, fmt.Errorf("circuits: random logic needs >=2 inputs and >=1 gate, got %d/%d", inputs, nGates)
+	}
+	n := netlist.New(fmt.Sprintf("rand%d_s%d", nGates, seed))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	signals := e.Words("in", inputs)
+	// Candidate functions, weighted toward the cheap gates real control
+	// logic is full of.
+	type choice struct {
+		f cell.Func
+		w int
+	}
+	all := []choice{
+		{cell.FuncNand2, 6}, {cell.FuncNor2, 4}, {cell.FuncInv, 3},
+		{cell.FuncNand3, 2}, {cell.FuncNor3, 2},
+		{cell.FuncAoi21, 2}, {cell.FuncOai21, 2},
+		{cell.FuncXor2, 1}, {cell.FuncMux2, 1},
+		{cell.FuncAnd2, 2}, {cell.FuncOr2, 2},
+	}
+	var avail []choice
+	total := 0
+	for _, c := range all {
+		if lib.Has(c.f) {
+			avail = append(avail, c)
+			total += c.w
+		}
+	}
+
+	pick := func() cell.Func {
+		r := rng.Intn(total)
+		for _, c := range avail {
+			r -= c.w
+			if r < 0 {
+				return c.f
+			}
+		}
+		return avail[len(avail)-1].f
+	}
+	// pickSignal prefers recent signals, giving the network depth.
+	pickSignal := func() netlist.NetID {
+		k := len(signals)
+		// Triangular distribution toward the most recent quarter.
+		i := k - 1 - rng.Intn(1+rng.Intn((k+3)/4))
+		return signals[i]
+	}
+
+	for i := 0; i < nGates; i++ {
+		f := pick()
+		ins := make([]netlist.NetID, f.Inputs())
+		for j := range ins {
+			ins[j] = pickSignal()
+		}
+		out := n.MustGate(lib.Smallest(f), ins...)
+		signals = append(signals, out)
+	}
+	// The last few signals become outputs.
+	outs := 1 + nGates/16
+	if outs > 8 {
+		outs = 8
+	}
+	for i := 0; i < outs; i++ {
+		n.MarkOutput(signals[len(signals)-1-i])
+	}
+	return n, nil
+}
+
+// BusInterface builds a registered bus-interface controller: a small state
+// register with next-state logic that depends on fresh primary inputs every
+// cycle. This is the paper's section 4.1 example of a design whose
+// cycle-by-cycle input dependence leaves no way to pipeline: the loop from
+// state register through next-state logic back to the register is the
+// critical path and cannot be cut.
+func BusInterface(lib *cell.Library, stateBits, reqBits int) (*netlist.Netlist, error) {
+	if stateBits < 2 || reqBits < 1 {
+		return nil, fmt.Errorf("circuits: bus interface needs >=2 state bits and >=1 request bit")
+	}
+	n := netlist.New(fmt.Sprintf("busif_s%d_r%d", stateBits, reqBits))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	ff := lib.DefaultSeq(2)
+	if ff == nil {
+		return nil, fmt.Errorf("circuits: library %s has no sequential cells", lib.Name)
+	}
+
+	req := e.Words("req", reqBits)
+	// State registers: D nets are created after the logic, so build Q
+	// first using placeholder self-loop construction: create dummy input
+	// nets is not allowed (regs need a D net first). Instead build
+	// next-state logic from a set of "current state" nets that are the
+	// Q outputs of registers whose D we patch in afterwards — the
+	// netlist API requires D at AddReg time, so use a two-pass trick:
+	// compute next-state logic from PIs only in pass captures, then
+	// connect. Simplest construction that stays acyclic per-cycle:
+	// current state enters as register outputs, so create the regs fed
+	// by temporary nets, then splice. To avoid splicing machinery, we
+	// instead build the canonical unrolled form: state_in -> logic ->
+	// state_out register -> (next cycle). The timing loop is identical.
+	stateIn := make([]netlist.NetID, stateBits)
+	for i := range stateIn {
+		stateIn[i] = n.AddInput(fmt.Sprintf("state_q[%d]", i))
+	}
+
+	// Next-state logic: each bit mixes grant arbitration, request
+	// priority, and a parity of the state — a dense, branchy function.
+	next := make([]netlist.NetID, stateBits)
+	for i := range next {
+		a := stateIn[i]
+		b := stateIn[(i+1)%stateBits]
+		c := req[i%reqBits]
+		d := req[(i+3)%reqBits]
+		t1 := e.Aoi21(a, c, b)
+		t2 := e.Oai21(b, d, a)
+		t3 := e.Xor2(t1, t2)
+		grant := e.And2(t3, e.Or2(c, b))
+		hold := e.Mux2(a, t3, grant)
+		next[i] = e.Xor2(hold, e.Nand2(t1, d))
+	}
+	for i, d := range next {
+		q := n.AddReg(ff, d)
+		n.Net(q).Name = fmt.Sprintf("state_d%d_q", i)
+		n.MarkOutput(q)
+	}
+	// Grant outputs are combinational off the state.
+	for i := 0; i < reqBits; i++ {
+		g := e.And2(stateIn[i%stateBits], req[i])
+		n.MarkOutput(g)
+	}
+	return n, nil
+}
+
+// DatapathComb builds the combinational core of DatapathChain: `slices`
+// back-to-back w-bit add/mix slices with no registers at all, suitable as
+// input to internal/pipeline. Each slice is tagged as a floorplan block.
+func DatapathComb(lib *cell.Library, w, slices int) (*netlist.Netlist, error) {
+	if slices < 1 {
+		return nil, fmt.Errorf("circuits: datapath needs >=1 slice, got %d", slices)
+	}
+	n := netlist.New(fmt.Sprintf("dpcomb%d_w%d", slices, w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	a := e.Words("a", w)
+	b := e.Words("b", w)
+	cur, other := a, b
+	for s := 0; s < slices; s++ {
+		mark := e.Checkpoint()
+		next := addSlice(e, cur, other, s)
+		for i, j := 0, len(next)-1; i < j; i, j = i+1, j-1 {
+			next[i], next[j] = next[j], next[i]
+		}
+		e.SetBlock(mark, fmt.Sprintf("slice%d", s))
+		other = cur
+		cur = next
+	}
+	e.Outputs(cur)
+	return n, nil
+}
+
+// DatapathChain builds a deep unpipelined datapath: `stages` back-to-back
+// w-bit carry-lookahead add/logic slices feeding one another, bracketed by
+// input and output registers. It is the raw material for the pipelining
+// experiments: a long data-parallel computation with ~44 FO4 of logic at
+// ASIC depths, cuttable into stages.
+func DatapathChain(lib *cell.Library, w, stages int) (*netlist.Netlist, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("circuits: datapath chain needs >=1 stage, got %d", stages)
+	}
+	n := netlist.New(fmt.Sprintf("chain%d_w%d", stages, w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	ff := lib.DefaultSeq(2)
+	if ff == nil {
+		return nil, fmt.Errorf("circuits: library %s has no sequential cells", lib.Name)
+	}
+
+	a := e.Words("a", w)
+	b := e.Words("b", w)
+	// Register the inputs (timing starts at register outputs).
+	for i := range a {
+		a[i] = n.AddReg(ff, a[i])
+		b[i] = n.AddReg(ff, b[i])
+	}
+
+	cur := a
+	other := b
+	for s := 0; s < stages; s++ {
+		mark := e.Checkpoint()
+		next := addSlice(e, cur, other, s)
+		// Reverse the bus between slices so the slowest (high carry)
+		// bits seed the next slice's carry chain: this makes slice
+		// delays compose additively, which is what a deep datapath
+		// with full bit mixing does.
+		for i, j := 0, len(next)-1; i < j; i, j = i+1, j-1 {
+			next[i], next[j] = next[j], next[i]
+		}
+		e.SetBlock(mark, fmt.Sprintf("slice%d", s))
+		other = cur
+		cur = next
+	}
+	// Register the outputs.
+	for _, d := range cur {
+		q := n.AddReg(ff, d)
+		n.MarkOutput(q)
+	}
+	return n, nil
+}
+
+// addSlice emits one add-rotate-mix slice: cur + other (CLA groups of 4),
+// then a bitwise mix with a rotated copy.
+func addSlice(e *Emitter, cur, other []netlist.NetID, round int) []netlist.NetID {
+	w := len(cur)
+	g := make([]netlist.NetID, w)
+	p := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		g[i] = e.And2(cur[i], other[i])
+		p[i] = e.Xor2(cur[i], other[i])
+	}
+	carry := make([]netlist.NetID, w+1)
+	carry[0] = e.constZero()
+	for lo := 0; lo < w; lo += 4 {
+		hi := lo + 4
+		if hi > w {
+			hi = w
+		}
+		for i := lo; i < hi; i++ {
+			terms := []netlist.NetID{g[i]}
+			for j := lo; j < i; j++ {
+				ands := []netlist.NetID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					ands = append(ands, p[k])
+				}
+				terms = append(terms, e.And(ands...))
+			}
+			ands := []netlist.NetID{carry[lo]}
+			for k := lo; k <= i; k++ {
+				ands = append(ands, p[k])
+			}
+			terms = append(terms, e.And(ands...))
+			carry[i+1] = e.Or(terms...)
+		}
+	}
+	out := make([]netlist.NetID, w)
+	rot := (round*7 + 3) % w
+	for i := 0; i < w; i++ {
+		sum := e.Xor2(p[i], carry[i])
+		out[i] = e.Xor2(sum, other[(i+rot)%w])
+	}
+	return out
+}

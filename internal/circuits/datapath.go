@@ -1,0 +1,202 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Multiplier bundles the nets of a generated multiplier.
+type Multiplier struct {
+	N       *netlist.Netlist
+	A, B    []netlist.NetID
+	Product []netlist.NetID
+}
+
+// ArrayMultiplier builds a w x w carry-save array multiplier with a final
+// ripple row: the regular datapath structure the paper says custom tiling
+// lays out best.
+func ArrayMultiplier(lib *cell.Library, w int) (*Multiplier, error) {
+	n := netlist.New(fmt.Sprintf("mult%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	m := &Multiplier{N: n}
+	m.A = e.Words("a", w)
+	m.B = e.Words("b", w)
+
+	// Column-based carry-save reduction: cols[k] holds the bits of
+	// weight 2^k still to be summed.
+	// Two spare upper columns absorb structurally generated (logically
+	// zero) carries out of the top product bit.
+	cols := make([][]netlist.NetID, 2*w+2)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			cols[i+j] = append(cols[i+j], e.And2(m.A[j], m.B[i]))
+		}
+	}
+	for {
+		reduced := false
+		for k := 0; k < len(cols)-1; k++ {
+			for len(cols[k]) >= 3 {
+				a3, b3, c3 := cols[k][0], cols[k][1], cols[k][2]
+				cols[k] = cols[k][3:]
+				s, c := e.FullAdder(a3, b3, c3)
+				cols[k] = append(cols[k], s)
+				cols[k+1] = append(cols[k+1], c)
+				reduced = true
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+
+	// Final carry-propagate row: ripple across the two remaining rows.
+	carry := e.constZero()
+	for k := 0; k < 2*w; k++ {
+		switch len(cols[k]) {
+		case 0:
+			m.Product = append(m.Product, carry)
+			carry = e.constZero()
+		case 1:
+			s, c := e.HalfAdder(cols[k][0], carry)
+			m.Product = append(m.Product, s)
+			carry = c
+		default:
+			s, c := e.FullAdder(cols[k][0], cols[k][1], carry)
+			m.Product = append(m.Product, s)
+			carry = c
+		}
+	}
+	e.Outputs(m.Product)
+	return m, nil
+}
+
+// constZero returns a shared constant-zero primary input (timing-ready at
+// t=0, like a tied-off rail).
+func (e *Emitter) constZero() netlist.NetID {
+	for _, id := range e.N.Inputs() {
+		if e.N.Net(id).Name == "const0" {
+			return id
+		}
+	}
+	return e.N.AddInput("const0")
+}
+
+// Shifter bundles the nets of a generated barrel shifter.
+type Shifter struct {
+	N   *netlist.Netlist
+	In  []netlist.NetID
+	Amt []netlist.NetID
+	Out []netlist.NetID
+}
+
+// BarrelShifter builds a w-bit logarithmic left-rotate barrel shifter:
+// log2(w) mux stages, the canonical "custom macro beats synthesis" block
+// of section 7.2.
+func BarrelShifter(lib *cell.Library, w int) (*Shifter, error) {
+	if w&(w-1) != 0 || w == 0 {
+		return nil, fmt.Errorf("circuits: barrel shifter width must be a power of two, got %d", w)
+	}
+	n := netlist.New(fmt.Sprintf("bshift%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shifter{N: n}
+	s.In = e.Words("d", w)
+	stages := 0
+	for 1<<stages < w {
+		stages++
+	}
+	s.Amt = e.Words("amt", stages)
+
+	cur := append([]netlist.NetID(nil), s.In...)
+	for st := 0; st < stages; st++ {
+		shift := 1 << st
+		next := make([]netlist.NetID, w)
+		for i := 0; i < w; i++ {
+			rotated := cur[(i+w-shift)%w]
+			next[i] = e.Mux2(cur[i], rotated, s.Amt[st])
+		}
+		cur = next
+	}
+	s.Out = cur
+	e.Outputs(s.Out)
+	return s, nil
+}
+
+// ALU bundles the nets of a generated arithmetic-logic unit.
+type ALU struct {
+	N      *netlist.Netlist
+	A, B   []netlist.NetID
+	Op     []netlist.NetID // 2-bit op select: 00 add, 01 and, 10 or, 11 xor
+	Result []netlist.NetID
+	Cout   netlist.NetID
+}
+
+// NewALU builds a w-bit ALU: a carry-lookahead add path plus bitwise
+// AND/OR/XOR, merged by a result mux — a representative execution-unit
+// critical path (the paper's section 9 point that a single fast element
+// matters less once embedded in a whole path).
+func NewALU(lib *cell.Library, w int) (*ALU, error) {
+	n := netlist.New(fmt.Sprintf("alu%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	a := &ALU{N: n}
+	a.A = e.Words("a", w)
+	a.B = e.Words("b", w)
+	a.Op = e.Words("op", 2)
+
+	// Adder path: inline carry-lookahead over 4-bit groups.
+	g := make([]netlist.NetID, w)
+	p := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		g[i] = e.And2(a.A[i], a.B[i])
+		p[i] = e.Xor2(a.A[i], a.B[i])
+	}
+	carry := make([]netlist.NetID, w+1)
+	carry[0] = e.constZero()
+	for lo := 0; lo < w; lo += 4 {
+		hi := lo + 4
+		if hi > w {
+			hi = w
+		}
+		for i := lo; i < hi; i++ {
+			terms := []netlist.NetID{g[i]}
+			for j := lo; j < i; j++ {
+				ands := []netlist.NetID{g[j]}
+				for k := j + 1; k <= i; k++ {
+					ands = append(ands, p[k])
+				}
+				terms = append(terms, e.And(ands...))
+			}
+			ands := []netlist.NetID{carry[lo]}
+			for k := lo; k <= i; k++ {
+				ands = append(ands, p[k])
+			}
+			terms = append(terms, e.And(ands...))
+			carry[i+1] = e.Or(terms...)
+		}
+	}
+	a.Cout = carry[w]
+
+	for i := 0; i < w; i++ {
+		sum := e.Xor2(p[i], carry[i])
+		andv := g[i] // a&b already computed
+		orv := e.Or2(a.A[i], a.B[i])
+		xorv := p[i]
+		// Result mux: op[1] ? (op[0] ? xor : or) : (op[0] ? and : sum)
+		lo := e.Mux2(sum, andv, a.Op[0])
+		hiv := e.Mux2(orv, xorv, a.Op[0])
+		a.Result = append(a.Result, e.Mux2(lo, hiv, a.Op[1]))
+	}
+	e.Outputs(a.Result)
+	n.MarkOutput(a.Cout)
+	return a, nil
+}

@@ -1,0 +1,248 @@
+// Package circuits generates the gate-level workloads the experiments run
+// on: adders (ripple, carry-lookahead, carry-select, Kogge-Stone), an array
+// multiplier, a barrel shifter, an ALU, random control logic, a
+// bus-interface state machine, and multi-stage datapaths.
+//
+// Generators build against whatever cell library they are handed. When the
+// library lacks a function (the paper's "poor library" scenario: no dual
+// polarities, no complex gates), the emitter decomposes the function into
+// the gates that are available, exactly as naive synthesis would — which is
+// how the library-richness penalty of section 6 arises as a measured
+// outcome rather than an assumed constant.
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Emitter builds logic functions on a netlist against a concrete library,
+// decomposing functions the library lacks.
+type Emitter struct {
+	N   *netlist.Netlist
+	Lib *cell.Library
+}
+
+// NewEmitter wraps a netlist and library. The library must at minimum
+// provide INV and NAND2 (any realizable CMOS library does).
+func NewEmitter(n *netlist.Netlist, lib *cell.Library) (*Emitter, error) {
+	if !lib.Has(cell.FuncInv) || !lib.Has(cell.FuncNand2) {
+		return nil, fmt.Errorf("circuits: library %s lacks INV/NAND2 minimum basis", lib.Name)
+	}
+	return &Emitter{N: n, Lib: lib}, nil
+}
+
+// gate emits the smallest library cell for f directly.
+func (e *Emitter) gate(f cell.Func, in ...netlist.NetID) netlist.NetID {
+	c := e.Lib.Smallest(f)
+	if c == nil {
+		panic(fmt.Sprintf("circuits: emitter asked for missing cell %v", f))
+	}
+	return e.N.MustGate(c, in...)
+}
+
+// Inv emits an inverter.
+func (e *Emitter) Inv(a netlist.NetID) netlist.NetID { return e.gate(cell.FuncInv, a) }
+
+// Buf emits a buffer (two inverters when the library has no BUF).
+func (e *Emitter) Buf(a netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncBuf) {
+		return e.gate(cell.FuncBuf, a)
+	}
+	return e.Inv(e.Inv(a))
+}
+
+// Nand2 emits a two-input NAND.
+func (e *Emitter) Nand2(a, b netlist.NetID) netlist.NetID { return e.gate(cell.FuncNand2, a, b) }
+
+// Nand emits an n-input NAND, building a tree when wide cells are missing.
+func (e *Emitter) Nand(in ...netlist.NetID) netlist.NetID {
+	switch len(in) {
+	case 0:
+		panic("circuits: NAND of nothing")
+	case 1:
+		return e.Inv(in[0])
+	case 2:
+		return e.Nand2(in[0], in[1])
+	case 3:
+		if e.Lib.Has(cell.FuncNand3) {
+			return e.gate(cell.FuncNand3, in...)
+		}
+	case 4:
+		if e.Lib.Has(cell.FuncNand4) {
+			return e.gate(cell.FuncNand4, in...)
+		}
+	}
+	// AND the first half, AND the second half, NAND the senses back.
+	half := len(in) / 2
+	return e.Nand2(e.And(in[:half]...), e.And(in[half:]...))
+}
+
+// Nor2 emits a two-input NOR, or its DeMorgan NAND form when missing.
+func (e *Emitter) Nor2(a, b netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncNor2) {
+		return e.gate(cell.FuncNor2, a, b)
+	}
+	return e.Inv(e.Nand2(e.Inv(a), e.Inv(b)))
+}
+
+// And emits an n-input AND.
+func (e *Emitter) And(in ...netlist.NetID) netlist.NetID {
+	switch len(in) {
+	case 0:
+		panic("circuits: AND of nothing")
+	case 1:
+		return in[0]
+	case 2:
+		if e.Lib.Has(cell.FuncAnd2) {
+			return e.gate(cell.FuncAnd2, in...)
+		}
+	case 3:
+		if e.Lib.Has(cell.FuncAnd3) {
+			return e.gate(cell.FuncAnd3, in...)
+		}
+	case 4:
+		if e.Lib.Has(cell.FuncAnd4) {
+			return e.gate(cell.FuncAnd4, in...)
+		}
+	}
+	if len(in) <= 4 {
+		return e.Inv(e.Nand(in...))
+	}
+	half := len(in) / 2
+	return e.And2(e.And(in[:half]...), e.And(in[half:]...))
+}
+
+// And2 emits a two-input AND.
+func (e *Emitter) And2(a, b netlist.NetID) netlist.NetID { return e.And(a, b) }
+
+// Or emits an n-input OR.
+func (e *Emitter) Or(in ...netlist.NetID) netlist.NetID {
+	switch len(in) {
+	case 0:
+		panic("circuits: OR of nothing")
+	case 1:
+		return in[0]
+	case 2:
+		if e.Lib.Has(cell.FuncOr2) {
+			return e.gate(cell.FuncOr2, in...)
+		}
+	case 3:
+		if e.Lib.Has(cell.FuncOr3) {
+			return e.gate(cell.FuncOr3, in...)
+		}
+	case 4:
+		if e.Lib.Has(cell.FuncOr4) {
+			return e.gate(cell.FuncOr4, in...)
+		}
+	}
+	if len(in) <= 4 {
+		// OR = NAND of complements.
+		inv := make([]netlist.NetID, len(in))
+		for i, a := range in {
+			inv[i] = e.Inv(a)
+		}
+		return e.Nand(inv...)
+	}
+	half := len(in) / 2
+	return e.Or2(e.Or(in[:half]...), e.Or(in[half:]...))
+}
+
+// Or2 emits a two-input OR.
+func (e *Emitter) Or2(a, b netlist.NetID) netlist.NetID { return e.Or(a, b) }
+
+// Xor2 emits a two-input XOR.
+func (e *Emitter) Xor2(a, b netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncXor2) {
+		return e.gate(cell.FuncXor2, a, b)
+	}
+	if e.Lib.Has(cell.FuncXnor2) {
+		return e.Inv(e.gate(cell.FuncXnor2, a, b))
+	}
+	// Four-NAND realization.
+	nab := e.Nand2(a, b)
+	return e.Nand2(e.Nand2(a, nab), e.Nand2(b, nab))
+}
+
+// Xnor2 emits a two-input XNOR.
+func (e *Emitter) Xnor2(a, b netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncXnor2) {
+		return e.gate(cell.FuncXnor2, a, b)
+	}
+	return e.Inv(e.Xor2(a, b))
+}
+
+// Mux2 emits sel ? b : a.
+func (e *Emitter) Mux2(a, b, sel netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncMux2) {
+		return e.gate(cell.FuncMux2, a, b, sel)
+	}
+	ns := e.Inv(sel)
+	return e.Nand2(e.Nand2(a, ns), e.Nand2(b, sel))
+}
+
+// Maj3 emits the majority (full-adder carry) of three inputs.
+func (e *Emitter) Maj3(a, b, c netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncMaj3) {
+		return e.gate(cell.FuncMaj3, a, b, c)
+	}
+	return e.Nand(e.Nand2(a, b), e.Nand2(a, c), e.Nand2(b, c))
+}
+
+// Aoi21 emits NOT(a*b + c), decomposing when absent.
+func (e *Emitter) Aoi21(a, b, c netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncAoi21) {
+		return e.gate(cell.FuncAoi21, a, b, c)
+	}
+	return e.Nor2(e.And2(a, b), c)
+}
+
+// Oai21 emits NOT((a+b) * c), decomposing when absent.
+func (e *Emitter) Oai21(a, b, c netlist.NetID) netlist.NetID {
+	if e.Lib.Has(cell.FuncOai21) {
+		return e.gate(cell.FuncOai21, a, b, c)
+	}
+	return e.Nand2(e.Or2(a, b), c)
+}
+
+// FullAdder emits sum and carry-out for a+b+cin.
+func (e *Emitter) FullAdder(a, b, cin netlist.NetID) (sum, cout netlist.NetID) {
+	sum = e.Xor2(e.Xor2(a, b), cin)
+	cout = e.Maj3(a, b, cin)
+	return sum, cout
+}
+
+// HalfAdder emits sum and carry-out for a+b.
+func (e *Emitter) HalfAdder(a, b netlist.NetID) (sum, cout netlist.NetID) {
+	return e.Xor2(a, b), e.And2(a, b)
+}
+
+// Words creates a named w-bit primary-input bus.
+func (e *Emitter) Words(name string, w int) []netlist.NetID {
+	bus := make([]netlist.NetID, w)
+	for i := range bus {
+		bus[i] = e.N.AddInput(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return bus
+}
+
+// Outputs marks each net in the bus as a primary output.
+func (e *Emitter) Outputs(bus []netlist.NetID) {
+	for _, id := range bus {
+		e.N.MarkOutput(id)
+	}
+}
+
+// SetBlock tags all gates added between the returned checkpoint calls.
+// Usage: mark := e.Checkpoint(); ...build...; e.SetBlock(mark, "alu").
+func (e *Emitter) Checkpoint() int { return e.N.NumGates() }
+
+// SetBlock assigns a floorplan block name to every gate created since the
+// checkpoint.
+func (e *Emitter) SetBlock(since int, block string) {
+	for i := since; i < e.N.NumGates(); i++ {
+		e.N.Gate(netlist.GateID(i)).Block = block
+	}
+}

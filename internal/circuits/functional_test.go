@@ -1,0 +1,289 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// sumBits reads an adder's result as an integer (sum bits little-endian
+// plus carry-out as the top bit).
+func adderResult(t *testing.T, ad *Adder, sim *netlist.Simulator) uint64 {
+	t.Helper()
+	var v uint64
+	for i, id := range ad.Sum {
+		if sim.Value(id) {
+			v |= 1 << uint(i)
+		}
+	}
+	if sim.Value(ad.Cout) {
+		v |= 1 << uint(len(ad.Sum))
+	}
+	return v
+}
+
+// checkAdder verifies an adder structure on random vectors against
+// integer addition.
+func checkAdder(t *testing.T, name string, mk func() (*Adder, error), w int, vectors int) {
+	t.Helper()
+	ad, err := mk()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	sim, err := netlist.NewSimulator(ad.N)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	mask := uint64(1)<<uint(w) - 1
+	for v := 0; v < vectors; v++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		cin := rng.Intn(2) == 1
+		in := map[string]bool{"cin": cin}
+		netlist.WordToInputs(in, "a", a, w)
+		netlist.WordToInputs(in, "b", b, w)
+		// Tie-offs for carry-select speculation.
+		for _, id := range ad.N.Inputs() {
+			switch ad.N.Net(id).Name {
+			case "const0":
+				in["const0"] = false
+			case "const1":
+				in["const1"] = true
+			}
+		}
+		if _, err := sim.Eval(in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := a + b
+		if cin {
+			want++
+		}
+		if got := adderResult(t, ad, sim); got != want {
+			t.Fatalf("%s: %d + %d + %v = %d, want %d", name, a, b, cin, got, want)
+		}
+	}
+}
+
+func TestAddersComputeSums(t *testing.T) {
+	const w = 16
+	lib := cell.RichASIC()
+	checkAdder(t, "ripple", func() (*Adder, error) { return RippleCarry(lib, w) }, w, 200)
+	checkAdder(t, "cla", func() (*Adder, error) { return CarryLookahead(lib, w) }, w, 200)
+	checkAdder(t, "csel", func() (*Adder, error) { return CarrySelect(lib, w, 4) }, w, 200)
+	checkAdder(t, "kogge-stone", func() (*Adder, error) { return KoggeStone(lib, w) }, w, 200)
+}
+
+func TestAddersComputeSumsOnPoorLibrary(t *testing.T) {
+	// The decomposition fallbacks must preserve function too.
+	const w = 8
+	lib := cell.PoorASIC()
+	checkAdder(t, "ripple-poor", func() (*Adder, error) { return RippleCarry(lib, w) }, w, 100)
+	checkAdder(t, "cla-poor", func() (*Adder, error) { return CarryLookahead(lib, w) }, w, 100)
+	checkAdder(t, "csel-poor", func() (*Adder, error) { return CarrySelect(lib, w, 4) }, w, 100)
+	checkAdder(t, "ks-poor", func() (*Adder, error) { return KoggeStone(lib, w) }, w, 100)
+}
+
+func TestAdderEquivalenceProperty(t *testing.T) {
+	// All four structures agree with each other on arbitrary inputs.
+	const w = 12
+	lib := cell.RichASIC()
+	adders := map[string]*Adder{}
+	sims := map[string]*netlist.Simulator{}
+	for name, mk := range map[string]func() (*Adder, error){
+		"rca":  func() (*Adder, error) { return RippleCarry(lib, w) },
+		"cla":  func() (*Adder, error) { return CarryLookahead(lib, w) },
+		"csel": func() (*Adder, error) { return CarrySelect(lib, w, 3) },
+		"ks":   func() (*Adder, error) { return KoggeStone(lib, w) },
+	} {
+		ad, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := netlist.NewSimulator(ad.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adders[name], sims[name] = ad, sim
+	}
+	mask := uint64(1)<<w - 1
+	f := func(a, b uint16, cin bool) bool {
+		av, bv := uint64(a)&mask, uint64(b)&mask
+		var ref uint64
+		first := true
+		for name, ad := range adders {
+			in := map[string]bool{"cin": cin, "const0": false, "const1": true}
+			netlist.WordToInputs(in, "a", av, w)
+			netlist.WordToInputs(in, "b", bv, w)
+			if _, err := sims[name].Eval(in); err != nil {
+				return false
+			}
+			got := adderResult(t, ad, sims[name])
+			if first {
+				ref, first = got, false
+			} else if got != ref {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplierComputesProducts(t *testing.T) {
+	const w = 6
+	lib := cell.RichASIC()
+	m, err := ArrayMultiplier(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<w - 1
+	for a := uint64(0); a <= mask; a += 3 {
+		for b := uint64(0); b <= mask; b += 5 {
+			in := map[string]bool{"const0": false}
+			netlist.WordToInputs(in, "a", a, w)
+			netlist.WordToInputs(in, "b", b, w)
+			if _, err := sim.Eval(in); err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			for i, id := range m.Product {
+				if sim.Value(id) {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != a*b {
+				t.Fatalf("%d * %d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterRotates(t *testing.T) {
+	const w = 16
+	lib := cell.RichASIC()
+	s, err := BarrelShifter(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data uint16, amt uint8) bool {
+		rot := int(amt) % w
+		in := map[string]bool{}
+		netlist.WordToInputs(in, "d", uint64(data), w)
+		netlist.WordToInputs(in, "amt", uint64(rot), 4)
+		if _, err := sim.Eval(in); err != nil {
+			return false
+		}
+		var got uint64
+		for i, id := range s.Out {
+			if sim.Value(id) {
+				got |= 1 << uint(i)
+			}
+		}
+		want := uint64(data)<<uint(rot) | uint64(data)>>uint(w-rot)
+		want &= 1<<w - 1
+		if rot == 0 {
+			want = uint64(data)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUOperations(t *testing.T) {
+	const w = 8
+	lib := cell.RichASIC()
+	alu, err := NewALU(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(alu.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<w - 1
+	rng := rand.New(rand.NewSource(3))
+	for v := 0; v < 200; v++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		op := rng.Intn(4)
+		in := map[string]bool{"const0": false}
+		netlist.WordToInputs(in, "a", a, w)
+		netlist.WordToInputs(in, "b", b, w)
+		netlist.WordToInputs(in, "op", uint64(op), 2)
+		if _, err := sim.Eval(in); err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for i, id := range alu.Result {
+			if sim.Value(id) {
+				got |= 1 << uint(i)
+			}
+		}
+		var want uint64
+		switch op {
+		case 0:
+			want = (a + b) & mask
+		case 1:
+			want = a & b
+		case 2:
+			want = a | b
+		case 3:
+			want = a ^ b
+		}
+		if got != want {
+			t.Fatalf("op %d: %d . %d = %d, want %d", op, a, b, got, want)
+		}
+	}
+}
+
+func TestBusInterfaceIsDeterministicSequentially(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := BusInterface(lib, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		sim, err := netlist.NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []bool
+		rng := rand.New(rand.NewSource(9))
+		for cycle := 0; cycle < 50; cycle++ {
+			in := map[string]bool{}
+			for _, id := range n.Inputs() {
+				in[n.Net(id).Name] = rng.Intn(2) == 1
+			}
+			out, err := sim.Step(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range n.Outputs() {
+				trace = append(trace, out[n.Net(id).Name])
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sequential behaviour not reproducible")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// WallaceMultiplier builds a w x w multiplier with Wallace-tree reduction:
+// unlike the row-by-row array multiplier, every reduction level compresses
+// all columns in parallel with 3:2 counters, giving log-depth reduction —
+// the custom-datapath structure.
+func WallaceMultiplier(lib *cell.Library, w int) (*Multiplier, error) {
+	n := netlist.New(fmt.Sprintf("wallace%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	m := &Multiplier{N: n}
+	m.A = e.Words("a", w)
+	m.B = e.Words("b", w)
+
+	cols := make([][]netlist.NetID, 2*w+2)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			cols[i+j] = append(cols[i+j], e.And2(m.A[j], m.B[i]))
+		}
+	}
+	// Wallace: per level, compress every column simultaneously: groups
+	// of three bits feed a full adder, pairs feed a half adder, strays
+	// pass through.
+	for {
+		busy := false
+		for _, c := range cols {
+			if len(c) > 2 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		next := make([][]netlist.NetID, len(cols))
+		for k := 0; k < len(cols); k++ {
+			c := cols[k]
+			i := 0
+			for ; i+2 < len(c); i += 3 {
+				s, cy := e.FullAdder(c[i], c[i+1], c[i+2])
+				next[k] = append(next[k], s)
+				if k+1 < len(cols) {
+					next[k+1] = append(next[k+1], cy)
+				}
+			}
+			if i+1 < len(c) {
+				s, cy := e.HalfAdder(c[i], c[i+1])
+				next[k] = append(next[k], s)
+				if k+1 < len(cols) {
+					next[k+1] = append(next[k+1], cy)
+				}
+				i += 2
+			}
+			for ; i < len(c); i++ {
+				next[k] = append(next[k], c[i])
+			}
+		}
+		cols = next
+	}
+	// Final carry-propagate add over the two rows.
+	carry := e.constZero()
+	for k := 0; k < 2*w; k++ {
+		switch len(cols[k]) {
+		case 0:
+			m.Product = append(m.Product, carry)
+			carry = e.constZero()
+		case 1:
+			s, c := e.HalfAdder(cols[k][0], carry)
+			m.Product = append(m.Product, s)
+			carry = c
+		default:
+			s, c := e.FullAdder(cols[k][0], cols[k][1], carry)
+			m.Product = append(m.Product, s)
+			carry = c
+		}
+	}
+	e.Outputs(m.Product)
+	return m, nil
+}
+
+// Comparator bundles an unsigned magnitude comparator.
+type Comparator struct {
+	N      *netlist.Netlist
+	A, B   []netlist.NetID
+	EQ, GT netlist.NetID
+}
+
+// NewComparator builds a w-bit unsigned comparator producing A==B and
+// A>B, using the standard most-significant-difference chain.
+func NewComparator(lib *cell.Library, w int) (*Comparator, error) {
+	n := netlist.New(fmt.Sprintf("cmp%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparator{N: n}
+	c.A = e.Words("a", w)
+	c.B = e.Words("b", w)
+
+	// eq[i] = a[i] XNOR b[i]; GT is the most-significant-difference
+	// chain: OR over i of (a[i] AND NOT b[i] AND all-higher-bits-equal).
+	eqs := make([]netlist.NetID, w)
+	for i := 0; i < w; i++ {
+		eqs[i] = e.Xnor2(c.A[i], c.B[i])
+	}
+	prefixEq := e.constOne() // AND of eq[j] for j > i, descending
+	var gtTerms []netlist.NetID
+	for i := w - 1; i >= 0; i-- {
+		gtTerms = append(gtTerms, e.And(c.A[i], e.Inv(c.B[i]), prefixEq))
+		prefixEq = e.And2(prefixEq, eqs[i])
+	}
+	c.EQ = prefixEq // after the loop: AND of every eq bit
+	c.GT = e.Or(gtTerms...)
+	n.MarkOutput(c.EQ)
+	n.MarkOutput(c.GT)
+	n.Net(c.EQ).Name = "eq"
+	n.Net(c.GT).Name = "gt"
+	return c, nil
+}
+
+// PriorityEncoder bundles a one-hot priority encoder.
+type PriorityEncoder struct {
+	N     *netlist.Netlist
+	In    []netlist.NetID
+	Out   []netlist.NetID // binary index of the highest asserted input
+	Valid netlist.NetID
+}
+
+// NewPriorityEncoder builds a w-input (w a power of two) priority encoder:
+// the binary index of the highest set request line, the core of the
+// arbiters that bus-interface logic is made of.
+func NewPriorityEncoder(lib *cell.Library, w int) (*PriorityEncoder, error) {
+	if w&(w-1) != 0 || w < 2 {
+		return nil, fmt.Errorf("circuits: priority encoder width must be a power of two >= 2, got %d", w)
+	}
+	n := netlist.New(fmt.Sprintf("prienc%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	p := &PriorityEncoder{N: n}
+	p.In = e.Words("r", w)
+
+	// highest[i]: r[i] AND none of r[i+1..w-1].
+	highest := make([]netlist.NetID, w)
+	noneAbove := e.constOne()
+	for i := w - 1; i >= 0; i-- {
+		highest[i] = e.And2(p.In[i], noneAbove)
+		if i > 0 {
+			noneAbove = e.And2(noneAbove, e.Inv(p.In[i]))
+		}
+	}
+	bits := 0
+	for 1<<bits < w {
+		bits++
+	}
+	for b := 0; b < bits; b++ {
+		var terms []netlist.NetID
+		for i := 0; i < w; i++ {
+			if i&(1<<b) != 0 {
+				terms = append(terms, highest[i])
+			}
+		}
+		bit := e.Or(terms...)
+		p.Out = append(p.Out, bit)
+		n.MarkOutput(bit)
+		n.Net(bit).Name = fmt.Sprintf("y[%d]", b)
+	}
+	p.Valid = e.Or(p.In...)
+	n.MarkOutput(p.Valid)
+	n.Net(p.Valid).Name = "valid"
+	return p, nil
+}
+
+// constOne returns a shared constant-one primary input.
+func (e *Emitter) constOne() netlist.NetID {
+	for _, id := range e.N.Inputs() {
+		if e.N.Net(id).Name == "const1" {
+			return id
+		}
+	}
+	return e.N.AddInput("const1")
+}
+
+// LFSR bundles a linear-feedback shift register.
+type LFSR struct {
+	N    *netlist.Netlist
+	Taps []int
+	Out  netlist.NetID
+}
+
+// NewLFSR builds a w-bit Fibonacci LFSR with the given tap positions
+// (bit indices XORed into the feedback). A sequential workload for the
+// simulator and clocking experiments: every cycle depends on the last,
+// the paper's archetype of unpipelinable logic.
+func NewLFSR(lib *cell.Library, w int, taps []int) (*LFSR, error) {
+	if w < 2 || len(taps) == 0 {
+		return nil, fmt.Errorf("circuits: LFSR needs width >= 2 and taps")
+	}
+	for _, tp := range taps {
+		if tp < 0 || tp >= w {
+			return nil, fmt.Errorf("circuits: tap %d out of range", tp)
+		}
+	}
+	n := netlist.New(fmt.Sprintf("lfsr%d", w))
+	e, err := NewEmitter(n, lib)
+	if err != nil {
+		return nil, err
+	}
+	ff := lib.DefaultSeq(2)
+	if ff == nil {
+		return nil, fmt.Errorf("circuits: library %s has no sequential cells", lib.Name)
+	}
+	// Seed input lets the simulator inject a nonzero state: the
+	// feedback ORs in a "seed" line on bit 0.
+	seed := n.AddInput("seed")
+
+	// Unrolled-loop construction: state enters as register Q nets that
+	// are wired after the feedback logic exists.
+	qNets := make([]netlist.NetID, w)
+	for i := range qNets {
+		qNets[i] = n.AllocNet(fmt.Sprintf("q%d", i))
+	}
+	fb := qNets[taps[0]]
+	for _, tp := range taps[1:] {
+		fb = e.Xor2(fb, qNets[tp])
+	}
+	fb = e.Or2(fb, seed)
+
+	// Next state: shift up, feedback into bit 0.
+	for i := w - 1; i >= 1; i-- {
+		if _, err := n.AddRegTo(ff, qNets[i-1], qNets[i]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := n.AddRegTo(ff, fb, qNets[0]); err != nil {
+		return nil, err
+	}
+	out := qNets[w-1]
+	n.MarkOutput(out)
+	n.Net(out).Name = "out"
+	return &LFSR{N: n, Taps: taps, Out: out}, nil
+}

@@ -1,0 +1,224 @@
+package circuits
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func TestWallaceMultiplierComputesProducts(t *testing.T) {
+	const w = 6
+	lib := cell.RichASIC()
+	m, err := WallaceMultiplier(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, m.N)
+	sim, err := netlist.NewSimulator(m.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<w - 1
+	for a := uint64(0); a <= mask; a += 2 {
+		for b := uint64(0); b <= mask; b += 3 {
+			in := map[string]bool{"const0": false}
+			netlist.WordToInputs(in, "a", a, w)
+			netlist.WordToInputs(in, "b", b, w)
+			if _, err := sim.Eval(in); err != nil {
+				t.Fatal(err)
+			}
+			var got uint64
+			for i, id := range m.Product {
+				if sim.Value(id) {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != a*b {
+				t.Fatalf("%d * %d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestWallaceShallowerThanArray(t *testing.T) {
+	lib := cell.RichASIC()
+	arr, err := ArrayMultiplier(lib, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := WallaceMultiplier(lib, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := analyze(t, arr.N).WorstComb
+	dw := analyze(t, wal.N).WorstComb
+	if dw >= da {
+		t.Fatalf("Wallace (%.1f FO4) should beat the array reduction (%.1f FO4)",
+			dw.FO4(), da.FO4())
+	}
+}
+
+func TestComparator(t *testing.T) {
+	const w = 8
+	lib := cell.RichASIC()
+	c, err := NewComparator(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, c.N)
+	sim, err := netlist.NewSimulator(c.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		in := map[string]bool{"const1": true}
+		netlist.WordToInputs(in, "a", uint64(a), w)
+		netlist.WordToInputs(in, "b", uint64(b), w)
+		if _, err := sim.Eval(in); err != nil {
+			return false
+		}
+		return sim.Value(c.EQ) == (a == b) && sim.Value(c.GT) == (a > b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	const w = 8
+	lib := cell.RichASIC()
+	p, err := NewPriorityEncoder(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, p.N)
+	sim, err := netlist.NewSimulator(p.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vec := 0; vec < 1<<w; vec += 7 {
+		in := map[string]bool{"const1": true}
+		netlist.WordToInputs(in, "r", uint64(vec), w)
+		if _, err := sim.Eval(in); err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		for i, id := range p.Out {
+			if sim.Value(id) {
+				got |= 1 << uint(i)
+			}
+		}
+		valid := sim.Value(p.Valid)
+		if vec == 0 {
+			if valid {
+				t.Fatal("valid asserted with no requests")
+			}
+			continue
+		}
+		if !valid {
+			t.Fatalf("valid not asserted for %08b", vec)
+		}
+		want := uint64(0)
+		for i := w - 1; i >= 0; i-- {
+			if vec&(1<<i) != 0 {
+				want = uint64(i)
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("prienc(%08b) = %d, want %d", vec, got, want)
+		}
+	}
+	if _, err := NewPriorityEncoder(lib, 6); err == nil {
+		t.Fatal("non-power-of-two width must be rejected")
+	}
+}
+
+func TestLFSRSequence(t *testing.T) {
+	lib := cell.RichASIC()
+	// 4-bit maximal LFSR with taps {3, 2}: period 15.
+	l, err := NewLFSR(lib, 4, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNetlist(t, l.N)
+	sim, err := netlist.NewSimulator(l.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a seed pulse, then run free and collect the state stream.
+	if _, err := sim.Step(map[string]bool{"seed": true}); err != nil {
+		t.Fatal(err)
+	}
+	var states []int
+	for c := 0; c < 40; c++ {
+		if _, err := sim.Step(map[string]bool{"seed": false}); err != nil {
+			t.Fatal(err)
+		}
+		s := 0
+		for _, r := range l.N.Regs() {
+			s <<= 1
+			if sim.Value(r.Q) {
+				s |= 1
+			}
+		}
+		states = append(states, s)
+	}
+	// Nonzero forever (maximal LFSRs never re-enter zero) and periodic
+	// with period 15.
+	for i, s := range states {
+		if s == 0 {
+			t.Fatalf("LFSR died at cycle %d", i)
+		}
+	}
+	for i := 0; i+15 < len(states); i++ {
+		if states[i] != states[i+15] {
+			t.Fatalf("period != 15 at offset %d", i)
+		}
+	}
+	// Distinct states within one period: all 15.
+	seen := map[int]bool{}
+	for _, s := range states[:15] {
+		seen[s] = true
+	}
+	if len(seen) != 15 {
+		t.Fatalf("only %d distinct states in a period, want 15", len(seen))
+	}
+}
+
+func TestLFSRValidation(t *testing.T) {
+	lib := cell.RichASIC()
+	if _, err := NewLFSR(lib, 1, []int{0}); err == nil {
+		t.Fatal("width 1 must be rejected")
+	}
+	if _, err := NewLFSR(lib, 4, nil); err == nil {
+		t.Fatal("no taps must be rejected")
+	}
+	if _, err := NewLFSR(lib, 4, []int{9}); err == nil {
+		t.Fatal("out-of-range tap must be rejected")
+	}
+}
+
+func TestLFSRIsUnpipelinableLoop(t *testing.T) {
+	// The LFSR's critical path is reg -> feedback XOR -> reg: the
+	// sequential loop the paper says cannot be cut.
+	lib := cell.RichASIC()
+	l, err := NewLFSR(lib, 16, []int{15, 13, 12, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sta.Analyze(l.N, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorstEndKind != sta.EndRegisterD {
+		t.Fatal("critical path should end at a register")
+	}
+	// Tiny cycle: a couple of XORs, no way to overlap work.
+	if r.CombFO4() > 10 {
+		t.Fatalf("feedback path %.1f FO4, expected short", r.CombFO4())
+	}
+}

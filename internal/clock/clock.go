@@ -1,0 +1,180 @@
+// Package clock models clock distribution: an H-tree over the die,
+// buffered at every level, whose skew emerges from buffer-delay variation
+// and load imbalance instead of being assumed. The paper's section 4.1
+// numbers — 10%+ skew for ASIC clock trees, ~5% for a carefully designed
+// custom distribution (75 ps on the 600 MHz Alpha) — become outputs here:
+// the custom tree's tuned buffers and balanced loads halve both error
+// terms.
+package clock
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Quality captures how carefully the tree is engineered.
+type Quality struct {
+	// BufferSigma is the per-buffer delay mismatch (random process
+	// variation on the clock buffers), as a fraction of buffer delay.
+	BufferSigma float64
+	// SigmaBudget is how many sigmas of random mismatch the skew
+	// number covers (custom teams measure and tune; ASIC signoff
+	// budgets more).
+	SigmaBudget float64
+	// ImbalanceFrac is the systematic skew from unequal subtree loads,
+	// as a fraction of total insertion delay.
+	ImbalanceFrac float64
+	// PVTFrac is the across-die supply/temperature gradient seen by
+	// the insertion delay — the dominant real skew term. Custom chips
+	// suppress it with power grids and regulation.
+	PVTFrac float64
+	// BufDrive and BufStageFO4 describe the clock buffers: synthesized
+	// ASIC trees use smaller, slower, margin-laden buffers.
+	BufDrive    float64
+	BufStageFO4 float64
+	// ShieldedWires reduces wire-delay uncertainty (custom trees shield
+	// and balance their routes).
+	ShieldedWires bool
+}
+
+// ASICTree is a synthesized clock tree: automatic buffering, unshielded
+// routes, loads balanced only approximately, unregulated gradients.
+func ASICTree() Quality {
+	return Quality{BufferSigma: 0.08, SigmaBudget: 3, ImbalanceFrac: 0.030,
+		PVTFrac: 0.10, BufDrive: 8, BufStageFO4: 2.0}
+}
+
+// CustomTree is a hand-tuned distribution: matched buffers, shielded and
+// width-tuned routes, loads balanced by simulation, gridded power.
+func CustomTree() Quality {
+	return Quality{BufferSigma: 0.04, SigmaBudget: 2, ImbalanceFrac: 0.010,
+		PVTFrac: 0.02, BufDrive: 24, BufStageFO4: 1.0, ShieldedWires: true}
+}
+
+// Tree is a constructed H-tree.
+type Tree struct {
+	Levels int
+	// InsertionDelay is source-to-leaf delay.
+	InsertionDelay units.Tau
+	// SkewTau is the expected leaf-to-leaf skew.
+	SkewTau units.Tau
+	// BufferCount and TotalWireMM drive the power estimate.
+	BufferCount int
+	TotalWireMM float64
+	// ClockCapUnits is the total capacitance the clock source switches
+	// every cycle (buffers plus wire), in Cin units.
+	ClockCapUnits float64
+}
+
+func (t Tree) String() string {
+	return fmt.Sprintf("H-tree: %d levels, insertion %.1f FO4, skew %.2f FO4, %d buffers, %.1f mm wire",
+		t.Levels, t.InsertionDelay.FO4(), t.SkewTau.FO4(), t.BufferCount, t.TotalWireMM)
+}
+
+// Build constructs an H-tree over a square die of the given side feeding
+// the given number of sinks, with 64 leaves per final cluster.
+func Build(m wire.Model, dieSideMM float64, sinks int, q Quality) Tree {
+	if sinks < 1 {
+		sinks = 1
+	}
+	const leafCluster = 64
+	levels := 0
+	for (1<<uint(2*levels))*leafCluster < sinks {
+		levels++
+	}
+	if levels < 1 {
+		levels = 1
+	}
+
+	// Per-level wire segments: an H-tree segment at level k spans
+	// side/2^ceil((k+1)/2).
+	bufDrive := q.BufDrive
+	if bufDrive <= 0 {
+		bufDrive = 16
+	}
+	stageFO4 := q.BufStageFO4
+	if stageFO4 <= 0 {
+		stageFO4 = 1.5
+	}
+	bufDelayBase := units.FromFO4(stageFO4)
+	var insertion units.Tau
+	totalWire := 0.0
+	bufCount := 0
+	clockCap := 0.0
+	for k := 0; k < levels; k++ {
+		segMM := dieSideMM / math.Pow(2, math.Ceil(float64(k+1)/2))
+		// 2^(k+1) segments at this level (each node spawns two).
+		nseg := math.Pow(2, float64(k+1))
+		totalWire += segMM * nseg
+		nbuf := 1 << uint(k)
+		bufCount += nbuf
+		clockCap += float64(nbuf) * bufDrive
+		clockCap += float64(m.CapOfLength(segMM, 2)) * nseg
+
+		wireDelay := m.UnbufferedDelay(segMM, 2, bufDrive, units.Cap(bufDrive))
+		if !q.ShieldedWires {
+			// Unshielded routes see coupling: effective delay varies;
+			// charge the mean penalty.
+			wireDelay = units.Tau(float64(wireDelay) * 1.15)
+		}
+		insertion += bufDelayBase + wireDelay
+	}
+	// Leaf cluster distribution: local buffer driving the sink cluster.
+	leafLoad := units.Cap(float64(minInt(sinks, leafCluster)))
+	leafDelay := bufDelayBase + units.Tau(float64(leafLoad)/bufDrive)
+	insertion += leafDelay
+	bufCount += (sinks + leafCluster - 1) / leafCluster
+	clockCap += float64(sinks) // sink clock pins
+
+	// Skew: random buffer mismatch accumulates along the two distinct
+	// halves of any leaf pair (sqrt(2*(levels+1)) independent stages),
+	// the systematic load imbalance takes its share of insertion delay,
+	// and the across-die PVT gradient modulates the whole insertion
+	// path differently at distant leaves.
+	sigmas := q.SigmaBudget
+	if sigmas <= 0 {
+		sigmas = 3
+	}
+	perStage := float64(bufDelayBase) * q.BufferSigma
+	random := perStage * math.Sqrt(2*float64(levels+1)) * sigmas
+	systematic := (q.ImbalanceFrac + q.PVTFrac) * float64(insertion)
+	return Tree{
+		Levels:         levels,
+		InsertionDelay: insertion,
+		SkewTau:        units.Tau(random + systematic),
+		BufferCount:    bufCount,
+		TotalWireMM:    totalWire,
+		ClockCapUnits:  clockCap,
+	}
+}
+
+// Clocking converts the tree's absolute skew into the cycle-fraction form
+// the timing engine uses, at the given cycle.
+func (t Tree) Clocking(cycle units.Tau) sta.Clocking {
+	if cycle <= 0 {
+		return sta.Clocking{}
+	}
+	frac := float64(t.SkewTau) / float64(cycle)
+	if frac > 0.45 {
+		frac = 0.45 // beyond this the clock is unusable; clamp for the solver
+	}
+	return sta.Clocking{SkewFrac: frac}
+}
+
+// PowerW estimates the tree's own dynamic power at the given frequency:
+// the full clock cap swings every cycle.
+func (t Tree) PowerW(p units.Process, freqMHz float64) float64 {
+	cF := t.ClockCapUnits * p.CinFF * 1e-15
+	return cF * p.Vdd * p.Vdd * freqMHz * 1e6
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func model() wire.Model { return wire.NewModel(units.ASIC025) }
+
+func TestSkewBandsMatchPaper(t *testing.T) {
+	// A full 10mm chip with tens of thousands of registers, clocked at
+	// a typical-ASIC 82 FO4 cycle: the synthesized tree should burn
+	// around 10% of the cycle in skew; the custom tree about half that.
+	m := model()
+	asic := Build(m, 10, 40000, ASICTree())
+	custom := Build(m, 10, 40000, CustomTree())
+
+	cycleASIC := units.FromFO4(82)
+	fracASIC := asic.Clocking(cycleASIC).SkewFrac
+	if fracASIC < 0.05 || fracASIC > 0.18 {
+		t.Fatalf("ASIC tree skew = %.0f%% of an 82 FO4 cycle, want ~10%%", 100*fracASIC)
+	}
+	// Custom chips clock much shorter cycles; the Alpha's 15 FO4 cycle
+	// carried ~5% skew (75 ps at 600 MHz) thanks to the tuned tree.
+	cycleCustom := units.FromFO4(15)
+	fracCustom := custom.Clocking(cycleCustom).SkewFrac
+	if fracCustom < 0.02 || fracCustom > 0.10 {
+		t.Fatalf("custom tree skew = %.0f%% of a 15 FO4 cycle, want ~5%%", 100*fracCustom)
+	}
+	if custom.SkewTau >= asic.SkewTau {
+		t.Fatal("custom tree must have less absolute skew")
+	}
+}
+
+func TestSkewGrowsWithSinksAndDie(t *testing.T) {
+	m := model()
+	f := func(a, b uint8) bool {
+		sa := 1000 * (1 + int(a%40))
+		sb := 1000 * (1 + int(b%40))
+		ta := Build(m, 10, sa, ASICTree())
+		tb := Build(m, 10, sb, ASICTree())
+		if sa <= sb {
+			return ta.SkewTau <= tb.SkewTau+units.Tau(1e-9)
+		}
+		return tb.SkewTau <= ta.SkewTau+units.Tau(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	small := Build(m, 2, 10000, ASICTree())
+	big := Build(m, 10, 10000, ASICTree())
+	if small.InsertionDelay >= big.InsertionDelay {
+		t.Fatal("bigger die must have deeper insertion delay")
+	}
+}
+
+func TestTreeAccounting(t *testing.T) {
+	m := model()
+	tr := Build(m, 10, 20000, ASICTree())
+	if tr.BufferCount <= 0 || tr.TotalWireMM <= 0 || tr.ClockCapUnits <= 0 {
+		t.Fatalf("empty accounting: %+v", tr)
+	}
+	if tr.String() == "" {
+		t.Fatal("empty description")
+	}
+	// Clock power at 250 MHz on a real chip is watts-class.
+	w := tr.PowerW(units.ASIC025, 250)
+	if w < 0.05 || w > 20 {
+		t.Fatalf("clock power = %.2f W, expected fractions-of-a-watt to watts", w)
+	}
+}
+
+func TestClockingClamps(t *testing.T) {
+	m := model()
+	tr := Build(m, 10, 40000, ASICTree())
+	// At an absurdly short cycle the fraction clamps rather than
+	// exceeding 1.
+	c := tr.Clocking(units.FromFO4(1))
+	if c.SkewFrac > 0.45 {
+		t.Fatalf("skew fraction %.2f not clamped", c.SkewFrac)
+	}
+	if tr.Clocking(0).SkewFrac != 0 {
+		t.Fatal("zero cycle should produce zero clocking")
+	}
+}
+
+func TestSingleSinkTree(t *testing.T) {
+	m := model()
+	tr := Build(m, 1, 1, CustomTree())
+	if tr.Levels < 1 {
+		t.Fatal("tree must have at least one level")
+	}
+	if tr.SkewTau <= 0 {
+		t.Fatal("even a small tree has nonzero mismatch")
+	}
+}

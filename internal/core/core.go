@@ -1,0 +1,190 @@
+// Package core is the paper's primary contribution rebuilt as an
+// executable model: a methodology descriptor covering every design-flow
+// choice the paper identifies — pipelining depth and cut quality, clock
+// distribution, sequential-element style, floorplanning effort, library
+// richness and sizing discipline, logic family, and process
+// access/rating — plus an evaluation engine that pushes a real gate-level
+// design through the corresponding flow (map, size, pipeline, place,
+// domino, rate) and reports the achievable shipped clock.
+//
+// The headline analysis (section 3's factor ladder: x4.00 pipelining,
+// x1.25 floorplanning, x1.25 sizing/circuit design, x1.50 dynamic logic,
+// x1.90 process — about 18x stacked) is reproduced by FactorLadder, which
+// flips one knob at a time from a typical-ASIC methodology to full custom
+// and measures each step on silicon-free but structure-faithful circuits.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/pipeline"
+	"repro/internal/place"
+	"repro/internal/procvar"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Design names a combinational workload generator. Build receives the
+// methodology's library so decomposition happens exactly as synthesis to
+// that library would.
+type Design struct {
+	Name  string
+	Build func(lib *cell.Library) (*netlist.Netlist, error)
+}
+
+// SizingLevel is the sizing discipline of a flow.
+type SizingLevel int
+
+const (
+	// SizeDrives is drive selection against wire-load estimates only
+	// (pre-layout synthesis sizing).
+	SizeDrives SizingLevel = iota
+	// SizePostLayout re-selects drives against extracted parasitics
+	// after placement (the section 6.2 "after layout, transistors can
+	// be resized" step).
+	SizePostLayout
+	// SizeContinuous runs TILOS-style continuous sizing on the placed
+	// design — the custom capability; on a discrete library the result
+	// is snapped back to the nearest cells.
+	SizeContinuous
+)
+
+func (s SizingLevel) String() string {
+	switch s {
+	case SizePostLayout:
+		return "post-layout"
+	case SizeContinuous:
+		return "continuous"
+	}
+	return "wire-load"
+}
+
+// Rating is how shipped silicon speed is quoted.
+type Rating int
+
+const (
+	// RateWorstCase is the foundry's guard-banded worst-case quote.
+	RateWorstCase Rating = iota
+	// RateTested ships parts at their individually measured speed
+	// (median silicon).
+	RateTested
+	// RateFastBin ships the binned fast tail (custom practice).
+	RateFastBin
+)
+
+func (r Rating) String() string {
+	switch r {
+	case RateTested:
+		return "tested"
+	case RateFastBin:
+		return "fast-bin"
+	}
+	return "worst-case"
+}
+
+// Methodology is a complete description of a design flow's choices.
+type Methodology struct {
+	Name string
+
+	// Library and sequential/clocking style.
+	Library  *cell.Library
+	Seq      *cell.SeqCell
+	Clocking sta.Clocking
+
+	// Micro-architecture.
+	Stages int
+	Cut    pipeline.CutMethod
+	// Borrow enables latch-based time borrowing across stages.
+	Borrow bool
+	// RefineCut enables post-cut retiming-lite stage balancing (the
+	// custom "balance logic after placement" capability).
+	RefineCut bool
+
+	// Physical design.
+	Floorplan place.Quality
+	Repeaters bool
+	DieSideMM float64
+
+	// Sizing and logic family.
+	Sizing     SizingLevel
+	DominoFrac float64
+
+	// Process access.
+	Process units.Process
+	Fab     procvar.Components
+	Rating  Rating
+
+	// Seed drives every stochastic step (placement, Monte Carlo).
+	Seed int64
+}
+
+// TypicalASIC2000 is the paper's average ASIC flow: poor library,
+// unpipelined, no floorplanning, wire-load sizing only, static logic,
+// worst-case rating on an accessible (second-tier) fab.
+func TypicalASIC2000() Methodology {
+	lib := cell.PoorASIC()
+	return Methodology{
+		Name:      "typical-asic",
+		Library:   lib,
+		Seq:       lib.DefaultSeq(2),
+		Clocking:  sta.ASICClocking(),
+		Stages:    1,
+		Cut:       pipeline.NaiveLevels,
+		Floorplan: place.Naive,
+		Sizing:    SizeDrives,
+		Process:   units.ASIC025,
+		Fab:       procvar.SecondTierFab(),
+		Rating:    RateWorstCase,
+	}
+}
+
+// BestPracticeASIC is what the paper urges ASIC designers toward: rich
+// library, pipelined with balanced cuts, floorplanned and repeated,
+// post-layout resizing, tested-speed shipping.
+func BestPracticeASIC() Methodology {
+	lib := cell.RichASIC()
+	return Methodology{
+		Name:      "best-practice-asic",
+		Library:   lib,
+		Seq:       lib.DefaultSeq(2),
+		Clocking:  sta.ASICClocking(),
+		Stages:    5,
+		Cut:       pipeline.BalancedDelay,
+		Floorplan: place.Careful,
+		Repeaters: true,
+		Sizing:    SizePostLayout,
+		Process:   units.ASIC025,
+		Fab:       procvar.NewProcess(),
+		Rating:    RateTested,
+	}
+}
+
+// FullCustom is the Alpha/IBM-class methodology: continuous sizing,
+// domino critical paths, custom latches and clocking, best fab, fast bin.
+func FullCustom() Methodology {
+	lib := cell.Custom()
+	return Methodology{
+		Name:       "full-custom",
+		Library:    lib,
+		Seq:        cell.CustomPulseLatch(2),
+		Clocking:   sta.CustomClocking(),
+		Stages:     5,
+		Cut:        pipeline.BalancedDelay,
+		Borrow:     true,
+		RefineCut:  true,
+		Floorplan:  place.Careful,
+		Repeaters:  true,
+		Sizing:     SizeContinuous,
+		DominoFrac: 0.35,
+		Process:    units.Custom025,
+		Fab:        procvar.MatureProcess(),
+		Rating:     RateFastBin,
+	}
+}
+
+func (m Methodology) String() string {
+	return fmt.Sprintf("%s: %d stages, %v cut, %v floorplan, %v sizing, domino %.0f%%, %v rating",
+		m.Name, m.Stages, m.Cut, m.Floorplan, m.Sizing, 100*m.DominoFrac, m.Rating)
+}

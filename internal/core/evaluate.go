@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/dynlogic"
+	"repro/internal/netlist"
+	"repro/internal/pipeline"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/procvar"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Evaluation is the outcome of pushing one design through one methodology.
+type Evaluation struct {
+	Design      string
+	Methodology string
+
+	// Cycle is the nominal minimum clock period.
+	Cycle units.Tau
+	// NominalMHz is the clock at nominal silicon in the flow's process.
+	NominalMHz float64
+	// RatingMult is the silicon-speed multiplier from the fab sample
+	// under the flow's rating policy.
+	RatingMult float64
+	// ShippedMHz is what the datasheet says: NominalMHz * RatingMult.
+	ShippedMHz float64
+
+	// StageDelays are the per-stage worst delays.
+	StageDelays []units.Tau
+	// CombFO4 is the unpipelined logic depth of the design in this
+	// flow's library, for FO4-per-cycle comparisons with the survey.
+	CombFO4 float64
+	// FO4PerCycle is Cycle in FO4.
+	FO4PerCycle float64
+
+	Gates, Regs int
+	AreaMM2     float64
+	PowerW      float64
+	Converted   int // domino gates
+
+	// HoldPadded counts registers that needed min-delay padding to
+	// survive the skew budget (section 4.1's hold-tolerance cost).
+	HoldPadded int
+	// PhaseLimited reports that the domino precharge window, not the
+	// critical path, set the cycle (section 7.1's clocking trap).
+	PhaseLimited bool
+}
+
+func (e Evaluation) String() string {
+	return fmt.Sprintf("%s on %s: %.1f FO4/cycle -> %.0f MHz nominal x %.2f rating = %.0f MHz shipped",
+		e.Design, e.Methodology, e.FO4PerCycle, e.NominalMHz, e.RatingMult, e.ShippedMHz)
+}
+
+// DatapathDesign is the standard evaluation workload: a deep data-parallel
+// pipeline-able datapath (w-bit slices chained `depth` times).
+func DatapathDesign(w, depth int) Design {
+	return Design{
+		Name: fmt.Sprintf("datapath%dx%d", w, depth),
+		Build: func(lib *cell.Library) (*netlist.Netlist, error) {
+			return circuits.DatapathComb(lib, w, depth)
+		},
+	}
+}
+
+// ALUDesign is a single-execution-unit workload (section 9's whole-path
+// point: individual fast elements matter less inside a full path).
+func ALUDesign(w int) Design {
+	return Design{
+		Name: fmt.Sprintf("alu%d", w),
+		Build: func(lib *cell.Library) (*netlist.Netlist, error) {
+			a, err := circuits.NewALU(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return a.N, nil
+		},
+	}
+}
+
+// Evaluate runs the full flow for the methodology on the design.
+func Evaluate(d Design, m Methodology) (Evaluation, error) {
+	ev := Evaluation{Design: d.Name, Methodology: m.Name}
+	if m.Seq == nil {
+		return ev, fmt.Errorf("core: methodology %s has no sequential cell", m.Name)
+	}
+
+	// 1. Generate, sweep (constant folding + DCE on the generator's
+	// tie-offs), and technology-map the logic.
+	raw, err := d.Build(m.Library)
+	if err != nil {
+		return ev, err
+	}
+	raw, err = synth.Sweep(raw)
+	if err != nil {
+		return ev, err
+	}
+	comb, err := synth.Map(raw, m.Library, synth.MapOptions{Objective: synth.MinDelay})
+	if err != nil {
+		return ev, err
+	}
+
+	// 2. Pre-layout sizing against the wire-load model.
+	wm := wire.NewModel(m.Process)
+	blockArea := comb.TotalArea() * place.CellAreaUnitMM2
+	wl := &wire.LoadModel{M: wm, BlockAreaMM2: maxf(blockArea, 0.25)}
+	if err := synth.SelectDrives(comb, m.Library, wl); err != nil {
+		return ev, err
+	}
+	if _, err := synth.InsertBuffers(comb, m.Library); err != nil {
+		return ev, err
+	}
+	if err := synth.SelectDrives(comb, m.Library, nil); err != nil {
+		return ev, err
+	}
+
+	// 3. Floorplan the combinational design and annotate parasitics, so
+	// both the pipeline cut and the sizing passes see wire delay. A
+	// zero DieSideMM derives the die from the design's own area at
+	// block-level utilization (blocks plus routing/whitespace spread
+	// over ~40x their cell area), so wire lengths stay proportionate to
+	// the design instead of to an arbitrary chip.
+	side := m.DieSideMM
+	if side <= 0 {
+		side = clampf(sqrtf(comb.TotalArea()*place.CellAreaUnitMM2*40), 0.8, 10)
+	}
+	annotate := func(n *netlist.Netlist) {
+		pl := place.Floorplan(n, place.Die{SideMM: side}, m.Floorplan, m.Seed+1)
+		pl.Annotate(n, place.AnnotateOptions{
+			WireModel: wm, Repeaters: m.Repeaters, LocalMM: 0.05,
+		})
+	}
+	annotate(comb)
+	if err := synth.SelectDrives(comb, m.Library, nil); err != nil {
+		return ev, err
+	}
+
+	// Record unpipelined placed depth for FO4-per-cycle bookkeeping.
+	if r, err := sta.Analyze(comb, sta.Options{}); err == nil {
+		ev.CombFO4 = r.CombFO4()
+	}
+
+	// 4. Pipeline on the wire-annotated timing (the balanced cut now
+	// accounts for inter-block wire delay), then re-place and
+	// re-annotate the pipelined netlist.
+	piped, err := pipeline.Pipeline(comb, pipeline.Options{
+		Stages: m.Stages, Seq: m.Seq, Method: m.Cut, Refine: m.RefineCut,
+	})
+	if err != nil {
+		return ev, err
+	}
+	annotate(piped)
+
+	// 5. Post-layout sizing. Every flow at least re-selects drives
+	// against the extracted parasitics (the standard ECO resize);
+	// better flows add post-layout buffering of the now-visible long
+	// nets, and custom flows run continuous sensitivity sizing.
+	if err := synth.SelectDrives(piped, m.Library, nil); err != nil {
+		return ev, err
+	}
+	if m.Sizing >= SizePostLayout {
+		if _, err := synth.InsertBuffers(piped, m.Library); err != nil {
+			return ev, err
+		}
+		if err := synth.SelectDrives(piped, m.Library, nil); err != nil {
+			return ev, err
+		}
+	}
+	if m.Sizing >= SizeContinuous {
+		if _, err := sizing.ContinuousTILOS(piped, m.Library, sizing.DefaultOptions()); err != nil {
+			return ev, err
+		}
+		if !m.Library.Continuous {
+			if _, err := sizing.SnapToLibrary(piped, m.Library, sizing.SnapNearest); err != nil {
+				return ev, err
+			}
+		}
+	}
+
+	// 6. Dynamic logic on critical paths.
+	if m.DominoFrac > 0 {
+		opt := dynlogic.DefaultOptions()
+		opt.Fraction = m.DominoFrac
+		dres, err := dynlogic.Dominoize(piped, opt)
+		if err != nil {
+			return ev, err
+		}
+		ev.Converted = dres.Converted
+	}
+
+	// 7. Final timing and cycle.
+	r, err := sta.Analyze(piped, sta.Options{})
+	if err != nil {
+		return ev, err
+	}
+	ev.StageDelays = pipeline.StageDelays(piped, r, m.Stages)
+	if m.Borrow {
+		ev.Cycle = pipeline.BorrowedCycle(ev.StageDelays, m.Clocking)
+	} else {
+		ev.Cycle = pipeline.FFCycle(ev.StageDelays, m.Clocking)
+	}
+
+	// Domino phasing: with custom (low-skew, multi-phase) clocking the
+	// evaluate window spans the cycle; an ASIC-style single-phase clock
+	// walls the domino chain at half a cycle.
+	if ev.Converted > 0 {
+		scheme := dynlogic.SinglePhase
+		if m.Clocking.SkewFrac <= 0.05 {
+			scheme = dynlogic.SkewTolerant
+		}
+		phase, err := dynlogic.PhaseCheck(piped, scheme)
+		if err != nil {
+			return ev, err
+		}
+		if eff := dynlogic.EffectiveCycle(ev.Cycle, phase); eff > ev.Cycle {
+			ev.Cycle = eff
+			ev.PhaseLimited = true
+		}
+	}
+
+	// Hold: pad races against the skew budget at the final cycle (the
+	// min-delay fix every real flow runs), then confirm timing did not
+	// move.
+	padded, err := sta.PadHold(piped, m.Library, m.Clocking, ev.Cycle)
+	if err != nil {
+		return ev, err
+	}
+	ev.HoldPadded = padded
+	if padded > 0 {
+		r, err = sta.Analyze(piped, sta.Options{})
+		if err != nil {
+			return ev, err
+		}
+		ev.StageDelays = pipeline.StageDelays(piped, r, m.Stages)
+		recycled := pipeline.FFCycle(ev.StageDelays, m.Clocking)
+		if m.Borrow {
+			recycled = pipeline.BorrowedCycle(ev.StageDelays, m.Clocking)
+		}
+		if recycled > ev.Cycle {
+			ev.Cycle = recycled
+		}
+	}
+
+	ev.FO4PerCycle = ev.Cycle.FO4()
+	ev.NominalMHz = m.Process.FrequencyMHz(ev.Cycle)
+
+	// 8. Process rating.
+	speeds := m.Fab.Sample(4000, m.Seed+7)
+	switch m.Rating {
+	case RateTested:
+		ev.RatingMult = procvar.Quantile(speeds, 0.5)
+	case RateFastBin:
+		ev.RatingMult = procvar.Quantile(speeds, 0.99)
+	default:
+		ev.RatingMult = procvar.ASICRating(speeds)
+	}
+	ev.ShippedMHz = ev.NominalMHz * ev.RatingMult
+
+	ev.Gates = piped.NumGates()
+	ev.Regs = piped.NumRegs()
+	ev.AreaMM2 = piped.TotalArea() * place.CellAreaUnitMM2
+	ev.PowerW = power.Estimate(piped, m.Process, power.DefaultOptions(ev.ShippedMHz)).TotalW()
+	return ev, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func sqrtf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

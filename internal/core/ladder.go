@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/pipeline"
+	"repro/internal/place"
+	"repro/internal/procvar"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Factor is one rung of the ladder: the methodology knob flipped and the
+// speed multiplier it bought over the previous rung.
+type Factor struct {
+	Name string
+	// PaperMult is the paper's section 3 estimate for this factor.
+	PaperMult float64
+	// Mult is our measured multiplier.
+	Mult float64
+	Eval Evaluation
+}
+
+// Ladder is the full section 3 decomposition: successive knob flips from
+// a typical ASIC methodology to full custom, each measured on the same
+// design.
+type Ladder struct {
+	Design   string
+	Baseline Evaluation
+	Steps    []Factor
+}
+
+// Total is the product of all measured factors (shipped-clock ratio of
+// the last rung to the baseline).
+func (l Ladder) Total() float64 {
+	t := 1.0
+	for _, s := range l.Steps {
+		t *= s.Mult
+	}
+	return t
+}
+
+// PaperTotal is the product of the paper's estimates (about 17.8x).
+func (l Ladder) PaperTotal() float64 {
+	t := 1.0
+	for _, s := range l.Steps {
+		t *= s.PaperMult
+	}
+	return t
+}
+
+// Residual reports the factor left unexplained after accounting for the
+// named steps — the paper's section 9 arithmetic ("pipelining and process
+// variation alone account for all except a factor of about 2 to 3x").
+func (l Ladder) Residual(explained ...string) float64 {
+	total := l.Total()
+	for _, name := range explained {
+		for _, s := range l.Steps {
+			if s.Name == name {
+				total /= s.Mult
+			}
+		}
+	}
+	return total
+}
+
+func (l Ladder) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "factor ladder on %s (baseline %.0f MHz shipped):\n", l.Design, l.Baseline.ShippedMHz)
+	for _, s := range l.Steps {
+		fmt.Fprintf(&b, "  %-14s x%.2f (paper x%.2f) -> %.0f MHz\n",
+			s.Name, s.Mult, s.PaperMult, s.Eval.ShippedMHz)
+	}
+	fmt.Fprintf(&b, "  total         x%.1f (paper x%.1f)\n", l.Total(), l.PaperTotal())
+	return b.String()
+}
+
+// Ladder step names, used by Residual callers.
+const (
+	StepPipelining = "pipelining"
+	StepFloorplan  = "floorplanning"
+	StepSizing     = "sizing/circuit"
+	StepDomino     = "dynamic-logic"
+	StepProcess    = "process"
+)
+
+// FactorLadder measures the section 3 decomposition on the design: starts
+// from the typical-ASIC methodology and flips, cumulatively, pipelining,
+// floorplanning, sizing/circuit design, dynamic logic, and process
+// access/rating, re-running the full flow at every rung.
+func FactorLadder(d Design, seed int64) (Ladder, error) {
+	m := TypicalASIC2000()
+	m.Seed = seed
+	base, err := Evaluate(d, m)
+	if err != nil {
+		return Ladder{}, fmt.Errorf("core: ladder baseline: %w", err)
+	}
+	l := Ladder{Design: d.Name, Baseline: base}
+	prev := base
+
+	step := func(name string, paper float64, mutate func(*Methodology)) error {
+		mutate(&m)
+		ev, err := Evaluate(d, m)
+		if err != nil {
+			return fmt.Errorf("core: ladder step %s: %w", name, err)
+		}
+		mult := 0.0
+		if prev.ShippedMHz > 0 {
+			mult = ev.ShippedMHz / prev.ShippedMHz
+		}
+		l.Steps = append(l.Steps, Factor{Name: name, PaperMult: paper, Mult: mult, Eval: ev})
+		prev = ev
+		return nil
+	}
+
+	// x4.00: heavy pipelining / few logic levels between registers.
+	if err := step(StepPipelining, 4.00, func(m *Methodology) {
+		m.Stages = 5
+		m.Cut = pipeline.BalancedDelay
+	}); err != nil {
+		return l, err
+	}
+	// x1.25: good floorplanning and placement (plus proper wire driving).
+	if err := step(StepFloorplan, 1.25, func(m *Methodology) {
+		m.Floorplan = place.Careful
+		m.Repeaters = true
+	}); err != nil {
+		return l, err
+	}
+	// x1.25: clever transistor/wire sizing and good circuit design —
+	// rich continuous-sizable library, TILOS on the placed design,
+	// custom latches and clock distribution.
+	if err := step(StepSizing, 1.25, func(m *Methodology) {
+		m.Library = cell.Custom()
+		m.Seq = cell.CustomPulseLatch(2)
+		m.Clocking = sta.CustomClocking()
+		m.Borrow = true
+		m.RefineCut = true
+		m.Sizing = SizeContinuous
+	}); err != nil {
+		return l, err
+	}
+	// x1.50: dynamic logic on critical paths.
+	if err := step(StepDomino, 1.50, func(m *Methodology) {
+		m.DominoFrac = 0.35
+	}); err != nil {
+		return l, err
+	}
+	// x1.90: process variation and accessibility — best fab, fast bin,
+	// leading-edge effective channel length.
+	if err := step(StepProcess, 1.90, func(m *Methodology) {
+		m.Process = units.Custom025
+		m.Fab = procvar.MatureProcess()
+		m.Rating = RateFastBin
+	}); err != nil {
+		return l, err
+	}
+	return l, nil
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+)
+
+// DepthPoint is one row of a pipeline-depth sweep.
+type DepthPoint struct {
+	Stages int
+	Eval   Evaluation
+	// ThroughputRel is relative ops/second on the given workload
+	// (clock gain discounted by hazard CPI), normalized to 1 stage.
+	ThroughputRel float64
+}
+
+// DepthSweep evaluates the methodology at pipeline depths 1..maxStages and
+// scores each with the workload model — the paper's full trade-off: deeper
+// pipelines clock faster (section 4) but pay dependence and branch
+// penalties (section 4.1). The returned points share the methodology's
+// every other knob.
+func DepthSweep(d Design, m Methodology, maxStages int, cpi func(stages int) float64) ([]DepthPoint, error) {
+	if maxStages < 1 {
+		return nil, fmt.Errorf("core: sweep needs maxStages >= 1")
+	}
+	points := make([]DepthPoint, 0, maxStages)
+	var base float64
+	for s := 1; s <= maxStages; s++ {
+		mm := m
+		mm.Stages = s
+		ev, err := Evaluate(d, mm)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at %d stages: %w", s, err)
+		}
+		perf := ev.ShippedMHz / cpi(s)
+		if s == 1 {
+			base = perf
+		}
+		points = append(points, DepthPoint{Stages: s, Eval: ev, ThroughputRel: perf / base})
+	}
+	return points, nil
+}
+
+// BestDepth returns the sweep point with the highest throughput.
+func BestDepth(points []DepthPoint) DepthPoint {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.ThroughputRel > best.ThroughputRel {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestDepthSweepShapes(t *testing.T) {
+	m := BestPracticeASIC()
+	d := DatapathDesign(16, 3)
+	dsp := pipeline.DSPWorkload()
+	bus := pipeline.BusInterfaceWorkload()
+
+	pts, err := DepthSweep(d, m, 6, dsp.CPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	// Clock rises monotonically-ish with depth; allow small wobble from
+	// placement/padding, but depth 6 must clearly beat depth 1.
+	if pts[5].Eval.ShippedMHz < 2*pts[0].Eval.ShippedMHz {
+		t.Fatalf("6 stages (%.0f MHz) should be >2x 1 stage (%.0f MHz)",
+			pts[5].Eval.ShippedMHz, pts[0].Eval.ShippedMHz)
+	}
+	// DSP keeps gaining with depth; a bus interface saturates earlier.
+	bestDSP := BestDepth(pts)
+	busPts, err := DepthSweep(d, m, 6, bus.CPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestBus := BestDepth(busPts)
+	if bestDSP.Stages < bestBus.Stages {
+		t.Fatalf("DSP best depth (%d) should be >= bus-interface best depth (%d)",
+			bestDSP.Stages, bestBus.Stages)
+	}
+	// Normalization: depth 1 is 1.0 by construction.
+	if pts[0].ThroughputRel != 1 {
+		t.Fatalf("depth-1 throughput = %g, want 1", pts[0].ThroughputRel)
+	}
+}
+
+func TestDepthSweepValidation(t *testing.T) {
+	if _, err := DepthSweep(DatapathDesign(8, 1), BestPracticeASIC(), 0, func(int) float64 { return 1 }); err == nil {
+		t.Fatal("zero maxStages must be rejected")
+	}
+}
+
+func TestHoldAndPhaseFieldsPopulated(t *testing.T) {
+	// Custom flow converts domino and runs at low skew: multi-phase, so
+	// the phase wall should not bind; typical ASIC at 10% skew pads
+	// hold races on its register chains.
+	d := DatapathDesign(16, 3)
+	custom, err := Evaluate(d, FullCustom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Converted > 0 && custom.PhaseLimited {
+		t.Log("custom flow is phase limited — acceptable but unusual with skew-tolerant domino")
+	}
+	m := BestPracticeASIC()
+	ev, err := Evaluate(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5-stage ASIC pipelines have register-to-register alignment chains
+	// racing a 10%-of-cycle skew: padding should be engaged.
+	if ev.HoldPadded == 0 {
+		t.Fatal("ASIC pipeline at 10% skew should need hold padding")
+	}
+}

@@ -1,0 +1,170 @@
+// Package dynlogic converts critical-path logic to domino (precharged
+// dynamic) gates, the paper's section 7 factor (x1.50): domino
+// combinational logic runs 50-100% faster than static CMOS with the same
+// function, at the cost of noise sensitivity, precharge clocking, and
+// power. The package also provides the noise audit that explains why no
+// merchant ASIC domino libraries existed: any glitch on a domino input
+// can falsely discharge the dynamic node.
+package dynlogic
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Options tunes domino conversion.
+type Options struct {
+	// MaxIters bounds the convert-and-reanalyze iterations.
+	MaxIters int
+	// AllowDualRail permits converting inverting and XOR-class gates
+	// using dual-rail domino (double area/power). Without it only
+	// AND/OR-class gates convert, as in single-rail domino synthesis.
+	AllowDualRail bool
+	// Fraction caps the fraction of gates converted (custom designs
+	// domino only the critical paths, not the whole chip).
+	Fraction float64
+}
+
+// DefaultOptions converts critical paths with dual-rail allowed, capped at
+// a third of the design.
+func DefaultOptions() Options {
+	return Options{MaxIters: 400, AllowDualRail: true, Fraction: 0.35}
+}
+
+// Result reports a conversion.
+type Result struct {
+	Converted     int
+	Before, After units.Tau
+	AreaBefore    float64
+	AreaAfter     float64
+}
+
+// Speedup is Before/After.
+func (r Result) Speedup() float64 {
+	if r.After == 0 {
+		return 1
+	}
+	return float64(r.Before) / float64(r.After)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("domino: %d gates converted, %.1f -> %.1f FO4 (%.2fx)",
+		r.Converted, r.Before.FO4(), r.After.FO4(), r.Speedup())
+}
+
+// dominoFor returns the domino replacement for a static cell, or nil when
+// the options forbid it.
+func dominoFor(c *cell.Cell, opt Options) (*cell.Cell, error) {
+	if c.Family == cell.Domino {
+		return nil, nil // already converted
+	}
+	if !c.Func.Inverting() && c.Func != cell.FuncXor2 {
+		d, err := cell.NewDomino(c.Func, c.Drive)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	if !opt.AllowDualRail {
+		return nil, nil
+	}
+	return cell.NewDominoDualRail(c.Func, c.Drive)
+}
+
+// Dominoize repeatedly analyzes the netlist and converts the static gates
+// on the worst path to domino cells until the path is fully dynamic, the
+// conversion budget is exhausted, or conversions stop helping.
+func Dominoize(n *netlist.Netlist, opt Options) (Result, error) {
+	if opt.MaxIters <= 0 {
+		opt = DefaultOptions()
+	}
+	first, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Before: first.WorstComb, AreaBefore: n.TotalArea()}
+	budget := int(opt.Fraction * float64(n.NumGates()))
+	if budget < 1 {
+		budget = 1
+	}
+
+	cur := first
+	for iter := 0; iter < opt.MaxIters && res.Converted < budget; iter++ {
+		converted := 0
+		for _, step := range cur.Critical {
+			if step.Gate == netlist.None || res.Converted+converted >= budget {
+				continue
+			}
+			g := n.Gate(step.Gate)
+			d, err := dominoFor(g.Cell, opt)
+			if err != nil {
+				return res, err
+			}
+			if d == nil {
+				continue
+			}
+			g.Cell = d
+			converted++
+		}
+		if converted == 0 {
+			break // worst path is fully converted or blocked
+		}
+		res.Converted += converted
+		cur, err = sta.Analyze(n, sta.Options{})
+		if err != nil {
+			return res, err
+		}
+	}
+	res.After = cur.WorstComb
+	res.AreaAfter = n.TotalArea()
+	return res, nil
+}
+
+// NoiseViolation flags a domino gate at glitch risk.
+type NoiseViolation struct {
+	Gate   netlist.GateID
+	Reason string
+}
+
+// NoiseAudit returns the domino gates whose inputs are exposed to noise:
+// fed by long resistive wires (coupling), fed directly by primary inputs
+// (uncontrolled external timing), or fed by another family's glitchy
+// static logic with high fanout. This is the checking burden the paper
+// says makes merchant domino libraries impractical (section 7.1).
+func NoiseAudit(n *netlist.Netlist, wireCapThreshold units.Cap) []NoiseViolation {
+	var out []NoiseViolation
+	for _, g := range n.Gates() {
+		if g.Cell.Family != cell.Domino {
+			continue
+		}
+		for _, in := range g.In {
+			nt := n.Net(in)
+			switch {
+			case nt.WireCap > wireCapThreshold:
+				out = append(out, NoiseViolation{Gate: g.ID,
+					Reason: fmt.Sprintf("input net %s carries %.1f units of wire (coupling risk)", nt.Name, float64(nt.WireCap))})
+			case nt.IsInput:
+				out = append(out, NoiseViolation{Gate: g.ID,
+					Reason: fmt.Sprintf("input net %s is a primary input (uncontrolled glitches)", nt.Name)})
+			}
+		}
+	}
+	return out
+}
+
+// PrechargeOverhead returns the extra clock load of the domino gates: each
+// precharged gate hangs its clock transistor on the clock network, which
+// is part of why domino designs need custom clock distribution.
+func PrechargeOverhead(n *netlist.Netlist) units.Cap {
+	var total units.Cap
+	for _, g := range n.Gates() {
+		if g.Cell.Family == cell.Domino {
+			total += units.Cap(0.5 * g.Cell.Drive)
+		}
+	}
+	return total
+}

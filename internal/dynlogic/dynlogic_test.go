@@ -1,0 +1,160 @@
+package dynlogic
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+func adder(t *testing.T, w int) *netlist.Netlist {
+	t.Helper()
+	ad, err := circuits.CarryLookahead(cell.RichASIC(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ad.N
+}
+
+func TestDominoizeSpeedsUpCriticalPath(t *testing.T) {
+	n := adder(t, 32)
+	res, err := Dominoize(n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converted == 0 {
+		t.Fatal("nothing converted")
+	}
+	// Section 7: sequential circuitry with domino on critical paths is
+	// about 50% faster. Allow a band around 1.5x.
+	if s := res.Speedup(); s < 1.25 || s > 2.0 {
+		t.Fatalf("domino speedup = %.2f, want within [1.25, 2.0] (paper: ~1.5)", s)
+	}
+}
+
+func TestDominoizeWithoutDualRailConvertsLess(t *testing.T) {
+	n1 := adder(t, 16)
+	n2 := n1.Clone()
+	full, err := Dominoize(n1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.AllowDualRail = false
+	single, err := Dominoize(n2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Converted >= full.Converted {
+		t.Fatalf("single-rail converted %d, dual-rail %d: dual-rail should reach more gates",
+			single.Converted, full.Converted)
+	}
+	if single.Speedup() > full.Speedup() {
+		t.Fatal("single-rail cannot beat dual-rail conversion")
+	}
+}
+
+func TestDominoizeRespectsBudget(t *testing.T) {
+	n := adder(t, 16)
+	opt := DefaultOptions()
+	opt.Fraction = 0.05
+	res, err := Dominoize(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int(0.05*float64(n.NumGates())) + 1
+	if res.Converted > budget {
+		t.Fatalf("converted %d gates, budget %d", res.Converted, budget)
+	}
+}
+
+func TestDominoAreaAccounting(t *testing.T) {
+	n := adder(t, 16)
+	res, err := Dominoize(n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaAfter == res.AreaBefore {
+		t.Fatal("area unchanged despite conversions")
+	}
+}
+
+func TestNoiseAuditFlagsExposedDomino(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	dom, err := cell.NewDomino(cell.FuncAnd2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := n.MustGate(dom, a, b) // fed by PIs: two violations
+	y := n.MustGate(lib.Smallest(cell.FuncInv), x)
+	n.MarkOutput(y)
+	v := NoiseAudit(n, 5)
+	if len(v) != 2 {
+		t.Fatalf("got %d violations, want 2 (both PI-fed pins)", len(v))
+	}
+	// Add a long wire onto an internal domino input.
+	dom2, _ := cell.NewDomino(cell.FuncOr2, 2)
+	z := n.MustGate(dom2, x, x)
+	n.MarkOutput(z)
+	n.Net(x).WireCap = 50
+	v = NoiseAudit(n, 5)
+	found := false
+	for _, viol := range v {
+		if viol.Gate == n.Net(z).Driver {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("long-wire domino input not flagged")
+	}
+}
+
+func TestNoiseAuditIgnoresStatic(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	x := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	n.MarkOutput(x)
+	if v := NoiseAudit(n, 1); len(v) != 0 {
+		t.Fatalf("static gates flagged: %v", v)
+	}
+}
+
+func TestPrechargeOverheadGrowsWithConversion(t *testing.T) {
+	n := adder(t, 16)
+	if PrechargeOverhead(n) != 0 {
+		t.Fatal("static design must have zero precharge load")
+	}
+	if _, err := Dominoize(n, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if PrechargeOverhead(n) <= 0 {
+		t.Fatal("converted design must load the clock")
+	}
+}
+
+func TestDominoizeIdempotentOnConverted(t *testing.T) {
+	n := adder(t, 8)
+	if _, err := Dominoize(n, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Dominoize(n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run may convert a few remaining off-path gates but must
+	// not slow the design down.
+	if res.After > r1.WorstComb+units.Tau(1e-9) {
+		t.Fatal("re-dominoizing slowed the design")
+	}
+}

@@ -1,0 +1,101 @@
+package dynlogic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// PhaseScheme is how the domino evaluate window relates to the cycle.
+type PhaseScheme int
+
+const (
+	// SinglePhase precharges on the clock low phase: all domino
+	// evaluation must fit in half the cycle. This is what a naive
+	// ASIC-style clocking could offer, and it throttles domino.
+	SinglePhase PhaseScheme = iota
+	// SkewTolerant is the Harris/Horowitz overlapping multi-phase
+	// scheme (the paper's reference [15]): domino chains evaluate
+	// across the whole cycle with no hard precharge wall.
+	SkewTolerant
+)
+
+func (p PhaseScheme) String() string {
+	if p == SkewTolerant {
+		return "skew-tolerant multi-phase"
+	}
+	return "single-phase"
+}
+
+// evalFrac is the fraction of the cycle available for domino evaluation.
+func (p PhaseScheme) evalFrac() float64 {
+	if p == SkewTolerant {
+		return 1.0
+	}
+	return 0.5
+}
+
+// PhaseReport is the outcome of domino phase analysis.
+type PhaseReport struct {
+	Scheme PhaseScheme
+	// DominoChain is the longest cumulative domino delay on any path.
+	DominoChain units.Tau
+	// MinCycle is the cycle floor implied by fitting the chain in the
+	// evaluate window.
+	MinCycle units.Tau
+}
+
+func (r PhaseReport) String() string {
+	return fmt.Sprintf("domino phasing (%v): chain %.1f FO4 -> cycle floor %.1f FO4",
+		r.Scheme, r.DominoChain.FO4(), r.MinCycle.FO4())
+}
+
+// PhaseCheck computes the longest domino evaluation chain in the netlist
+// and the cycle-time floor it implies under the given phasing scheme.
+// With single-phase clocking a heavily dominoized path can end up
+// *slower* than static — which is exactly why merchant flows without
+// custom clock generators couldn't adopt domino (section 7.1).
+func PhaseCheck(n *netlist.Netlist, scheme PhaseScheme) (PhaseReport, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return PhaseReport{}, err
+	}
+	depth := make([]units.Tau, n.NumNets())
+	var worst units.Tau
+	for _, gid := range order {
+		g := n.Gate(gid)
+		in := units.Tau(0)
+		for _, net := range g.In {
+			if depth[net] > in {
+				in = depth[net]
+			}
+		}
+		d := in
+		if g.Cell.Family == cell.Domino {
+			d += g.Cell.Delay(n.Load(g.Out)) + n.Net(g.Out).ExtraDelay
+		}
+		depth[g.Out] = d
+		if d > worst {
+			worst = d
+		}
+	}
+	rep := PhaseReport{Scheme: scheme, DominoChain: worst}
+	frac := scheme.evalFrac()
+	if frac <= 0 {
+		return rep, fmt.Errorf("dynlogic: invalid evaluate fraction")
+	}
+	rep.MinCycle = units.Tau(math.Ceil(float64(worst)/frac*1e9) / 1e9)
+	return rep, nil
+}
+
+// EffectiveCycle combines a design's static-timing cycle with the domino
+// phase floor: the clock can run no faster than either allows.
+func EffectiveCycle(staCycle units.Tau, phase PhaseReport) units.Tau {
+	if phase.MinCycle > staCycle {
+		return phase.MinCycle
+	}
+	return staCycle
+}

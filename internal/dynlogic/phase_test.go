@@ -1,0 +1,127 @@
+package dynlogic
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+func TestPhaseCheckStaticDesignHasNoFloor(t *testing.T) {
+	n := adder(t, 16)
+	rep, err := PhaseCheck(n, SinglePhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DominoChain != 0 || rep.MinCycle != 0 {
+		t.Fatalf("static design has a domino floor: %v", rep)
+	}
+}
+
+func TestPhaseFloorGrowsWithConversion(t *testing.T) {
+	n := adder(t, 32)
+	if _, err := Dominoize(n, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	single, err := PhaseCheck(n, SinglePhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PhaseCheck(n, SkewTolerant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.DominoChain == 0 {
+		t.Fatal("converted design must have a domino chain")
+	}
+	if single.MinCycle < 2*multi.MinCycle-units.Tau(1e-6) {
+		t.Fatalf("single-phase floor %.1f should be ~2x multi-phase %.1f",
+			single.MinCycle.FO4(), multi.MinCycle.FO4())
+	}
+}
+
+func TestSinglePhaseCanEraseDominoGains(t *testing.T) {
+	// The section 7.1 trap: convert aggressively, then clock with a
+	// naive single-phase scheme — the precharge wall gives back much of
+	// the win, while skew-tolerant phasing keeps it.
+	n := adder(t, 32)
+	res, err := Dominoize(n, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := PhaseCheck(n, SinglePhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PhaseCheck(n, SkewTolerant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effSingle := EffectiveCycle(r.WorstComb, single)
+	effMulti := EffectiveCycle(r.WorstComb, multi)
+	if effMulti > effSingle {
+		t.Fatal("multi-phase cannot be worse than single-phase")
+	}
+	speedupSingle := float64(res.Before) / float64(effSingle)
+	speedupMulti := float64(res.Before) / float64(effMulti)
+	if speedupSingle >= speedupMulti {
+		t.Fatalf("the precharge wall should cost speed: single %.2fx vs multi %.2fx",
+			speedupSingle, speedupMulti)
+	}
+	if rep := single.String(); rep == "" {
+		t.Fatal("empty phase report")
+	}
+}
+
+func TestEffectiveCycleTakesMax(t *testing.T) {
+	p := PhaseReport{MinCycle: 10}
+	if EffectiveCycle(5, p) != 10 {
+		t.Fatal("phase floor must bind when larger")
+	}
+	if EffectiveCycle(20, p) != 20 {
+		t.Fatal("sta cycle must bind when larger")
+	}
+}
+
+func TestPhaseOnMixedPath(t *testing.T) {
+	// Only domino gates count toward the chain.
+	lib := cell.RichASIC()
+	dom, err := cell.NewDomino(cell.FuncAnd2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := circuits.CarryLookahead(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ad.N
+	// Convert exactly one gate.
+	g := n.Gates()[0]
+	for _, cand := range n.Gates() {
+		if cand.Cell.Func == cell.FuncAnd2 {
+			g = cand
+			break
+		}
+	}
+	if g.Cell.Func != cell.FuncAnd2 {
+		t.Skip("no AND2 in this construction")
+	}
+	if err := n.ReplaceCell(g.ID, dom); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := PhaseCheck(n, SinglePhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dom.Delay(n.Load(g.Out))
+	if rep.DominoChain != want {
+		t.Fatalf("chain = %g, want the single gate's delay %g",
+			float64(rep.DominoChain), float64(want))
+	}
+}

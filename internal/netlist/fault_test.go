@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestForceOverridesLogic(t *testing.T) {
+	lib := cell.RichASIC()
+	n := New("t")
+	a := n.AddInput("a")
+	x := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	y := n.MustGate(lib.Smallest(cell.FuncInv), x)
+	n.MarkOutput(y)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Eval(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != true {
+		t.Fatal("double inverter should be identity")
+	}
+	// Stuck-at-0 on the middle net flips the output regardless of input.
+	sim.Force(x, false)
+	for _, av := range []bool{false, true} {
+		out, err = sim.Eval(map[string]bool{"a": av})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != true { // INV(0) = 1 always
+			t.Fatal("forced net did not propagate")
+		}
+	}
+	sim.Unforce(x)
+	out, _ = sim.Eval(map[string]bool{"a": false})
+	if out[0] != false {
+		t.Fatal("unforce did not restore logic")
+	}
+}
+
+func TestFaultCoverageAdder(t *testing.T) {
+	// Random patterns detect essentially every stuck-at fault in an
+	// adder (arithmetic circuits are highly observable).
+	lib := cell.RichASIC()
+	n := New("add4")
+	// Small hand-built ripple structure via NAND/XOR gates.
+	a0 := n.AddInput("a0")
+	b0 := n.AddInput("b0")
+	a1 := n.AddInput("a1")
+	b1 := n.AddInput("b1")
+	s0 := n.MustGate(lib.Smallest(cell.FuncXor2), a0, b0)
+	c0 := n.MustGate(lib.Smallest(cell.FuncAnd2), a0, b0)
+	s1t := n.MustGate(lib.Smallest(cell.FuncXor2), a1, b1)
+	s1 := n.MustGate(lib.Smallest(cell.FuncXor2), s1t, c0)
+	c1 := n.MustGate(lib.Smallest(cell.FuncMaj3), a1, b1, c0)
+	n.MarkOutput(s0)
+	n.MarkOutput(s1)
+	n.MarkOutput(c1)
+
+	rep, err := FaultCoverage(n, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != 2*n.NumGates() {
+		t.Fatalf("fault universe %d, want %d", rep.Faults, 2*n.NumGates())
+	}
+	if rep.Coverage() < 0.95 {
+		t.Fatalf("coverage %.0f%% too low for an adder under 40 random vectors: %v",
+			100*rep.Coverage(), rep.Escapes)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFaultCoverageFindsUntestableFault(t *testing.T) {
+	// Redundant logic hides faults: OR(x, AND(x, y)) == x, so a stuck-0
+	// on the AND output is undetectable at the output. Coverage must
+	// report the escape rather than claim 100%.
+	lib := cell.RichASIC()
+	n := New("redundant")
+	x := n.AddInput("x")
+	y := n.AddInput("y")
+	andOut := n.MustGate(lib.Smallest(cell.FuncAnd2), x, y)
+	orOut := n.MustGate(lib.Smallest(cell.FuncOr2), x, andOut)
+	n.MarkOutput(orOut)
+	rep, err := FaultCoverage(n, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() >= 1.0 {
+		t.Fatal("redundant fault cannot be covered")
+	}
+	found := false
+	for _, f := range rep.Escapes {
+		if f.Net == andOut && f.StuckAt == false {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the redundant stuck-at-0 should be the escape: %v", rep.Escapes)
+	}
+}
+
+func TestFaultCoverageRejectsSequential(t *testing.T) {
+	lib := cell.RichASIC()
+	n := New("seq")
+	a := n.AddInput("a")
+	q := n.AddReg(lib.DefaultSeq(2), a)
+	n.MarkOutput(q)
+	if _, err := FaultCoverage(n, 10, 1); err == nil {
+		t.Fatal("sequential netlist must be rejected")
+	}
+}
+
+func TestFaultCampaignDeterministic(t *testing.T) {
+	lib := cell.RichASIC()
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncNand2), a, b))
+	r1, err := FaultCoverage(n, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := FaultCoverage(n, 8, 5)
+	if r1.Detected != r2.Detected {
+		t.Fatal("same seed must reproduce the campaign")
+	}
+}

@@ -1,0 +1,217 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// EvalFunc computes a cell function over boolean inputs. It is the
+// single source of functional truth used by the simulator and by
+// equivalence checks in synthesis tests.
+func EvalFunc(f cell.Func, in []bool) (bool, error) {
+	if len(in) != f.Inputs() {
+		return false, fmt.Errorf("netlist: %v wants %d inputs, got %d", f, f.Inputs(), len(in))
+	}
+	and := func() bool {
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	or := func() bool {
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	switch f {
+	case cell.FuncInv:
+		return !in[0], nil
+	case cell.FuncBuf:
+		return in[0], nil
+	case cell.FuncNand2, cell.FuncNand3, cell.FuncNand4:
+		return !and(), nil
+	case cell.FuncNor2, cell.FuncNor3, cell.FuncNor4:
+		return !or(), nil
+	case cell.FuncAnd2, cell.FuncAnd3, cell.FuncAnd4:
+		return and(), nil
+	case cell.FuncOr2, cell.FuncOr3, cell.FuncOr4:
+		return or(), nil
+	case cell.FuncXor2:
+		return in[0] != in[1], nil
+	case cell.FuncXnor2:
+		return in[0] == in[1], nil
+	case cell.FuncMux2:
+		if in[2] {
+			return in[1], nil
+		}
+		return in[0], nil
+	case cell.FuncAoi21:
+		return !(in[0] && in[1] || in[2]), nil
+	case cell.FuncAoi22:
+		return !(in[0] && in[1] || in[2] && in[3]), nil
+	case cell.FuncOai21:
+		return !((in[0] || in[1]) && in[2]), nil
+	case cell.FuncOai22:
+		return !((in[0] || in[1]) && (in[2] || in[3])), nil
+	case cell.FuncMaj3:
+		n := 0
+		for _, v := range in {
+			if v {
+				n++
+			}
+		}
+		return n >= 2, nil
+	}
+	return false, fmt.Errorf("netlist: no evaluation rule for %v", f)
+}
+
+// Simulator evaluates a netlist cycle by cycle: combinational logic
+// settles instantly each cycle, registers capture their D values on the
+// clock edge between cycles. Domino cells simulate as their logic
+// function (precharge behaviour is a timing, not a logic, property).
+type Simulator struct {
+	n     *Netlist
+	order []GateID
+	// val holds the current value of every net.
+	val []bool
+	// state holds each register's captured value.
+	state []bool
+	// forced pins nets to constants (stuck-at fault injection).
+	forced map[NetID]bool
+}
+
+// NewSimulator prepares a simulator; it fails on combinational cycles.
+// Register state starts at zero (all false).
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		n:     n,
+		order: order,
+		val:   make([]bool, n.NumNets()),
+		state: make([]bool, n.NumRegs()),
+	}, nil
+}
+
+// Reset zeroes all register state.
+func (s *Simulator) Reset() {
+	for i := range s.state {
+		s.state[i] = false
+	}
+}
+
+// SetState forces one register's state (for testing initialization).
+func (s *Simulator) SetState(id RegID, v bool) { s.state[id] = v }
+
+// settle drives inputs, propagates register state to Q nets, and
+// evaluates all combinational logic.
+func (s *Simulator) settle(inputs map[string]bool) error {
+	apply := func(id NetID) {
+		if v, ok := s.forced[id]; ok {
+			s.val[id] = v
+		}
+	}
+	for _, id := range s.n.Inputs() {
+		v, ok := inputs[s.n.Net(id).Name]
+		if !ok {
+			return fmt.Errorf("netlist: simulator missing input %q", s.n.Net(id).Name)
+		}
+		s.val[id] = v
+		apply(id)
+	}
+	for _, r := range s.n.Regs() {
+		s.val[r.Q] = s.state[r.ID]
+		apply(r.Q)
+	}
+	for _, gid := range s.order {
+		g := s.n.Gate(gid)
+		in := make([]bool, len(g.In))
+		for i, net := range g.In {
+			in[i] = s.val[net]
+		}
+		v, err := EvalFunc(g.Cell.Func, in)
+		if err != nil {
+			return err
+		}
+		s.val[g.Out] = v
+		apply(g.Out)
+	}
+	return nil
+}
+
+// Step runs one clock cycle: settle combinational logic with the given
+// primary-input values, sample the outputs, then clock every register.
+// It returns the primary-output values observed during the cycle (before
+// the edge).
+func (s *Simulator) Step(inputs map[string]bool) (map[string]bool, error) {
+	if err := s.settle(inputs); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(s.n.Outputs()))
+	for _, id := range s.n.Outputs() {
+		out[s.n.Net(id).Name] = s.val[id]
+	}
+	// Clock edge: all registers capture simultaneously.
+	next := make([]bool, len(s.state))
+	for _, r := range s.n.Regs() {
+		next[r.ID] = s.val[r.D]
+	}
+	copy(s.state, next)
+	return out, nil
+}
+
+// Eval evaluates a purely combinational netlist once (registers, if any,
+// contribute their current state but are not clocked), returning outputs
+// in primary-output order.
+func (s *Simulator) Eval(inputs map[string]bool) ([]bool, error) {
+	if err := s.settle(inputs); err != nil {
+		return nil, err
+	}
+	outs := make([]bool, len(s.n.Outputs()))
+	for i, id := range s.n.Outputs() {
+		outs[i] = s.val[id]
+	}
+	return outs, nil
+}
+
+// Value reports the current value of a net after the latest settle.
+func (s *Simulator) Value(id NetID) bool { return s.val[id] }
+
+// WordToInputs expands an integer into per-bit input values named
+// base[0..w-1], little-endian, merging into dst.
+func WordToInputs(dst map[string]bool, base string, value uint64, w int) {
+	for i := 0; i < w; i++ {
+		dst[fmt.Sprintf("%s[%d]", base, i)] = value&(1<<uint(i)) != 0
+	}
+}
+
+// OutputsToWord packs named outputs base[0..w-1] into an integer,
+// little-endian.
+func OutputsToWord(out map[string]bool, base string, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		if out[fmt.Sprintf("%s[%d]", base, i)] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// BitsToWord packs a bit slice (little-endian) into an integer.
+func BitsToWord(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

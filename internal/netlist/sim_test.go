@@ -1,0 +1,185 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+)
+
+func TestEvalFuncTruthTables(t *testing.T) {
+	cases := []struct {
+		f    cell.Func
+		in   []bool
+		want bool
+	}{
+		{cell.FuncInv, []bool{true}, false},
+		{cell.FuncBuf, []bool{true}, true},
+		{cell.FuncNand2, []bool{true, true}, false},
+		{cell.FuncNand2, []bool{true, false}, true},
+		{cell.FuncNor3, []bool{false, false, false}, true},
+		{cell.FuncNor3, []bool{false, true, false}, false},
+		{cell.FuncAnd4, []bool{true, true, true, true}, true},
+		{cell.FuncOr4, []bool{false, false, false, false}, false},
+		{cell.FuncXor2, []bool{true, false}, true},
+		{cell.FuncXnor2, []bool{true, false}, false},
+		{cell.FuncMux2, []bool{true, false, false}, true}, // sel=0 -> a
+		{cell.FuncMux2, []bool{true, false, true}, false}, // sel=1 -> b
+		{cell.FuncMaj3, []bool{true, true, false}, true},
+		{cell.FuncMaj3, []bool{true, false, false}, false},
+		{cell.FuncAoi21, []bool{true, true, false}, false},
+		{cell.FuncAoi21, []bool{false, true, false}, true},
+		{cell.FuncOai21, []bool{false, false, true}, true},
+		{cell.FuncOai22, []bool{true, false, true, false}, false},
+	}
+	for _, c := range cases {
+		got, err := EvalFunc(c.f, c.in)
+		if err != nil {
+			t.Fatalf("%v(%v): %v", c.f, c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("%v(%v) = %v, want %v", c.f, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalFuncArityCheck(t *testing.T) {
+	if _, err := EvalFunc(cell.FuncNand2, []bool{true}); err == nil {
+		t.Fatal("wrong arity must error")
+	}
+}
+
+func TestEvalFuncDeMorganProperty(t *testing.T) {
+	// NAND(a,b) == NOT(AND(a,b)) and NOR == NOT(OR), across all inputs.
+	f := func(a, b bool) bool {
+		nand, _ := EvalFunc(cell.FuncNand2, []bool{a, b})
+		and, _ := EvalFunc(cell.FuncAnd2, []bool{a, b})
+		nor, _ := EvalFunc(cell.FuncNor2, []bool{a, b})
+		or, _ := EvalFunc(cell.FuncOr2, []bool{a, b})
+		return nand == !and && nor == !or
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatorCombinational(t *testing.T) {
+	l := cell.RichASIC()
+	n := New("mux")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	s := n.AddInput("s")
+	y := n.MustGate(l.Smallest(cell.FuncMux2), a, b, s)
+	n.MarkOutput(y)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vec := 0; vec < 8; vec++ {
+		in := map[string]bool{"a": vec&1 != 0, "b": vec&2 != 0, "s": vec&4 != 0}
+		out, err := sim.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in["a"]
+		if in["s"] {
+			want = in["b"]
+		}
+		if out[0] != want {
+			t.Fatalf("vec %03b: got %v want %v", vec, out[0], want)
+		}
+	}
+}
+
+func TestSimulatorMissingInput(t *testing.T) {
+	l := cell.RichASIC()
+	n := New("t")
+	a := n.AddInput("a")
+	n.MarkOutput(n.MustGate(l.Smallest(cell.FuncInv), a))
+	sim, _ := NewSimulator(n)
+	if _, err := sim.Eval(map[string]bool{}); err == nil {
+		t.Fatal("missing input must error")
+	}
+}
+
+func TestSimulatorSequentialShiftRegister(t *testing.T) {
+	// Three registers in series: input appears at the output 3 cycles
+	// later.
+	l := cell.RichASIC()
+	ff := l.DefaultSeq(2)
+	n := New("shift")
+	d := n.AddInput("d")
+	q := d
+	for i := 0; i < 3; i++ {
+		q = n.AddReg(ff, q)
+	}
+	n.MarkOutput(q)
+	n.Net(q).Name = "q"
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var got []bool
+	for cycle := 0; cycle < len(pattern)+3; cycle++ {
+		in := false
+		if cycle < len(pattern) {
+			in = pattern[cycle]
+		}
+		out, err := sim.Step(map[string]bool{"d": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out["q"])
+	}
+	for i, want := range pattern {
+		if got[i+3] != want {
+			t.Fatalf("cycle %d: shifted output %v, want %v", i+3, got[i+3], want)
+		}
+	}
+	// First three cycles show reset state (false).
+	for i := 0; i < 3; i++ {
+		if got[i] {
+			t.Fatalf("cycle %d should still hold reset state", i)
+		}
+	}
+}
+
+func TestSimulatorResetAndSetState(t *testing.T) {
+	l := cell.RichASIC()
+	ff := l.DefaultSeq(2)
+	n := New("t")
+	d := n.AddInput("d")
+	q := n.AddReg(ff, d)
+	n.MarkOutput(q)
+	n.Net(q).Name = "q"
+	sim, _ := NewSimulator(n)
+	sim.SetState(0, true)
+	out, err := sim.Step(map[string]bool{"d": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["q"] {
+		t.Fatal("forced state not visible")
+	}
+	sim.Reset()
+	out, _ = sim.Step(map[string]bool{"d": false})
+	if out["q"] {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	in := map[string]bool{}
+	WordToInputs(in, "a", 0b1011, 4)
+	if !in["a[0]"] || !in["a[1]"] || in["a[2]"] || !in["a[3]"] {
+		t.Fatalf("WordToInputs wrong: %v", in)
+	}
+	out := map[string]bool{"y[0]": true, "y[1]": false, "y[2]": true}
+	if got := OutputsToWord(out, "y", 3); got != 0b101 {
+		t.Fatalf("OutputsToWord = %b, want 101", got)
+	}
+	if got := BitsToWord([]bool{true, true, false, true}); got != 0b1011 {
+		t.Fatalf("BitsToWord = %b, want 1011", got)
+	}
+}

@@ -1,0 +1,100 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCombinationalCycle reports a loop in the combinational graph (a loop
+// through registers is fine; one without any register is a design error).
+var ErrCombinationalCycle = errors.New("netlist: combinational cycle")
+
+// Levelize returns the gates in topological order of the combinational
+// graph: every gate appears after all gates driving its inputs. Registers
+// break dependencies (a register's Q is a timing start point).
+func (n *Netlist) Levelize() ([]GateID, error) {
+	indeg := make([]int, len(n.gates))
+	for _, g := range n.gates {
+		for _, in := range g.In {
+			if n.nets[in].Driver != None {
+				indeg[g.ID]++
+			}
+		}
+	}
+	queue := make([]GateID, 0, len(n.gates))
+	for _, g := range n.gates {
+		if indeg[g.ID] == 0 {
+			queue = append(queue, g.ID)
+		}
+	}
+	order := make([]GateID, 0, len(n.gates))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		out := n.nets[n.gates[id].Out]
+		for _, p := range out.Sinks {
+			indeg[p.Gate]--
+			if indeg[p.Gate] == 0 {
+				queue = append(queue, p.Gate)
+			}
+		}
+	}
+	if len(order) != len(n.gates) {
+		return nil, fmt.Errorf("%w in %s: %d of %d gates unreachable from start points",
+			ErrCombinationalCycle, n.Name, len(n.gates)-len(order), len(n.gates))
+	}
+	return order, nil
+}
+
+// FanoutGates returns the ids of gates fed by the given gate's output.
+func (n *Netlist) FanoutGates(id GateID) []GateID {
+	out := n.nets[n.gates[id].Out]
+	ids := make([]GateID, 0, len(out.Sinks))
+	for _, p := range out.Sinks {
+		ids = append(ids, p.Gate)
+	}
+	return ids
+}
+
+// FaninGates returns the ids of gates driving the given gate's inputs
+// (registers and primary inputs are omitted).
+func (n *Netlist) FaninGates(id GateID) []GateID {
+	g := n.gates[id]
+	ids := make([]GateID, 0, len(g.In))
+	for _, in := range g.In {
+		if drv := n.nets[in].Driver; drv != None {
+			ids = append(ids, drv)
+		}
+	}
+	return ids
+}
+
+// Clone deep-copies the netlist structure. Cells are shared (they are
+// immutable library entries); nets, gates, and registers are copied, so
+// sizing and pipelining transforms can work on a clone without disturbing
+// the original.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{Name: n.Name}
+	c.nets = make([]*Net, len(n.nets))
+	for i, nt := range n.nets {
+		cp := *nt
+		cp.Sinks = append([]Pin(nil), nt.Sinks...)
+		cp.RegSinks = append([]RegID(nil), nt.RegSinks...)
+		c.nets[i] = &cp
+	}
+	c.gates = make([]*Gate, len(n.gates))
+	for i, g := range n.gates {
+		cp := *g
+		cp.In = append([]NetID(nil), g.In...)
+		c.gates[i] = &cp
+	}
+	c.regs = make([]*Reg, len(n.regs))
+	for i, r := range n.regs {
+		cp := *r
+		c.regs[i] = &cp
+	}
+	c.inputs = append([]NetID(nil), n.inputs...)
+	c.outputs = append([]NetID(nil), n.outputs...)
+	return c
+}

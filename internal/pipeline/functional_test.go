@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+)
+
+// TestPipelinePreservesFunction is the pipelining correctness theorem on
+// real hardware: an S-stage pipeline of a combinational circuit produces
+// exactly the same outputs as the original, S cycles later, for an
+// arbitrary input stream. The data-alignment register chains inserted by
+// Pipeline are what make this hold for signals that skip stages.
+func TestPipelinePreservesFunction(t *testing.T) {
+	lib := cell.RichASIC()
+	for _, stages := range []int{1, 2, 3, 5} {
+		stages := stages
+		t.Run(fmt.Sprintf("stages=%d", stages), func(t *testing.T) {
+			ad, err := circuits.CarryLookahead(lib, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comb := ad.N
+			piped, err := Pipeline(comb, Options{Stages: stages, Seq: lib.DefaultSeq(2)})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			combSim, err := netlist.NewSimulator(comb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeSim, err := netlist.NewSimulator(piped)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(11))
+			const streamLen = 40
+			type vec struct {
+				a, b uint64
+				cin  bool
+			}
+			stream := make([]vec, streamLen)
+			for i := range stream {
+				stream[i] = vec{rng.Uint64() & 0xff, rng.Uint64() & 0xff, rng.Intn(2) == 1}
+			}
+			inputsFor := func(v vec) map[string]bool {
+				in := map[string]bool{"cin": v.cin}
+				netlist.WordToInputs(in, "a", v.a, 8)
+				netlist.WordToInputs(in, "b", v.b, 8)
+				return in
+			}
+			// Reference outputs from the combinational circuit, by
+			// primary-output position.
+			ref := make([][]bool, streamLen)
+			for i, v := range stream {
+				out, err := combSim.Eval(inputsFor(v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref[i] = append([]bool(nil), out...)
+			}
+			// Streamed outputs from the pipeline; vector fed at step c
+			// appears on the captured outputs at step c+stages.
+			for c := 0; c < streamLen+stages; c++ {
+				v := stream[min(c, streamLen-1)]
+				if c < streamLen {
+					v = stream[c]
+				}
+				if _, err := pipeSim.Step(inputsFor(v)); err != nil {
+					t.Fatal(err)
+				}
+				produced := c - stages
+				if produced < 0 {
+					continue
+				}
+				got := make([]bool, len(piped.Outputs()))
+				// Outputs were sampled before the edge of this step;
+				// resample via a settle of the same inputs: Step already
+				// returned them, so recompute from register state via
+				// Value on output nets after the *previous* settle is
+				// not available — instead compare using the returned map
+				// by name. Names are preserved through capture regs'
+				// nets (suffixed), so match by position instead.
+				for i, id := range piped.Outputs() {
+					got[i] = pipeSim.Value(id)
+				}
+				// Value() reflects the post-settle state of this step,
+				// whose captured outputs hold the result of the vector
+				// fed `stages` steps ago.
+				for i := range got {
+					if got[i] != ref[produced][i] {
+						t.Fatalf("stages=%d: output %d of vector %d wrong", stages, i, produced)
+					}
+				}
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestPipelineLatencyIsExactlyStages feeds a single impulse through a
+// pipelined inverter chain and checks the impulse emerges after exactly
+// S cycles — neither earlier (missing alignment) nor later (extra regs).
+func TestPipelineLatencyIsExactlyStages(t *testing.T) {
+	lib := cell.RichASIC()
+	for _, stages := range []int{2, 4} {
+		n := netlist.New("imp")
+		x := n.AddInput("d")
+		for i := 0; i < 12; i++ {
+			x = n.MustGate(lib.Smallest(cell.FuncInv), x)
+		}
+		n.MarkOutput(x) // 12 inversions: identity
+		piped, err := Pipeline(n, Options{Stages: stages, Seq: lib.DefaultSeq(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := netlist.NewSimulator(piped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up past the zero-initialization transient: with d held
+		// low, the registers settle to the steady state of the identity
+		// chain (output low) within `stages` cycles.
+		for c := 0; c < stages+2; c++ {
+			if _, err := sim.Step(map[string]bool{"d": false}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sim.Value(piped.Outputs()[0]) {
+			t.Fatalf("stages=%d: steady state not low after warm-up", stages)
+		}
+		// Impulse at relative cycle 0.
+		seen := -1
+		for c := 0; c < stages+6; c++ {
+			in := map[string]bool{"d": c == 0}
+			if _, err := sim.Step(in); err != nil {
+				t.Fatal(err)
+			}
+			if sim.Value(piped.Outputs()[0]) && seen < 0 {
+				seen = c
+			}
+		}
+		if seen != stages {
+			t.Fatalf("stages=%d: impulse emerged at cycle %d, want %d", stages, seen, stages)
+		}
+	}
+}

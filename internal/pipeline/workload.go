@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Workload characterizes how pipelinable a task stream is — the paper's
+// section 4.1 point that pipelining only pays when multiple tasks can be
+// in flight. A bus interface that consumes fresh primary inputs every
+// cycle and branches constantly gains nothing from a faster clock it
+// cannot fill.
+type Workload struct {
+	// DependentFrac is the fraction of operations that must wait for
+	// the immediately preceding operation's result (back-to-back data
+	// dependences that forwarding cannot fully hide once the dependent
+	// operations sit more than one stage apart).
+	DependentFrac float64
+	// BranchFrac is the fraction of operations that are branches.
+	BranchFrac float64
+	// MispredictRate is the fraction of branches predicted wrongly.
+	MispredictRate float64
+	// ILP is the machine's sustainable issue width on this workload
+	// (1.0 for a single-issue pipeline).
+	ILP float64
+}
+
+// DSPWorkload is highly parallel streaming data: deep pipelining wins.
+func DSPWorkload() Workload {
+	return Workload{DependentFrac: 0.05, BranchFrac: 0.02, MispredictRate: 0.05, ILP: 1}
+}
+
+// IntegerWorkload is general-purpose integer code (Alpha-class machines
+// attack it with prediction and out-of-order issue).
+func IntegerWorkload() Workload {
+	return Workload{DependentFrac: 0.35, BranchFrac: 0.18, MispredictRate: 0.08, ILP: 1}
+}
+
+// BusInterfaceWorkload is the paper's pathological case: every cycle
+// depends on fresh inputs, and control flow branches constantly.
+func BusInterfaceWorkload() Workload {
+	return Workload{DependentFrac: 0.9, BranchFrac: 0.4, MispredictRate: 0.25, ILP: 1}
+}
+
+// CPI returns cycles per operation for an N-stage pipeline running this
+// workload: the ideal 1/ILP plus dependence stalls (which grow with the
+// result latency in stages) plus branch-misprediction flushes (which
+// refill the front of the pipe).
+func (w Workload) CPI(stages int) float64 {
+	if stages < 1 {
+		stages = 1
+	}
+	base := 1.0 / math.Max(w.ILP, 1e-9)
+	// A dependent op waits for its producer to clear the remaining
+	// execute stages; with forwarding, roughly a third of the depth.
+	depPenalty := w.DependentFrac * math.Max(0, float64(stages-1)) / 3
+	// A mispredicted branch flushes the front end.
+	brPenalty := w.BranchFrac * w.MispredictRate * math.Max(0, float64(stages-1))
+	return base + depPenalty + brPenalty
+}
+
+// Throughput returns relative operations/second for an N-stage pipeline
+// with the given cycle time, normalized so that (1 stage, cycle=1) is 1.
+func (w Workload) Throughput(stages int, cycleRel float64) float64 {
+	if cycleRel <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (w.CPI(stages) * cycleRel) * w.CPI(1)
+}
+
+// BestDepth sweeps pipeline depths 1..maxStages with the supplied cycle
+// model and returns the depth maximizing throughput — the paper's
+// trade-off between issuing faster and paying hazard penalties.
+func (w Workload) BestDepth(maxStages int, cycleAt func(stages int) float64) (int, float64) {
+	bestN, bestT := 1, 0.0
+	for n := 1; n <= maxStages; n++ {
+		t := w.Throughput(n, cycleAt(n)/cycleAt(1))
+		if t > bestT {
+			bestN, bestT = n, t
+		}
+	}
+	return bestN, bestT
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("workload(dep=%.0f%%, br=%.0f%%, mispred=%.0f%%)",
+		100*w.DependentFrac, 100*w.BranchFrac, 100*w.MispredictRate)
+}

@@ -1,0 +1,241 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// GatePlacement assigns every gate and register of a netlist a position
+// inside a block of the given area — the detailed-placement counterpart
+// of the block-level floorplanner, replacing the statistical local-net
+// guess with measured half-perimeter lengths per net.
+type GatePlacement struct {
+	// AreaMM2 is the placed block's area (cells plus routing overhead).
+	AreaMM2 float64
+	// Pos is indexed by gate id; RegPos by register id.
+	Pos    []Point
+	RegPos []Point
+	// sideMM is the block edge.
+	sideMM float64
+	n      *netlist.Netlist
+}
+
+// PlaceGates performs detailed placement: gates are arranged on a grid
+// over the block, seeded in topological order (which is already close to
+// optimal for datapath-shaped logic) and refined by annealing swaps when
+// quality is Careful; Naive shuffles them randomly, the strawman of a
+// placement-unaware flow.
+func PlaceGates(n *netlist.Netlist, q Quality, seed int64) (*GatePlacement, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	total := n.NumGates() + n.NumRegs()
+	if total == 0 {
+		return nil, nil
+	}
+	// Block area: cell area at ~50% utilization.
+	areaMM2 := n.TotalArea() * CellAreaUnitMM2 * 2
+	side := math.Sqrt(areaMM2)
+	cols := int(math.Ceil(math.Sqrt(float64(total))))
+	pitch := side / float64(cols)
+
+	slotOf := make([]int, total) // entity index -> slot
+	// Entity order: topological gates first, then registers.
+	entities := make([]int, 0, total)
+	for _, gid := range order {
+		entities = append(entities, int(gid))
+	}
+	for r := 0; r < n.NumRegs(); r++ {
+		entities = append(entities, n.NumGates()+r)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if q == Naive {
+		rng.Shuffle(len(entities), func(i, j int) {
+			entities[i], entities[j] = entities[j], entities[i]
+		})
+	}
+	for slot, ent := range entities {
+		slotOf[ent] = slot
+	}
+
+	posOf := func(slot int) Point {
+		row := slot / cols
+		col := slot % cols
+		// Snake rows so consecutive slots are always adjacent.
+		if row%2 == 1 {
+			col = cols - 1 - col
+		}
+		return Point{X: (float64(col) + 0.5) * pitch, Y: (float64(row) + 0.5) * pitch}
+	}
+
+	gp := &GatePlacement{AreaMM2: areaMM2, sideMM: side, n: n}
+	build := func() {
+		gp.Pos = make([]Point, n.NumGates())
+		gp.RegPos = make([]Point, n.NumRegs())
+		for ent, slot := range slotOf {
+			if ent < n.NumGates() {
+				gp.Pos[ent] = posOf(slot)
+			} else {
+				gp.RegPos[ent-n.NumGates()] = posOf(slot)
+			}
+		}
+	}
+	build()
+
+	if q == Careful && total > 2 {
+		gp.refine(slotOf, posOf, rng)
+		build()
+	}
+	return gp, nil
+}
+
+// netEntities lists the entity ids (gate or numGates+reg) touching a net.
+func netEntities(n *netlist.Netlist, nt *netlist.Net) []int {
+	var ents []int
+	if nt.Driver != netlist.None {
+		ents = append(ents, int(nt.Driver))
+	}
+	if nt.DriverReg != netlist.None {
+		ents = append(ents, n.NumGates()+int(nt.DriverReg))
+	}
+	for _, p := range nt.Sinks {
+		ents = append(ents, int(p.Gate))
+	}
+	for _, r := range nt.RegSinks {
+		ents = append(ents, n.NumGates()+int(r))
+	}
+	return ents
+}
+
+// refine anneals pairwise swaps with incremental cost over only the nets
+// touching the swapped entities.
+func (gp *GatePlacement) refine(slotOf []int, posOf func(int) Point, rng *rand.Rand) {
+	n := gp.n
+	total := len(slotOf)
+	// nets touching each entity.
+	touch := make([][]*netlist.Net, total)
+	for _, nt := range n.Nets() {
+		for _, e := range netEntities(n, nt) {
+			touch[e] = append(touch[e], nt)
+		}
+	}
+	netCost := func(nt *netlist.Net) float64 {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, e := range netEntities(n, nt) {
+			p := posOf(slotOf[e])
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+		return (maxX - minX) + (maxY - minY)
+	}
+	localCost := func(a, b int) float64 {
+		c := 0.0
+		for _, nt := range touch[a] {
+			c += netCost(nt)
+		}
+		for _, nt := range touch[b] {
+			c += netCost(nt)
+		}
+		return c
+	}
+
+	iters := 25 * total
+	if iters > 120000 {
+		iters = 120000
+	}
+	temp := gp.sideMM / 4
+	for i := 0; i < iters; i++ {
+		a := rng.Intn(total)
+		b := rng.Intn(total)
+		if a == b {
+			continue
+		}
+		before := localCost(a, b)
+		slotOf[a], slotOf[b] = slotOf[b], slotOf[a]
+		after := localCost(a, b)
+		d := after - before
+		if d > 0 && rng.Float64() >= math.Exp(-d/temp) {
+			slotOf[a], slotOf[b] = slotOf[b], slotOf[a]
+		}
+		temp *= 0.99995
+		if temp < 1e-6 {
+			temp = 1e-6
+		}
+	}
+}
+
+// NetLength returns the half-perimeter length of a net in this placement,
+// in millimeters.
+func (gp *GatePlacement) NetLength(nt *netlist.Net) float64 {
+	ents := netEntities(gp.n, nt)
+	if len(ents) < 2 {
+		return 0
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, e := range ents {
+		var p Point
+		if e < gp.n.NumGates() {
+			p = gp.Pos[e]
+		} else {
+			p = gp.RegPos[e-gp.n.NumGates()]
+		}
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// TotalWireMM sums net lengths — the detailed-placement objective.
+func (gp *GatePlacement) TotalWireMM() float64 {
+	t := 0.0
+	for _, nt := range gp.n.Nets() {
+		t += gp.NetLength(nt)
+	}
+	return t
+}
+
+// Annotate back-annotates measured per-net lengths as wire parasitics,
+// the gate-level analogue of Placement.Annotate.
+func (gp *GatePlacement) Annotate(opt AnnotateOptions) {
+	m := opt.WireModel
+	n := gp.n
+	for _, nt := range n.Nets() {
+		lenMM := gp.NetLength(nt)
+		nt.LengthMM = lenMM
+		nt.WidthMult = 1
+		if lenMM <= 0 {
+			nt.WireCap = 0
+			nt.ExtraDelay = 0
+			continue
+		}
+		nt.WireCap = m.CapOfLength(lenMM, 1)
+		load := n.Load(nt.ID) - nt.WireCap
+		drive := 2.0
+		if nt.Driver != netlist.None {
+			drive = n.Gate(nt.Driver).Cell.Drive
+		} else if nt.DriverReg != netlist.None {
+			drive = n.Reg(nt.DriverReg).Cell.Drive
+		}
+		full := m.UnbufferedDelay(lenMM, 1, drive, load)
+		lumped := m.UnbufferedDelay(0, 1, drive, load+nt.WireCap)
+		extra := full - lumped
+		if opt.Repeaters && lenMM > 0.5 {
+			rep := m.RepeatersForDriver(drive, lenMM, load)
+			if rep.Count >= 1 && rep.Delay < full {
+				nt.WireCap = m.CapOfLength(lenMM/float64(rep.Count+1), 1) + units.Cap(rep.Size)
+				lumped = m.UnbufferedDelay(0, 1, drive, load+nt.WireCap)
+				extra = rep.Delay - lumped
+			}
+		}
+		if extra < 0 {
+			extra = 0
+		}
+		nt.ExtraDelay = extra
+	}
+}

@@ -1,0 +1,156 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func TestPlaceGatesCarefulBeatsNaive(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	careful, err := PlaceGates(ad.N, Careful, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := PlaceGates(ad.N, Naive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, wn := careful.TotalWireMM(), naive.TotalWireMM()
+	if wc >= wn {
+		t.Fatalf("careful placement (%.2f mm) should beat naive (%.2f mm)", wc, wn)
+	}
+	if wn/wc < 1.3 {
+		t.Fatalf("improvement %.2fx too small — annealer not working", wn/wc)
+	}
+}
+
+func TestPlaceGatesDeterministic(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PlaceGates(ad.N, Careful, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceGates(ad.N, Careful, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWireMM() != b.TotalWireMM() {
+		t.Fatal("same seed must give identical placement")
+	}
+}
+
+func TestGateAnnotateSetsLengths(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := PlaceGates(ad.N, Careful, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.Annotate(AnnotateOptions{WireModel: wire.NewModel(units.ASIC025)})
+	withLen := 0
+	for _, nt := range ad.N.Nets() {
+		if nt.LengthMM > 0 {
+			withLen++
+			if nt.WireCap <= 0 {
+				t.Fatal("length without capacitance")
+			}
+		}
+	}
+	if withLen == 0 {
+		t.Fatal("no nets annotated")
+	}
+	// Timing still analyzes and is slower than the unannotated netlist.
+	r, err := sta.Analyze(ad.N, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := ad.N.Clone()
+	ClearAnnotation(clean)
+	r0, err := sta.Analyze(clean, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorstComb <= r0.WorstComb {
+		t.Fatal("annotated wires must add delay")
+	}
+}
+
+func TestGatePlacementTimingBeatsNaive(t *testing.T) {
+	// The end-to-end point of detailed placement: careful gate placement
+	// yields faster timing than a random scatter of the same gates.
+	lib := cell.RichASIC()
+	m := wire.NewModel(units.ASIC025)
+	measure := func(q Quality) float64 {
+		ad, err := circuits.CarryLookahead(lib, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := PlaceGates(ad.N, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp.Annotate(AnnotateOptions{WireModel: m})
+		r, err := sta.Analyze(ad.N, sta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(r.WorstComb)
+	}
+	careful := measure(Careful)
+	naive := measure(Naive)
+	if careful >= naive {
+		t.Fatalf("careful placement timing (%.1f) should beat naive (%.1f)", careful, naive)
+	}
+}
+
+func TestPlaceGatesEmptyNetlist(t *testing.T) {
+	n := netlist.New("empty")
+	gp, err := PlaceGates(n, Careful, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp != nil {
+		t.Fatal("empty netlist should place to nil")
+	}
+}
+
+func TestNetLengthMMBlockLevel(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := Floorplan(n, Die{SideMM: 10}, Careful, 1)
+	// An inter-block net is at least one grid hop long; local nets get
+	// only the local tail.
+	sawInter := false
+	for _, nt := range n.Nets() {
+		l := pl.NetLengthMM(n, nt.ID, 0.05)
+		if l < 0.05 {
+			t.Fatalf("net %d length %.3f below local floor", nt.ID, l)
+		}
+		if l > 0.05 {
+			sawInter = true
+		}
+	}
+	if !sawInter {
+		t.Fatal("no inter-block nets measured")
+	}
+}

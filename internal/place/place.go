@@ -1,0 +1,345 @@
+// Package place provides block-level floorplanning and the back-annotation
+// of wire parasitics onto a netlist. It implements the paper's section 5
+// comparison: careful floorplanning keeps critical paths local to a block,
+// while poor floorplanning strings them across a 100 mm^2 die and pays
+// millimeters of global wire on every hop.
+//
+// Gates carry a Block tag (see netlist.Gate.Block); the floorplanner
+// places blocks on a grid over the die, minimizing half-perimeter
+// wirelength of inter-block nets by simulated annealing, or scattering
+// them randomly to model a floorplanning-unaware flow. Annotate then
+// converts net lengths into lumped capacitance plus distributed-RC extra
+// delay using internal/wire (with optimal repeaters on long nets).
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// CellAreaUnitMM2 converts netlist area units (half-minimum-inverter
+// equivalents) to silicon area: a minimum inverter in a 0.25 um process
+// occupies roughly 10 um^2, i.e. 5e-6 mm^2 per unit.
+const CellAreaUnitMM2 = 5e-6
+
+// Die describes the target silicon.
+type Die struct {
+	// SideMM is the edge length of the square die in millimeters.
+	// The paper's floorplanning study uses a 100 mm^2 (10 mm) die.
+	SideMM float64
+}
+
+// AreaMM2 returns the die area.
+func (d Die) AreaMM2() float64 { return d.SideMM * d.SideMM }
+
+// Quality selects the floorplanning effort.
+type Quality int
+
+const (
+	// Careful is simulated-annealing floorplanning: connected blocks
+	// end up adjacent (the custom/manual-floorplan result).
+	Careful Quality = iota
+	// Naive scatters blocks randomly over the die (no floorplanning).
+	Naive
+)
+
+func (q Quality) String() string {
+	if q == Naive {
+		return "naive"
+	}
+	return "careful"
+}
+
+// Point is a position on the die in millimeters.
+type Point struct{ X, Y float64 }
+
+// Placement maps floorplan blocks to die positions.
+type Placement struct {
+	Die    Die
+	Blocks map[string]Point
+	// gridN is the grid dimension used during placement.
+	gridN int
+}
+
+// blocksOf collects the distinct block names in deterministic order, with
+// the empty tag treated as one anonymous block.
+func blocksOf(n *netlist.Netlist) []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(b string) {
+		if !seen[b] {
+			seen[b] = true
+			names = append(names, b)
+		}
+	}
+	for _, g := range n.Gates() {
+		add(g.Block)
+	}
+	for _, r := range n.Regs() {
+		add(r.Block)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// interBlockNets returns, per net, the set of distinct blocks it touches
+// (driver plus sinks); nets touching fewer than two blocks are local.
+func interBlockNets(n *netlist.Netlist) map[netlist.NetID][]string {
+	out := make(map[netlist.NetID][]string)
+	for _, nt := range n.Nets() {
+		blocks := map[string]bool{}
+		if nt.Driver != netlist.None {
+			blocks[n.Gate(nt.Driver).Block] = true
+		}
+		if nt.DriverReg != netlist.None {
+			blocks[n.Reg(nt.DriverReg).Block] = true
+		}
+		for _, p := range nt.Sinks {
+			blocks[n.Gate(p.Gate).Block] = true
+		}
+		for _, r := range nt.RegSinks {
+			blocks[n.Reg(r).Block] = true
+		}
+		if len(blocks) < 2 {
+			continue
+		}
+		var names []string
+		for b := range blocks {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		out[nt.ID] = names
+	}
+	return out
+}
+
+// Floorplan places the netlist's blocks on the die. The seed drives both
+// the naive scatter and the annealing schedule, making runs reproducible.
+func Floorplan(n *netlist.Netlist, die Die, q Quality, seed int64) *Placement {
+	names := blocksOf(n)
+	gridN := 1
+	for gridN*gridN < len(names) {
+		gridN++
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Slot i -> grid cell (i%gridN, i/gridN), centered in the cell.
+	slotPos := func(slot int) Point {
+		cellW := die.SideMM / float64(gridN)
+		return Point{
+			X: (float64(slot%gridN) + 0.5) * cellW,
+			Y: (float64(slot/gridN) + 0.5) * cellW,
+		}
+	}
+
+	// Initial assignment: shuffled slots.
+	slots := rng.Perm(gridN * gridN)[:len(names)]
+	assign := make(map[string]int, len(names))
+	for i, b := range names {
+		assign[b] = slots[i]
+	}
+
+	p := &Placement{Die: die, Blocks: make(map[string]Point), gridN: gridN}
+	nets := interBlockNets(n)
+
+	if q == Careful && len(names) > 1 {
+		anneal(assign, nets, slotPos, gridN, rng)
+	}
+	for b, s := range assign {
+		p.Blocks[b] = slotPos(s)
+	}
+	return p
+}
+
+// hpwl computes half-perimeter wirelength of a net over block positions.
+func hpwl(blocks []string, pos func(string) Point) float64 {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, b := range blocks {
+		pt := pos(b)
+		minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+		minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// anneal runs simulated annealing over slot assignments, swapping block
+// pairs (or moving to free slots) to minimize total inter-block HPWL.
+func anneal(assign map[string]int, nets map[netlist.NetID][]string, slotPos func(int) Point, gridN int, rng *rand.Rand) {
+	names := make([]string, 0, len(assign))
+	for b := range assign {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+
+	// Iterate nets in sorted id order: float addition is order
+	// dependent, and map-order sums would make near-tie annealing
+	// decisions (and thus placements) nondeterministic.
+	netIDs := make([]netlist.NetID, 0, len(nets))
+	for id := range nets {
+		netIDs = append(netIDs, id)
+	}
+	sort.Slice(netIDs, func(i, j int) bool { return netIDs[i] < netIDs[j] })
+	cost := func() float64 {
+		total := 0.0
+		for _, id := range netIDs {
+			total += hpwl(nets[id], func(b string) Point { return slotPos(assign[b]) })
+		}
+		return total
+	}
+
+	cur := cost()
+	temp := cur / float64(len(nets)+1) * 2
+	if temp <= 0 {
+		temp = 1
+	}
+	iters := 200 * len(names) * len(names)
+	if iters < 2000 {
+		iters = 2000
+	}
+	for i := 0; i < iters; i++ {
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		if a == b {
+			continue
+		}
+		assign[a], assign[b] = assign[b], assign[a]
+		next := cost()
+		d := next - cur
+		if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+			cur = next
+		} else {
+			assign[a], assign[b] = assign[b], assign[a]
+		}
+		temp *= 0.9995
+	}
+}
+
+// TotalHPWL reports the summed inter-block half-perimeter wirelength of
+// the placement, in millimeters — the annealer's objective, exposed for
+// reports and tests.
+func (p *Placement) TotalHPWL(n *netlist.Netlist) float64 {
+	nets := interBlockNets(n)
+	ids := make([]netlist.NetID, 0, len(nets))
+	for id := range nets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	total := 0.0
+	for _, id := range ids {
+		total += hpwl(nets[id], func(b string) Point { return p.Blocks[b] })
+	}
+	return total
+}
+
+// NetLengthMM estimates the routed length of a net: inter-block HPWL plus
+// a local component proportional to the block's own extent.
+func (p *Placement) NetLengthMM(n *netlist.Netlist, id netlist.NetID, localMM float64) float64 {
+	nets := interBlockNets(n)
+	if blocks, ok := nets[id]; ok {
+		return hpwl(blocks, func(b string) Point { return p.Blocks[b] }) + localMM
+	}
+	return localMM
+}
+
+// AnnotateOptions controls parasitic back-annotation.
+type AnnotateOptions struct {
+	// WireModel evaluates RC delay.
+	WireModel wire.Model
+	// Repeaters enables optimal repeater insertion on inter-block nets
+	// (part of "proper driving of a wire", section 5).
+	Repeaters bool
+	// LocalMM is the average local (intra-block) net length.
+	LocalMM float64
+}
+
+// Annotate writes WireCap and ExtraDelay onto every net from the
+// placement. Local nets get the local length; inter-block nets get their
+// HPWL plus the local tail, with repeaters when enabled and profitable.
+func (p *Placement) Annotate(n *netlist.Netlist, opt AnnotateOptions) {
+	m := opt.WireModel
+	nets := interBlockNets(n)
+	for _, nt := range n.Nets() {
+		lenMM := opt.LocalMM
+		if blocks, ok := nets[nt.ID]; ok {
+			lenMM += hpwl(blocks, func(b string) Point { return p.Blocks[b] })
+		}
+		nt.LengthMM = lenMM
+		nt.WidthMult = 1
+		if lenMM <= 0 {
+			nt.WireCap = 0
+			nt.ExtraDelay = 0
+			continue
+		}
+		nt.WireCap = m.CapOfLength(lenMM, 1)
+		// Distributed-RC component beyond the lumped cap: the Rw term
+		// of the Elmore delay, or the best repeated solution on long
+		// nets. The driver's own Rd*(Cw+CL) share is already modeled
+		// by STA through WireCap, so subtract the zero-length
+		// baseline.
+		load := n.Load(nt.ID) - nt.WireCap
+		drive := 2.0
+		if nt.Driver != netlist.None {
+			drive = n.Gate(nt.Driver).Cell.Drive
+		} else if nt.DriverReg != netlist.None {
+			drive = n.Reg(nt.DriverReg).Cell.Drive
+		}
+		full := m.UnbufferedDelay(lenMM, 1, drive, load)
+		lumped := m.UnbufferedDelay(0, 1, drive, load+nt.WireCap)
+		extra := full - lumped
+		if opt.Repeaters && lenMM > 0.5 {
+			rep := m.RepeatersForDriver(drive, lenMM, load)
+			if rep.Count >= 1 && rep.Delay < full {
+				// The driver now sees only the first segment plus
+				// the first repeater's input; the rest of the
+				// chain is charged as extra delay.
+				nt.WireCap = m.CapOfLength(lenMM/float64(rep.Count+1), 1) + units.Cap(rep.Size)
+				lumped = m.UnbufferedDelay(0, 1, drive, load+nt.WireCap)
+				extra = rep.Delay - lumped
+			}
+		}
+		if extra < 0 {
+			extra = 0
+		}
+		nt.ExtraDelay = extra
+	}
+}
+
+// ClearAnnotation zeroes all wire parasitics (pre-placement state).
+func ClearAnnotation(n *netlist.Netlist) {
+	for _, nt := range n.Nets() {
+		nt.WireCap = 0
+		nt.ExtraDelay = 0
+		nt.LengthMM = 0
+		nt.WidthMult = 0
+	}
+}
+
+func (p *Placement) String() string {
+	return fmt.Sprintf("placement on %.0fx%.0fmm die, %d blocks (grid %dx%d)",
+		p.Die.SideMM, p.Die.SideMM, len(p.Blocks), p.gridN, p.gridN)
+}
+
+// BlockAreasMM2 reports each block's silicon area from its cell areas.
+func BlockAreasMM2(n *netlist.Netlist) map[string]float64 {
+	areas := map[string]float64{}
+	for _, g := range n.Gates() {
+		areas[g.Block] += g.Cell.Area * CellAreaUnitMM2
+	}
+	for _, r := range n.Regs() {
+		areas[r.Block] += r.Cell.Area * CellAreaUnitMM2
+	}
+	return areas
+}
+
+// LocalNetMM estimates the average intra-block net length for a block of
+// the given area: a tenth of its side, matching the wire-load model.
+func LocalNetMM(blockAreaMM2 float64) float64 {
+	return 0.1 * math.Sqrt(blockAreaMM2)
+}

@@ -1,0 +1,178 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func chainNetlist(t *testing.T, slices int) *netlist.Netlist {
+	t.Helper()
+	n, err := circuits.DatapathChain(cell.RichASIC(), 16, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCarefulBeatsNaiveHPWL(t *testing.T) {
+	n := chainNetlist(t, 8)
+	die := Die{SideMM: 10}
+	careful := Floorplan(n, die, Careful, 1)
+	naive := Floorplan(n, die, Naive, 1)
+	hc := careful.TotalHPWL(n)
+	hn := naive.TotalHPWL(n)
+	if hc >= hn {
+		t.Fatalf("careful HPWL %.1f mm should beat naive %.1f mm", hc, hn)
+	}
+	// A chain places as a snake; annealing should find most of the
+	// available improvement over a random scatter.
+	if hn/hc < 1.3 {
+		t.Fatalf("careful HPWL %.1f mm vs naive %.1f mm: improvement %.2fx, want >= 1.3x",
+			hc, hn, hn/hc)
+	}
+	// Lower bound: every inter-block net spans at least one grid cell
+	// when its blocks differ; careful must be within 3x of that.
+	nInter := 0
+	for range interBlockNets(n) {
+		nInter++
+	}
+	cellW := die.SideMM / 3 // 8 blocks -> 3x3 grid
+	if hc > 3*float64(nInter)*cellW {
+		t.Fatalf("careful HPWL %.1f mm far above %d-net lower bound %.1f mm",
+			hc, nInter, float64(nInter)*cellW)
+	}
+}
+
+func TestFloorplanDeterministic(t *testing.T) {
+	n := chainNetlist(t, 6)
+	die := Die{SideMM: 10}
+	a := Floorplan(n, die, Careful, 7)
+	b := Floorplan(n, die, Careful, 7)
+	for k, v := range a.Blocks {
+		if b.Blocks[k] != v {
+			t.Fatalf("same seed, different placement for %s", k)
+		}
+	}
+}
+
+func TestAnnotateAddsParasitics(t *testing.T) {
+	n := chainNetlist(t, 4)
+	die := Die{SideMM: 10}
+	p := Floorplan(n, die, Naive, 3)
+	m := wire.NewModel(units.ASIC025)
+	p.Annotate(n, AnnotateOptions{WireModel: m, LocalMM: 0.05})
+	anyCap := false
+	for _, nt := range n.Nets() {
+		if nt.WireCap > 0 {
+			anyCap = true
+		}
+		if nt.ExtraDelay < 0 {
+			t.Fatal("negative extra delay")
+		}
+	}
+	if !anyCap {
+		t.Fatal("annotation added no wire capacitance")
+	}
+	ClearAnnotation(n)
+	for _, nt := range n.Nets() {
+		if nt.WireCap != 0 || nt.ExtraDelay != 0 {
+			t.Fatal("clear left parasitics behind")
+		}
+	}
+}
+
+func TestFloorplanningSpeedup(t *testing.T) {
+	// Section 5: careful floorplanning and placement may buy up to 25%
+	// on a critical path spread over a 100 mm^2 die. Our datapath chain
+	// crosses blocks between slices; scattering the slices stretches
+	// every crossing.
+	n := chainNetlist(t, 8)
+	die := Die{SideMM: 10}
+	m := wire.NewModel(units.ASIC025)
+	local := 0.05
+
+	careful := Floorplan(n, die, Careful, 1)
+	careful.Annotate(n, AnnotateOptions{WireModel: m, Repeaters: true, LocalMM: local})
+	rc, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	naive := Floorplan(n, die, Naive, 99)
+	naive.Annotate(n, AnnotateOptions{WireModel: m, Repeaters: true, LocalMM: local})
+	rn, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := float64(rn.WorstComb) / float64(rc.WorstComb)
+	if speedup < 1.02 {
+		t.Fatalf("floorplanning speedup = %.3f, want measurable gain", speedup)
+	}
+	if speedup > 2.0 {
+		t.Fatalf("floorplanning speedup = %.3f, implausibly large", speedup)
+	}
+}
+
+func TestRepeatersHelpNaivePlacement(t *testing.T) {
+	n := chainNetlist(t, 8)
+	die := Die{SideMM: 10}
+	m := wire.NewModel(units.ASIC025)
+	naive := Floorplan(n, die, Naive, 5)
+
+	naive.Annotate(n, AnnotateOptions{WireModel: m, Repeaters: false, LocalMM: 0.05})
+	noRep, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive.Annotate(n, AnnotateOptions{WireModel: m, Repeaters: true, LocalMM: 0.05})
+	withRep, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRep.WorstComb > noRep.WorstComb {
+		t.Fatalf("repeaters made things worse: %.1f vs %.1f FO4",
+			withRep.CombFO4(), noRep.CombFO4())
+	}
+}
+
+func TestBlockAreas(t *testing.T) {
+	n := chainNetlist(t, 4)
+	areas := BlockAreasMM2(n)
+	if len(areas) < 4 {
+		t.Fatalf("expected >=4 blocks, got %d", len(areas))
+	}
+	for b, a := range areas {
+		if a <= 0 {
+			t.Fatalf("block %q has non-positive area", b)
+		}
+	}
+	if LocalNetMM(1) <= 0 {
+		t.Fatal("local net length must be positive")
+	}
+}
+
+func TestSingleBlockPlacement(t *testing.T) {
+	// A netlist with all gates in one (empty-named) block still places.
+	lib := cell.RichASIC()
+	n := netlist.New("one")
+	a := n.AddInput("a")
+	x := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	n.MarkOutput(x)
+	p := Floorplan(n, Die{SideMM: 10}, Careful, 1)
+	if len(p.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(p.Blocks))
+	}
+	if p.TotalHPWL(n) != 0 {
+		t.Fatal("single block has no inter-block wire")
+	}
+	if p.String() == "" {
+		t.Fatal("empty placement description")
+	}
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/dynlogic"
+	"repro/internal/units"
+)
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	ad, err := circuits.CarryLookahead(cell.RichASIC(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p100 := Estimate(ad.N, units.ASIC025, DefaultOptions(100))
+	p200 := Estimate(ad.N, units.ASIC025, DefaultOptions(200))
+	if p200.DynamicW <= p100.DynamicW*1.9 {
+		t.Fatalf("dynamic power should double with frequency: %.3g -> %.3g",
+			p100.DynamicW, p200.DynamicW)
+	}
+	// Leakage must not depend on frequency.
+	if p200.LeakageW != p100.LeakageW {
+		t.Fatal("leakage changed with frequency")
+	}
+}
+
+func TestPowerScalesWithVoltageSquared(t *testing.T) {
+	ad, err := circuits.CarryLookahead(cell.RichASIC(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := units.ASIC025
+	hi := units.ASIC025
+	hi.Vdd = lo.Vdd * 2
+	pl := Estimate(ad.N, lo, DefaultOptions(100))
+	ph := Estimate(ad.N, hi, DefaultOptions(100))
+	ratio := ph.DynamicW / pl.DynamicW
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Fatalf("V^2 scaling broken: ratio %.3f, want 4", ratio)
+	}
+}
+
+func TestDominoRaisesClockPower(t *testing.T) {
+	ad, err := circuits.CarryLookahead(cell.RichASIC(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Estimate(ad.N, units.ASIC025, DefaultOptions(250))
+	if _, err := dynlogic.Dominoize(ad.N, dynlogic.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	after := Estimate(ad.N, units.ASIC025, DefaultOptions(250))
+	if after.ClockW <= before.ClockW {
+		t.Fatalf("domino conversion must add precharge clock power: %.3g -> %.3g",
+			before.ClockW, after.ClockW)
+	}
+	if after.TotalW() <= before.TotalW() {
+		t.Fatal("domino designs burn more total power")
+	}
+}
+
+func TestRegisteredDesignHasClockPower(t *testing.T) {
+	n, err := circuits.DatapathChain(cell.RichASIC(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Estimate(n, units.ASIC025, DefaultOptions(150))
+	if rep.ClockW <= 0 {
+		t.Fatal("registers must load the clock")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+	if rep.TotalW() != rep.DynamicW+rep.ClockW+rep.LeakageW {
+		t.Fatal("total does not sum components")
+	}
+}
+
+func TestPowerMagnitudePlausible(t *testing.T) {
+	// A ~500-gate block at 250 MHz should be milliwatts, not watts —
+	// scaling to the paper's 90 W Alpha requires ~10^6 gates plus wire,
+	// so per-gate power must be ~10-100 uW.
+	ad, err := circuits.CarryLookahead(cell.RichASIC(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Estimate(ad.N, units.ASIC025, DefaultOptions(250))
+	w := rep.TotalW()
+	if w < 1e-5 || w > 0.1 {
+		t.Fatalf("adder power = %g W, want between 10 uW and 100 mW", w)
+	}
+}

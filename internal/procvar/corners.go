@@ -1,0 +1,71 @@
+package procvar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corner is an operating condition: supply voltage (as a ratio of
+// nominal) and junction temperature. Foundries characterize ASIC
+// libraries at the worst corner (low V, high T); silicon in a real box
+// mostly runs near nominal — the physical origin of the guard-band slice
+// of the paper's section 8 factor.
+type Corner struct {
+	// VddRatio is supply voltage relative to nominal (0.9 = 10% droop).
+	VddRatio float64
+	// TempC is junction temperature in Celsius.
+	TempC float64
+}
+
+// Standard characterization corners of the 0.25 um era.
+var (
+	// NominalCorner is typical bench conditions.
+	NominalCorner = Corner{VddRatio: 1.00, TempC: 55}
+	// WorstCorner is the slow signoff corner: 10% droop, hot junction.
+	WorstCorner = Corner{VddRatio: 0.90, TempC: 125}
+	// BestCorner is the fast corner used for hold signoff.
+	BestCorner = Corner{VddRatio: 1.10, TempC: 0}
+)
+
+// alphaPower is the velocity-saturation exponent of the alpha-power-law
+// delay model; ~1.3 fits quarter-micron devices.
+const alphaPower = 1.3
+
+// vtRatio is threshold voltage over nominal supply for the generation
+// (about 0.5 V over 2.5 V).
+const vtRatio = 0.2
+
+// SpeedAt returns the relative circuit speed at a corner (1.0 at the
+// nominal corner): the alpha-power-law supply dependence times a linear
+// mobility-degradation temperature term.
+//
+//	speed ∝ (V - Vt)^alpha / V,  and  -0.2%/°C around 55 °C.
+func SpeedAt(c Corner) float64 {
+	nom := drive(1.0) / 1.0
+	v := c.VddRatio
+	if v <= vtRatio {
+		return 0
+	}
+	sV := (drive(v) / v) / nom
+	sT := 1 - 0.002*(c.TempC-NominalCorner.TempC)
+	if sT < 0.1 {
+		sT = 0.1
+	}
+	return sV * sT
+}
+
+func drive(v float64) float64 {
+	return math.Pow(v-vtRatio, alphaPower)
+}
+
+// GuardBand is the worst-corner speed relative to nominal: the physical
+// derate the foundry's worst-case quote applies on top of the process
+// distribution. For the standard corners it lands near the 0.80 constant
+// the rating model uses.
+func GuardBand() float64 {
+	return SpeedAt(WorstCorner) / SpeedAt(NominalCorner)
+}
+
+func (c Corner) String() string {
+	return fmt.Sprintf("%.0f%% Vdd, %.0fC", 100*c.VddRatio, c.TempC)
+}

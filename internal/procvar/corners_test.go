@@ -1,0 +1,64 @@
+package procvar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedAtNominalIsUnity(t *testing.T) {
+	if got := SpeedAt(NominalCorner); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("nominal speed = %g, want 1", got)
+	}
+}
+
+func TestCornerOrdering(t *testing.T) {
+	worst := SpeedAt(WorstCorner)
+	nom := SpeedAt(NominalCorner)
+	best := SpeedAt(BestCorner)
+	if !(worst < nom && nom < best) {
+		t.Fatalf("corner ordering broken: %.3f / %.3f / %.3f", worst, nom, best)
+	}
+}
+
+func TestGuardBandMatchesRatingDerate(t *testing.T) {
+	// The physical V/T derate should land near the 0.80 constant the
+	// worst-case rating applies — the guard band is not arbitrary.
+	gb := GuardBand()
+	if gb < 0.70 || gb > 0.90 {
+		t.Fatalf("guard band = %.3f, want ~0.80", gb)
+	}
+}
+
+func TestSpeedMonotoneInVoltage(t *testing.T) {
+	f := func(a, b uint8) bool {
+		va := 0.5 + float64(a%60)/100
+		vb := 0.5 + float64(b%60)/100
+		sa := SpeedAt(Corner{VddRatio: va, TempC: 55})
+		sb := SpeedAt(Corner{VddRatio: vb, TempC: 55})
+		if va <= vb {
+			return sa <= sb+1e-12
+		}
+		return sb <= sa+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedMonotoneInTemperature(t *testing.T) {
+	cool := SpeedAt(Corner{VddRatio: 1, TempC: 0})
+	hot := SpeedAt(Corner{VddRatio: 1, TempC: 125})
+	if cool <= hot {
+		t.Fatal("hotter silicon must be slower")
+	}
+}
+
+func TestSubThresholdClamps(t *testing.T) {
+	if SpeedAt(Corner{VddRatio: 0.1, TempC: 25}) != 0 {
+		t.Fatal("below-threshold supply should report zero speed")
+	}
+	if NominalCorner.String() == "" {
+		t.Fatal("empty corner description")
+	}
+}

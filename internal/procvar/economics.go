@@ -1,0 +1,98 @@
+package procvar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wafer describes a production wafer for cost accounting.
+type Wafer struct {
+	// DiameterMM is the wafer diameter (200 mm was the 0.25 um-era
+	// standard).
+	DiameterMM float64
+	// CostUSD is the processed-wafer cost.
+	CostUSD float64
+	// DefectsPerCm2 is the killer-defect density.
+	DefectsPerCm2 float64
+}
+
+// Wafer200mm is a representative 0.25 um-generation wafer.
+func Wafer200mm() Wafer {
+	return Wafer{DiameterMM: 200, CostUSD: 3000, DefectsPerCm2: 0.5}
+}
+
+// DiesPerWafer estimates gross dies on a wafer: usable area over die
+// area, discounted for edge loss by the standard circumference term.
+func DiesPerWafer(w Wafer, dieAreaMM2 float64) int {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	// Standard gross-die estimate: pi*r^2/A - pi*d/sqrt(2A), the second
+	// term being the edge loss.
+	r := w.DiameterMM / 2
+	gross := math.Pi*r*r/dieAreaMM2 - math.Pi*w.DiameterMM/math.Sqrt(2*dieAreaMM2)
+	if gross < 0 {
+		return 0
+	}
+	return int(gross)
+}
+
+// Yield is the Poisson defect-limited yield exp(-A*D): the reason the
+// 225 mm^2 Alpha die and the 9.8 mm^2 IBM core live in different cost
+// worlds, and part of why foundries guard-band ASIC ratings (section 8.2:
+// they must guarantee speed at yield).
+func Yield(w Wafer, dieAreaMM2 float64) float64 {
+	areaCm2 := dieAreaMM2 / 100
+	return math.Exp(-areaCm2 * w.DefectsPerCm2)
+}
+
+// CostPerGoodDie divides wafer cost over yielded dies.
+func CostPerGoodDie(w Wafer, dieAreaMM2 float64) float64 {
+	gross := DiesPerWafer(w, dieAreaMM2)
+	if gross == 0 {
+		return math.Inf(1)
+	}
+	good := float64(gross) * Yield(w, dieAreaMM2)
+	if good < 1 {
+		return math.Inf(1)
+	}
+	return w.CostUSD / good
+}
+
+// SpeedYield composes defect yield with a minimum speed requirement:
+// the fraction of dies that both work and meet the floor. This is the
+// foundry's problem in section 8.2 — "they cannot guarantee a
+// sufficiently high yield" at the top of the speed distribution.
+func SpeedYield(w Wafer, dieAreaMM2 float64, speeds []float64, floor float64) float64 {
+	pass := 0
+	for _, s := range speeds {
+		if s >= floor {
+			pass++
+		}
+	}
+	if len(speeds) == 0 {
+		return 0
+	}
+	return Yield(w, dieAreaMM2) * float64(pass) / float64(len(speeds))
+}
+
+// RatingForYield inverts SpeedYield: the highest speed floor the line can
+// quote while keeping at least the target overall yield. This is exactly
+// how the worst-case ASIC rating arises as an economic, not a physical,
+// number.
+func RatingForYield(w Wafer, dieAreaMM2 float64, speeds []float64, targetYield float64) float64 {
+	defect := Yield(w, dieAreaMM2)
+	if defect <= 0 || len(speeds) == 0 {
+		return 0
+	}
+	needFrac := targetYield / defect
+	if needFrac >= 1 {
+		return Quantile(speeds, 0) // even the slowest die must count
+	}
+	// The floor is the (1 - needFrac) quantile: needFrac of dies exceed it.
+	return Quantile(speeds, 1-needFrac)
+}
+
+func (w Wafer) String() string {
+	return fmt.Sprintf("%.0fmm wafer, $%.0f, %.2f defects/cm2", w.DiameterMM, w.CostUSD, w.DefectsPerCm2)
+}

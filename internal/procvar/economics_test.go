@@ -1,0 +1,105 @@
+package procvar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiesPerWafer(t *testing.T) {
+	w := Wafer200mm()
+	// Alpha-class 225 mm^2 die vs IBM-class 9.8 mm^2 die.
+	alpha := DiesPerWafer(w, 225)
+	ibm := DiesPerWafer(w, 9.8)
+	if alpha >= ibm {
+		t.Fatalf("big die yields more dies? %d vs %d", alpha, ibm)
+	}
+	if alpha < 80 || alpha > 130 {
+		t.Fatalf("225mm2 on 200mm wafer = %d dies, expected ~100", alpha)
+	}
+	if ibm < 2500 || ibm > 3300 {
+		t.Fatalf("9.8mm2 on 200mm wafer = %d dies, expected ~3000", ibm)
+	}
+	if DiesPerWafer(w, 0) != 0 {
+		t.Fatal("zero-area die should give 0")
+	}
+}
+
+func TestYieldFallsWithArea(t *testing.T) {
+	w := Wafer200mm()
+	f := func(a, b uint8) bool {
+		aa, ab := 1+float64(a), 1+float64(b)
+		ya, yb := Yield(w, aa), Yield(w, ab)
+		if aa <= ab {
+			return ya >= yb
+		}
+		return yb >= ya
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Alpha-class vs IBM-class: the big die pays heavily.
+	if y := Yield(w, 225); y > 0.45 {
+		t.Fatalf("225mm2 yield = %.2f, should be well under half", y)
+	}
+	if y := Yield(w, 9.8); y < 0.9 {
+		t.Fatalf("9.8mm2 yield = %.2f, should be >90%%", y)
+	}
+}
+
+func TestCostPerGoodDie(t *testing.T) {
+	w := Wafer200mm()
+	alpha := CostPerGoodDie(w, 225)
+	ibm := CostPerGoodDie(w, 9.8)
+	if alpha < 20*ibm {
+		t.Fatalf("the 225mm2 die should cost >20x the 9.8mm2 die: $%.0f vs $%.2f", alpha, ibm)
+	}
+	if math.IsInf(CostPerGoodDie(w, 1e9), 1) != true {
+		t.Fatal("absurd die should cost infinity")
+	}
+}
+
+func TestSpeedYieldAndRating(t *testing.T) {
+	w := Wafer200mm()
+	speeds := NewProcess().Sample(20000, 4)
+	// At the ASIC rated speed, nearly all working dies pass.
+	rated := ASICRating(speeds)
+	sy := SpeedYield(w, 50, speeds, rated)
+	if sy < 0.7*Yield(w, 50) {
+		t.Fatalf("speed yield at rated floor = %.2f, want near defect yield %.2f", sy, Yield(w, 50))
+	}
+	// At the fast-bin speed, yield collapses.
+	fast := Quantile(speeds, 0.99)
+	if syFast := SpeedYield(w, 50, speeds, fast); syFast > 0.05 {
+		t.Fatalf("fast-bin yield = %.2f, should be tiny", syFast)
+	}
+	// RatingForYield inverts: quoting for 60% overall yield gives a
+	// floor between the two.
+	floor := RatingForYield(w, 50, speeds, 0.6)
+	if floor <= rated || floor >= fast {
+		t.Fatalf("floor %.2f should sit between rated %.2f and fast %.2f", floor, rated, fast)
+	}
+	got := SpeedYield(w, 50, speeds, floor)
+	if math.Abs(got-0.6) > 0.02 {
+		t.Fatalf("yield at derived floor = %.2f, want ~0.60", got)
+	}
+}
+
+func TestRatingForYieldEdges(t *testing.T) {
+	w := Wafer200mm()
+	speeds := NewProcess().Sample(1000, 1)
+	// Demanding more yield than defects allow clamps to the slowest die.
+	floor := RatingForYield(w, 50, speeds, 0.99)
+	if floor != Quantile(speeds, 0) {
+		t.Fatalf("impossible yield target should clamp to slowest die")
+	}
+	if RatingForYield(w, 50, nil, 0.5) != 0 {
+		t.Fatal("no samples should return 0")
+	}
+}
+
+func TestWaferString(t *testing.T) {
+	if Wafer200mm().String() == "" {
+		t.Fatal("empty wafer description")
+	}
+}

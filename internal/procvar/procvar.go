@@ -1,0 +1,210 @@
+// Package procvar models process variation and accessibility, the paper's
+// second-largest factor (section 8, x1.90 overall): lot-to-lot,
+// wafer-to-wafer, die-to-die and intra-die variation produce a spread of
+// working silicon speeds; foundries quote ASIC libraries at a guard-banded
+// worst case, while custom vendors speed-bin and sell the fast tail.
+//
+// Speeds throughout are multipliers relative to the nominal design speed
+// of the process: 1.0 is a nominal die; 1.3 is a die 30% faster.
+package procvar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Components are the variation magnitudes of one fabrication line.
+// Sigmas are fractional (lognormal shape parameters).
+type Components struct {
+	// LotSigma, WaferSigma, DieSigma are the hierarchical variation
+	// components.
+	LotSigma, WaferSigma, DieSigma float64
+	// IntraDieSigma is within-die variation; the critical path sees the
+	// slowest of its segments, so intra-die variation only ever hurts.
+	IntraDieSigma float64
+	// PathGroups is the number of roughly independent critical-path
+	// groups on a die (the max over them sets the die's speed).
+	PathGroups int
+	// MeanShift is the line's average speed relative to the technology
+	// nominal: a freshly ramped line sits below 1.0; a mature tuned
+	// line with a mid-generation shrink sits above.
+	MeanShift float64
+}
+
+// Era presets: the paper observes 30-40% speed ranges when a process is
+// young (Intel's first 0.18 um parts spanned 533-733 MHz) narrowing as it
+// matures, with mid-life improvements (the 0.25 um 856 process shrink
+// bought 18%).
+func NewProcess() Components {
+	return Components{LotSigma: 0.07, WaferSigma: 0.05, DieSigma: 0.05,
+		IntraDieSigma: 0.04, PathGroups: 12, MeanShift: 0.95}
+}
+
+// MatureProcess is the same line after a year-plus of tuning.
+func MatureProcess() Components {
+	return Components{LotSigma: 0.04, WaferSigma: 0.03, DieSigma: 0.03,
+		IntraDieSigma: 0.03, PathGroups: 12, MeanShift: 1.05}
+}
+
+// SecondTierFab is another company's plant in the "same" technology: the
+// paper (section 8.1.2) puts identical ASIC designs 20-25% apart between
+// foundries.
+func SecondTierFab() Components {
+	return Components{LotSigma: 0.08, WaferSigma: 0.06, DieSigma: 0.06,
+		IntraDieSigma: 0.05, PathGroups: 12, MeanShift: 0.88}
+}
+
+// Sample draws n per-die speed multipliers. Dies are grouped into lots of
+// 25 wafers of 40 dies, sharing their lot and wafer components, which is
+// what makes the distribution clumpy in practice.
+func (c Components) Sample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const diesPerWafer = 40
+	const wafersPerLot = 25
+	speeds := make([]float64, 0, n)
+	for len(speeds) < n {
+		lot := math.Exp(rng.NormFloat64() * c.LotSigma)
+		for w := 0; w < wafersPerLot && len(speeds) < n; w++ {
+			wafer := math.Exp(rng.NormFloat64() * c.WaferSigma)
+			for d := 0; d < diesPerWafer && len(speeds) < n; d++ {
+				die := math.Exp(rng.NormFloat64() * c.DieSigma)
+				// The die runs at the speed of its slowest
+				// critical-path group.
+				worst := 1.0
+				for g := 0; g < c.PathGroups; g++ {
+					p := math.Exp(rng.NormFloat64() * c.IntraDieSigma)
+					if p < worst {
+						worst = p
+					}
+				}
+				speeds = append(speeds, c.MeanShift*lot*wafer*die*worst)
+			}
+		}
+	}
+	return speeds
+}
+
+// Quantile returns the q-quantile (0..1) of the speeds.
+func Quantile(speeds []float64, q float64) float64 {
+	if len(speeds) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), speeds...)
+	sort.Float64s(s)
+	idx := q * float64(len(s)-1)
+	lo := int(idx)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// WorstCaseRating is the speed a foundry quotes for ASIC libraries: a low
+// quantile of the distribution, times the voltage/temperature guard-band
+// derate (libraries are characterized at worst-case V and T, silicon in a
+// box mostly is not).
+const vtDerate = 0.80
+
+// ASICRating returns the guard-banded worst-case speed quote for a line.
+func ASICRating(speeds []float64) float64 {
+	return Quantile(speeds, 0.01) * vtDerate
+}
+
+// SpeedReport summarizes one line's distribution the way section 8 does.
+type SpeedReport struct {
+	Rated    float64 // guard-banded ASIC worst-case quote
+	Median   float64 // typical silicon
+	Fast     float64 // 99th percentile (the binned fast tail)
+	Spread   float64 // (p99 - p1) / median: visible bin range
+	TypGain  float64 // Median/Rated - 1: "typical runs X% above worst case"
+	FastGain float64 // Fast/Median - 1: "fastest parts X% above typical"
+}
+
+// Analyze builds the report from sampled speeds.
+func Analyze(speeds []float64) SpeedReport {
+	r := SpeedReport{
+		Rated:  ASICRating(speeds),
+		Median: Quantile(speeds, 0.5),
+		Fast:   Quantile(speeds, 0.99),
+	}
+	p1 := Quantile(speeds, 0.01)
+	r.Spread = (r.Fast - p1) / r.Median
+	if r.Rated > 0 {
+		r.TypGain = r.Median/r.Rated - 1
+	}
+	if r.Median > 0 {
+		r.FastGain = r.Fast/r.Median - 1
+	}
+	return r
+}
+
+func (r SpeedReport) String() string {
+	return fmt.Sprintf("rated %.2f, median %.2f (+%.0f%%), fast %.2f (+%.0f%% over median), spread %.0f%%",
+		r.Rated, r.Median, 100*r.TypGain, r.Fast, 100*r.FastGain, 100*r.Spread)
+}
+
+// Bin is one speed grade.
+type Bin struct {
+	MinSpeed float64
+	Count    int
+	Frac     float64
+}
+
+// SpeedBin sorts dies into grades at the given ascending speed floors;
+// dies below the first floor are discards (returned as the first bin with
+// MinSpeed 0). This is the custom vendor's down-binning machinery.
+func SpeedBin(speeds []float64, floors []float64) []Bin {
+	bins := make([]Bin, len(floors)+1)
+	bins[0] = Bin{MinSpeed: 0}
+	for i, f := range floors {
+		bins[i+1] = Bin{MinSpeed: f}
+	}
+	for _, s := range speeds {
+		k := 0
+		for i := len(floors); i >= 1; i-- {
+			if s >= floors[i-1] {
+				k = i
+				break
+			}
+		}
+		bins[k].Count++
+	}
+	for i := range bins {
+		bins[i].Frac = float64(bins[i].Count) / float64(len(speeds))
+	}
+	return bins
+}
+
+// TestedSpeedGain is the section 8.3 option for ASIC vendors willing to
+// test every part instead of trusting the worst-case quote: the gain from
+// selling parts at their measured speed (median) over the rating.
+func TestedSpeedGain(speeds []float64) float64 {
+	rated := ASICRating(speeds)
+	if rated <= 0 {
+		return 0
+	}
+	return Quantile(speeds, 0.5)/rated - 1
+}
+
+// FabToFabGap compares median silicon between two lines (section 8.1.2).
+func FabToFabGap(a, b []float64) float64 {
+	ma, mb := Quantile(a, 0.5), Quantile(b, 0.5)
+	if mb == 0 {
+		return 0
+	}
+	return ma/mb - 1
+}
+
+// CustomAdvantage is the section 8 headline: the best custom silicon
+// (fast bin of the best, mature fab) against an ASIC quoted at guard-
+// banded worst case on a second-tier fab.
+func CustomAdvantage(bestFab, asicFab []float64) float64 {
+	rated := ASICRating(asicFab)
+	if rated <= 0 {
+		return 0
+	}
+	return Quantile(bestFab, 0.99)/rated - 1
+}

@@ -1,0 +1,103 @@
+package procvar
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProcessAt interpolates a fabrication line's variation components over
+// its life: month 0 is first risk production (wide variation, slow mean),
+// month 36 is end of the generation (tight, tuned, plus the mid-life
+// design-rule shrink the paper cites — Intel's 0.25 um "856" shrink was
+// worth 18%). Interpolation is smooth and clamped.
+func ProcessAt(months float64) Components {
+	t := math.Max(0, math.Min(1, months/36))
+	// Ease-out: most tuning happens early.
+	u := 1 - (1-t)*(1-t)
+	lerp := func(a, b float64) float64 { return a + (b-a)*u }
+	young, old := NewProcess(), MatureProcess()
+	return Components{
+		LotSigma:      lerp(young.LotSigma, old.LotSigma),
+		WaferSigma:    lerp(young.WaferSigma, old.WaferSigma),
+		DieSigma:      lerp(young.DieSigma, old.DieSigma),
+		IntraDieSigma: lerp(young.IntraDieSigma, old.IntraDieSigma),
+		PathGroups:    young.PathGroups,
+		MeanShift:     lerp(young.MeanShift, old.MeanShift),
+	}
+}
+
+// GenerationRange reports the full range of clock speeds one identical
+// design exhibits across a technology generation: the fast bin at end of
+// life against the slow production parts at initial ramp. The paper
+// expects a 50-60% range (section 8.1.1), extended further by
+// down-binning.
+func GenerationRange(dies int, seed int64) float64 {
+	start := ProcessAt(0).Sample(dies, seed)
+	end := ProcessAt(36).Sample(dies, seed+1)
+	startSlow := Quantile(start, 0.05)
+	endFast := Quantile(end, 0.99)
+	if startSlow == 0 {
+		return 0
+	}
+	return endFast/startSlow - 1
+}
+
+// DownBinAllocation is the paper's down-binning observation: when demand
+// for a slow grade exceeds its natural yield, faster dies are sold under
+// the slow label (the over-clockable parts hobbyists find).
+type DownBinAllocation struct {
+	// Grade floors, ascending (grade 0 is the discard bin).
+	Bins []Bin
+	// SoldAs[i] is how many dies ship under grade i's label.
+	SoldAs []int
+	// DownBinned counts dies sold below their qualified grade.
+	DownBinned int
+}
+
+// DownBin allocates dies to demanded quantities per grade (aligned with
+// the bins returned by SpeedBin, excluding the discard bin). Demand is
+// served from each grade's own yield first, then by pulling faster dies
+// down. Unserved demand stays unserved; leftover fast dies ship at their
+// own grade.
+func DownBin(bins []Bin, demand []int) (DownBinAllocation, error) {
+	if len(demand) != len(bins)-1 {
+		return DownBinAllocation{}, fmt.Errorf("procvar: demand for %d grades, have %d", len(demand), len(bins)-1)
+	}
+	alloc := DownBinAllocation{
+		Bins:   bins,
+		SoldAs: make([]int, len(bins)),
+	}
+	avail := make([]int, len(bins))
+	for i, b := range bins {
+		avail[i] = b.Count
+	}
+	// Serve demand from slowest grade to fastest; each grade pulls from
+	// its own bin, then from the slowest still-available faster bin.
+	for g := 1; g < len(bins); g++ {
+		need := demand[g-1]
+		take := min(need, avail[g])
+		avail[g] -= take
+		alloc.SoldAs[g] += take
+		need -= take
+		for f := g + 1; f < len(bins) && need > 0; f++ {
+			take = min(need, avail[f])
+			avail[f] -= take
+			alloc.SoldAs[g] += take
+			alloc.DownBinned += take
+			need -= take
+		}
+	}
+	// Remaining fast dies sell at their own grade.
+	for g := 1; g < len(bins); g++ {
+		alloc.SoldAs[g] += avail[g]
+		avail[g] = 0
+	}
+	return alloc, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

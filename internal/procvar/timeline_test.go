@@ -1,0 +1,82 @@
+package procvar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessAtEndpoints(t *testing.T) {
+	start := ProcessAt(0)
+	if start != NewProcess() {
+		t.Fatalf("month 0 should equal the ramp preset: %+v", start)
+	}
+	end := ProcessAt(36)
+	if end.MeanShift != MatureProcess().MeanShift {
+		t.Fatalf("month 36 mean = %g, want %g", end.MeanShift, MatureProcess().MeanShift)
+	}
+	if late := ProcessAt(100); late.MeanShift != end.MeanShift {
+		t.Fatal("timeline must clamp beyond the generation")
+	}
+}
+
+func TestProcessAtMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ma, mb := float64(a%40), float64(b%40)
+		ca, cb := ProcessAt(ma), ProcessAt(mb)
+		if ma <= mb {
+			return ca.MeanShift <= cb.MeanShift+1e-12 && ca.LotSigma >= cb.LotSigma-1e-12
+		}
+		return cb.MeanShift <= ca.MeanShift+1e-12 && cb.LotSigma >= ca.LotSigma-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationRangeBand(t *testing.T) {
+	// Section 8.1.1: a 50-60% range in produced clock speeds of the
+	// identical design across a technology generation.
+	r := GenerationRange(20000, 7)
+	if r < 0.35 || r > 0.80 {
+		t.Fatalf("generation range = %.0f%%, want 35-80%% (paper: 50-60%%)", 100*r)
+	}
+}
+
+func TestDownBinServesDemandFromFasterBins(t *testing.T) {
+	speeds := NewProcess().Sample(10000, 3)
+	floors := []float64{0.8, 0.95, 1.05}
+	bins := SpeedBin(speeds, floors)
+	// Demand far more slow parts than yielded: the allocator must pull
+	// fast dies down.
+	demand := []int{bins[1].Count + 500, 100, 0}
+	alloc, err := DownBin(bins, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.DownBinned == 0 {
+		t.Fatal("excess slow demand must trigger down-binning")
+	}
+	if alloc.SoldAs[1] != demand[0] && alloc.SoldAs[1] < bins[1].Count {
+		t.Fatalf("slow grade shipped %d, demand %d, own yield %d",
+			alloc.SoldAs[1], demand[0], bins[1].Count)
+	}
+	// Conservation: sold dies never exceed non-discard production.
+	total := 0
+	for g := 1; g < len(bins); g++ {
+		total += alloc.SoldAs[g]
+	}
+	produced := 0
+	for g := 1; g < len(bins); g++ {
+		produced += bins[g].Count
+	}
+	if total != produced {
+		t.Fatalf("sold %d of %d produced", total, produced)
+	}
+}
+
+func TestDownBinValidatesDemand(t *testing.T) {
+	bins := SpeedBin([]float64{1, 1, 1}, []float64{0.5})
+	if _, err := DownBin(bins, []int{1, 2}); err == nil {
+		t.Fatal("mismatched demand length must error")
+	}
+}

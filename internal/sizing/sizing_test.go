@@ -1,0 +1,197 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// loadedAdder builds a CLA with wire loads so sizing has something to do.
+func loadedAdder(t *testing.T, lib *cell.Library, w int) *netlist.Netlist {
+	t.Helper()
+	ad, err := circuits.CarryLookahead(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 1}
+	for _, nt := range ad.N.Nets() {
+		fo := len(nt.Sinks) + len(nt.RegSinks)
+		if fo > 0 {
+			nt.WireCap = wl.NetCap(fo)
+		}
+	}
+	return ad.N
+}
+
+func worst(t *testing.T, n *netlist.Netlist) units.Tau {
+	t.Helper()
+	r, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.WorstComb
+}
+
+func TestTILOSImprovesCriticalPath(t *testing.T) {
+	lib := cell.Custom()
+	n := loadedAdder(t, lib, 16)
+	res, err := ContinuousTILOS(n, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() < 1.15 {
+		t.Fatalf("TILOS speedup = %.2f, want >= 1.15 (paper: 20%% or more)", res.Speedup())
+	}
+	if res.AreaAfter <= res.AreaBefore {
+		t.Fatal("upsizing must cost area")
+	}
+	if res.Iters == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestTILOSNeverHurts(t *testing.T) {
+	lib := cell.Custom()
+	n := loadedAdder(t, lib, 8)
+	before := worst(t, n)
+	res, err := ContinuousTILOS(n, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := worst(t, n)
+	if after > before {
+		t.Fatalf("TILOS made the design slower: %.1f -> %.1f FO4", before.FO4(), after.FO4())
+	}
+	if res.After != after {
+		t.Fatalf("result After (%.2f) disagrees with reanalysis (%.2f)", res.After.FO4(), after.FO4())
+	}
+}
+
+func TestDiscreteSnapCostsLittleOnRichLibrary(t *testing.T) {
+	// Section 6.1: with a rich library of sizes, discrete drives cost
+	// only 2-7% against continuous sizing.
+	custom := cell.Custom()
+	rich := cell.RichASIC()
+	n := loadedAdder(t, custom, 16)
+	res, err := ContinuousTILOS(n, custom, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapped, err := SnapToLibrary(n, rich, SnapNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := float64(snapped)/float64(res.After) - 1
+	if penalty < -0.02 {
+		t.Fatalf("snap somehow improved timing by %.1f%%", -penalty*100)
+	}
+	if penalty > 0.12 {
+		t.Fatalf("rich-library snap penalty = %.1f%%, want single digits (paper: 2-7%%)", penalty*100)
+	}
+}
+
+func TestDiscreteSnapHurtsMoreOnTwoDriveLibrary(t *testing.T) {
+	custom := cell.Custom()
+	rich := cell.RichASIC()
+	two := cell.RestrictDrives(rich, 1, 4)
+
+	n1 := loadedAdder(t, custom, 16)
+	res, err := ContinuousTILOS(n1, custom, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := n1.Clone()
+	richSnap, err := SnapToLibrary(n1, rich, SnapNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoSnap, err := SnapToLibrary(n2, two, SnapNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoSnap <= richSnap {
+		t.Fatalf("two-drive snap (%.1f FO4) should hurt more than rich snap (%.1f FO4)",
+			twoSnap.FO4(), richSnap.FO4())
+	}
+	_ = res
+}
+
+func TestSnapUpNeverSlowerThanRequestedDrive(t *testing.T) {
+	lib := cell.RichASIC()
+	c, err := snapUp(lib, cell.FuncNand2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Drive < 5 {
+		t.Fatalf("snap-up returned drive %g < 5", c.Drive)
+	}
+	// Beyond the ladder it returns the largest.
+	c, _ = snapUp(lib, cell.FuncNand2, 1000)
+	if c.Drive != 32 {
+		t.Fatalf("snap-up beyond ladder = %g, want 32", c.Drive)
+	}
+}
+
+func TestPowerAwareDownsizesOffCriticalGates(t *testing.T) {
+	lib := cell.RichASIC()
+	n := loadedAdder(t, lib, 8)
+	// First upsize everything to X8 to create slack everywhere.
+	for _, g := range n.Gates() {
+		c, err := lib.ForDrive(g.Cell.Func, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Cell = c
+	}
+	areaBefore := n.TotalArea()
+	before := worst(t, n)
+	down, err := PowerAware(n, lib, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down == 0 {
+		t.Fatal("power-aware sizing downsized nothing on an oversized design")
+	}
+	if n.TotalArea() >= areaBefore {
+		t.Fatal("downsizing must reduce area")
+	}
+	after := worst(t, n)
+	if float64(after) > float64(before)*1.021 {
+		t.Fatalf("power-aware sizing blew the slack budget: %.2f -> %.2f FO4", before.FO4(), after.FO4())
+	}
+}
+
+func TestResynthesize(t *testing.T) {
+	lib := cell.Custom()
+	n := loadedAdder(t, lib, 16)
+	res, err := Resynthesize(n, lib, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After > res.Before {
+		t.Fatal("resynthesis made things worse")
+	}
+	if res.String() == "" {
+		t.Fatal("empty result description")
+	}
+}
+
+func TestTILOSRespectsMaxDrive(t *testing.T) {
+	lib := cell.Custom()
+	n := loadedAdder(t, lib, 8)
+	opt := DefaultOptions()
+	opt.MaxDrive = 4
+	if _, err := ContinuousTILOS(n, lib, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range n.Gates() {
+		if g.Cell.Drive > 4+1e-9 {
+			t.Fatalf("gate %d sized to %g, above cap 4", g.ID, g.Cell.Drive)
+		}
+	}
+}

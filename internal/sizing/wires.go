@@ -1,0 +1,116 @@
+package sizing
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// WireResult reports a wire-sizing run.
+type WireResult struct {
+	Widened       int
+	Before, After units.Tau
+}
+
+// Speedup is Before/After.
+func (r WireResult) Speedup() float64 {
+	if r.After == 0 {
+		return 1
+	}
+	return float64(r.Before) / float64(r.After)
+}
+
+// WidenWires implements the paper's section 6 wire sizing: wires on the
+// critical path are widened (within the process's width ladder) when the
+// resistance reduction beats the capacitance increase. It requires the
+// netlist to carry placement annotations (Net.LengthMM from
+// place.Annotate); nets without length are skipped.
+//
+// The pass walks the critical path after each accepted widening, like
+// TILOS does for gates, and stops when no critical wire benefits.
+func WidenWires(n *netlist.Netlist, m wire.Model, maxIters int) (WireResult, error) {
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	first, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		return WireResult{}, err
+	}
+	res := WireResult{Before: first.WorstComb, After: first.WorstComb}
+
+	reannotate := func(nt *netlist.Net, width float64) {
+		nt.WidthMult = width
+		nt.WireCap = m.CapOfLength(nt.LengthMM, width)
+		load := n.Load(nt.ID) - nt.WireCap
+		drive := 2.0
+		if nt.Driver != netlist.None {
+			drive = n.Gate(nt.Driver).Cell.Drive
+		} else if nt.DriverReg != netlist.None {
+			drive = n.Reg(nt.DriverReg).Cell.Drive
+		}
+		full := m.UnbufferedDelay(nt.LengthMM, width, drive, load)
+		lumped := m.UnbufferedDelay(0, width, drive, load+nt.WireCap)
+		extra := full - lumped
+		if extra < 0 {
+			extra = 0
+		}
+		nt.ExtraDelay = extra
+	}
+
+	// localDelay is the wire's own contribution: the driver's effort
+	// into the net's total load plus the distributed extra.
+	localDelay := func(nt *netlist.Net) float64 {
+		drive := 2.0
+		switch {
+		case nt.Driver != netlist.None:
+			drive = n.Gate(nt.Driver).Cell.Drive
+		case nt.DriverReg != netlist.None:
+			drive = n.Reg(nt.DriverReg).Cell.Drive
+		}
+		return float64(n.Load(nt.ID))/drive + float64(nt.ExtraDelay)
+	}
+
+	// Designs with symmetric parallel paths tie exactly, so a
+	// strictly-global acceptance test starves: instead widen every net
+	// whose *local* wire delay improves, as long as the global worst
+	// path does not regress. Repeat passes until a pass changes nothing.
+	worst := first.WorstComb
+	for pass := 0; pass < 6; pass++ {
+		changed := 0
+		for _, nt := range n.Nets() {
+			if res.Widened >= maxIters {
+				break
+			}
+			if nt.LengthMM <= 0.2 || nt.WidthMult <= 0 {
+				continue
+			}
+			if nt.WidthMult*2 > m.P.Metal.MaxWidthMult {
+				continue
+			}
+			before := localDelay(nt)
+			oldWidth, oldCap, oldExtra := nt.WidthMult, nt.WireCap, nt.ExtraDelay
+			reannotate(nt, oldWidth*2)
+			if localDelay(nt) >= before {
+				nt.WidthMult, nt.WireCap, nt.ExtraDelay = oldWidth, oldCap, oldExtra
+				continue
+			}
+			next, err := sta.Analyze(n, sta.Options{})
+			if err != nil {
+				return res, err
+			}
+			if next.WorstComb > worst {
+				nt.WidthMult, nt.WireCap, nt.ExtraDelay = oldWidth, oldCap, oldExtra
+				continue
+			}
+			worst = next.WorstComb
+			res.Widened++
+			changed++
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	res.After = worst
+	return res, nil
+}

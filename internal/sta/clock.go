@@ -1,0 +1,78 @@
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Clocking describes the clock-distribution quality of a methodology.
+// The paper's calibration points (section 4.1): ASIC clock trees run 10%
+// or more of the cycle in skew; a carefully engineered custom tree holds
+// about 5% (75 ps on the 600 MHz Alpha 21264).
+type Clocking struct {
+	// SkewFrac is clock skew as a fraction of the cycle time.
+	SkewFrac float64
+	// JitterTau is additional absolute uncertainty per cycle, in tau.
+	JitterTau units.Tau
+}
+
+// ASICClocking is a typical synthesized clock tree.
+func ASICClocking() Clocking { return Clocking{SkewFrac: 0.10} }
+
+// CustomClocking is a hand-tuned custom clock distribution.
+func CustomClocking() Clocking { return Clocking{SkewFrac: 0.05} }
+
+// CycleReport decomposes a minimum cycle time into its components, the
+// accounting of paper sections 4 and 4.1.
+type CycleReport struct {
+	// Cycle is the minimum clock period in tau.
+	Cycle units.Tau
+	// Logic is the combinational portion (including clock-to-Q of the
+	// launching register, which arrives bundled in the arrival times).
+	Logic units.Tau
+	// Setup is the worst destination setup time.
+	Setup units.Tau
+	// Skew is the skew+jitter allocation at the computed cycle.
+	Skew units.Tau
+	// SkewFrac echoes the methodology skew fraction.
+	SkewFrac float64
+}
+
+// FO4 returns the cycle time in FO4 units.
+func (c CycleReport) FO4() float64 { return c.Cycle.FO4() }
+
+// FrequencyMHz returns the clock frequency in the given process.
+func (c CycleReport) FrequencyMHz(p units.Process) float64 { return p.FrequencyMHz(c.Cycle) }
+
+// OverheadFrac is the fraction of the cycle not spent in logic.
+func (c CycleReport) OverheadFrac() float64 {
+	if c.Cycle == 0 {
+		return 0
+	}
+	return float64((c.Cycle - c.Logic) / c.Cycle)
+}
+
+func (c CycleReport) String() string {
+	return fmt.Sprintf("cycle %.1f FO4 (logic %.1f + setup %.1f + skew %.1f, overhead %.0f%%)",
+		c.Cycle.FO4(), c.Logic.FO4(), c.Setup.FO4(), c.Skew.FO4(), 100*c.OverheadFrac())
+}
+
+// MinCycle converts a timing result into a minimum cycle time under the
+// given clocking. The skew fraction is charged against the cycle itself:
+// solving cycle = path + setup + jitter + skewFrac*cycle.
+func (r *Result) MinCycle(clk Clocking) (CycleReport, error) {
+	if clk.SkewFrac < 0 || clk.SkewFrac >= 1 {
+		return CycleReport{}, fmt.Errorf("sta: skew fraction %.2f out of [0,1)", clk.SkewFrac)
+	}
+	setup := r.WorstEndpointDelay - r.WorstComb
+	base := r.WorstComb + setup + clk.JitterTau
+	cycle := units.Tau(float64(base) / (1 - clk.SkewFrac))
+	return CycleReport{
+		Cycle:    cycle,
+		Logic:    r.WorstComb,
+		Setup:    setup,
+		Skew:     cycle - base,
+		SkewFrac: clk.SkewFrac,
+	}, nil
+}

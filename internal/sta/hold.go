@@ -1,0 +1,159 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// HoldViolation is one register whose fastest incoming path races the
+// clock edge.
+type HoldViolation struct {
+	Reg netlist.RegID
+	// MinArrival is the earliest the D pin can change after the edge.
+	MinArrival units.Tau
+	// Required is hold time plus the skew allocation.
+	Required units.Tau
+	// Slack is MinArrival - Required (negative means violated).
+	Slack units.Tau
+}
+
+// HoldReport summarizes a min-delay analysis.
+type HoldReport struct {
+	// WorstSlack is the tightest hold margin in the design.
+	WorstSlack units.Tau
+	// Violations lists registers with negative slack.
+	Violations []HoldViolation
+	// MinArrival per net (earliest change after the launching edge).
+	MinArrival []units.Tau
+}
+
+func (h HoldReport) String() string {
+	return fmt.Sprintf("hold: worst slack %.2f FO4, %d violations", h.WorstSlack.FO4(), len(h.Violations))
+}
+
+// HoldCheck runs min-delay analysis: propagate the *earliest* possible
+// arrival from every start point and check each register's hold
+// requirement against the skew allocation at the given cycle. The paper's
+// section 4.1 point that ASIC registers "have to be more tolerant to
+// clock skew" is this check: more skew demands more hold margin, which
+// guard-banded cells buy with larger hold times and designs buy with
+// min-delay padding buffers.
+func HoldCheck(n *netlist.Netlist, clk Clocking, cycle units.Tau) (HoldReport, error) {
+	if err := n.Check(); err != nil {
+		return HoldReport{}, err
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return HoldReport{}, err
+	}
+	minArr := make([]units.Tau, n.NumNets())
+	for i := range minArr {
+		minArr[i] = units.Tau(math.Inf(1))
+	}
+	for _, id := range n.Inputs() {
+		// Primary inputs are assumed held stable through the edge by
+		// the environment; they do not race internal registers.
+		minArr[id] = units.Tau(math.Inf(1))
+	}
+	for _, r := range n.Regs() {
+		// Fastest clock-to-Q with zero load margin: the contamination
+		// delay, approximated as half the nominal clock-to-Q, plus any
+		// padding delay annotated on the Q net.
+		minArr[r.Q] = r.Cell.ClkToQ/2 + n.Net(r.Q).ExtraDelay
+	}
+	for _, gid := range order {
+		g := n.Gate(gid)
+		worst := units.Tau(math.Inf(1))
+		for _, in := range g.In {
+			if minArr[in] < worst {
+				worst = minArr[in]
+			}
+		}
+		if math.IsInf(float64(worst), 1) {
+			minArr[g.Out] = worst
+			continue
+		}
+		// Contamination delay of the gate: parasitic only (the fastest
+		// input-to-output transfer, no effort component charged), plus
+		// annotated wire/padding delay.
+		minArr[g.Out] = worst + g.Cell.P + n.Net(g.Out).ExtraDelay
+	}
+
+	skewAbs := units.Tau(clk.SkewFrac * float64(cycle))
+	rep := HoldReport{MinArrival: minArr, WorstSlack: units.Tau(math.Inf(1))}
+	for _, r := range n.Regs() {
+		ma := minArr[r.D]
+		if math.IsInf(float64(ma), 1) {
+			continue // fed only by primary inputs: no race
+		}
+		required := r.Cell.Hold + skewAbs
+		slack := ma - required
+		if slack < rep.WorstSlack {
+			rep.WorstSlack = slack
+		}
+		if slack < 0 {
+			rep.Violations = append(rep.Violations, HoldViolation{
+				Reg: r.ID, MinArrival: ma, Required: required, Slack: slack,
+			})
+		}
+	}
+	if math.IsInf(float64(rep.WorstSlack), 1) {
+		rep.WorstSlack = 0
+	}
+	return rep, nil
+}
+
+// PadHold fixes every hold violation by inserting a dedicated delay
+// buffer between the racing register and its D net, so the padding
+// never slows the functional fanout of that net. It returns the number
+// of registers padded. The area/power cost of min-delay padding is part
+// of why high skew budgets hurt ASICs beyond the cycle-time term.
+func PadHold(n *netlist.Netlist, lib *cell.Library, clk Clocking, cycle units.Tau) (int, error) {
+	buf := lib.Smallest(cell.FuncBuf)
+	inv := lib.Smallest(cell.FuncInv)
+	if buf == nil && inv == nil {
+		return 0, fmt.Errorf("sta: library %s has no buffer or inverter for hold fixes", lib.Name)
+	}
+	rep, err := HoldCheck(n, clk, cycle)
+	if err != nil {
+		return 0, err
+	}
+	padded := 0
+	for _, v := range rep.Violations {
+		r := n.Reg(v.Reg)
+		need := -v.Slack
+		var out netlist.NetID
+		if buf != nil {
+			out, err = n.AddGate(buf, r.D)
+		} else {
+			var mid netlist.NetID
+			mid, err = n.AddGate(inv, r.D)
+			if err == nil {
+				out, err = n.AddGate(inv, mid)
+			}
+		}
+		if err != nil {
+			return padded, err
+		}
+		// The buffer's own contamination (its parasitic) counts; the
+		// remainder is realized as routing detour on its output.
+		pad := need - padCellP(buf, inv)
+		if pad > 0 {
+			n.Net(out).ExtraDelay = pad
+		}
+		n.RewireRegD(v.Reg, out)
+		padded++
+	}
+	return padded, nil
+}
+
+func padCellP(buf, inv *cell.Cell) units.Tau {
+	if buf != nil {
+		return buf.P
+	}
+	return 2 * inv.P
+}

@@ -1,0 +1,110 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// regToReg builds a direct register-to-register transfer with the given
+// number of gates in between.
+func regToReg(lib *cell.Library, gates int) *netlist.Netlist {
+	n := netlist.New("r2r")
+	ff := lib.DefaultSeq(2)
+	a := n.AddInput("a")
+	q := n.AddReg(ff, a)
+	x := q
+	for i := 0; i < gates; i++ {
+		x = n.MustGate(lib.Smallest(cell.FuncInv), x)
+	}
+	n.AddReg(ff, x)
+	return n
+}
+
+func TestHoldViolationOnDirectTransfer(t *testing.T) {
+	lib := cell.RichASIC()
+	n := regToReg(lib, 0) // Q wired straight into the next D
+	// At a large cycle with 10% skew, the absolute skew exceeds the
+	// fast clock-to-Q: a race.
+	rep, err := HoldCheck(n, ASICClocking(), units.FromFO4(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("direct reg-to-reg at 8 FO4 of skew must violate hold")
+	}
+	if rep.WorstSlack >= 0 {
+		t.Fatal("worst slack should be negative")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestHoldCleanWithLogicInPath(t *testing.T) {
+	lib := cell.RichASIC()
+	n := regToReg(lib, 12) // plenty of contamination delay
+	rep, err := HoldCheck(n, ASICClocking(), units.FromFO4(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("12 gates of contamination should clear hold, got %d violations", len(rep.Violations))
+	}
+	if rep.WorstSlack <= 0 {
+		t.Fatal("slack should be positive")
+	}
+}
+
+func TestHoldSkewSensitivity(t *testing.T) {
+	lib := cell.RichASIC()
+	n := regToReg(lib, 2)
+	cycle := units.FromFO4(40)
+	asic, err := HoldCheck(n, ASICClocking(), cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := HoldCheck(n, CustomClocking(), cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.WorstSlack <= asic.WorstSlack {
+		t.Fatal("lower skew must improve hold slack")
+	}
+}
+
+func TestHoldIgnoresPrimaryInputFedRegs(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	n.AddReg(lib.DefaultSeq(2), a)
+	rep, err := HoldCheck(n, ASICClocking(), units.FromFO4(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatal("PI-fed registers do not race the internal clock")
+	}
+}
+
+func TestPadHoldClearsViolations(t *testing.T) {
+	lib := cell.RichASIC()
+	n := regToReg(lib, 0)
+	cycle := units.FromFO4(80)
+	padded, err := PadHold(n, lib, ASICClocking(), cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded == 0 {
+		t.Fatal("nothing padded")
+	}
+	rep, err := HoldCheck(n, ASICClocking(), cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("padding left %d violations", len(rep.Violations))
+	}
+}

@@ -1,0 +1,116 @@
+package sta
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// SlackReport carries required-time analysis against a target cycle.
+type SlackReport struct {
+	// Target is the required arrival at the latest endpoint.
+	Target units.Tau
+	// Required holds each net's required time (inf for nets that reach
+	// no endpoint).
+	Required []units.Tau
+	// Slack is Required - Arrival per net.
+	Slack []units.Tau
+	// WorstSlack is the minimum slack (negative when the target is
+	// missed).
+	WorstSlack units.Tau
+	// CriticalCount is the number of nets with slack within 5% of the
+	// worst — the size of the near-critical set sizing has to fix.
+	CriticalCount int
+}
+
+// RequiredTimes propagates required times backward from every endpoint
+// against the given target and returns per-net slack. Endpoints are
+// register D pins (required = target - setup) and primary outputs
+// (required = target).
+func (r *Result) RequiredTimes(n *netlist.Netlist, target units.Tau) (*SlackReport, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	req := make([]units.Tau, n.NumNets())
+	for i := range req {
+		req[i] = units.Tau(math.Inf(1))
+	}
+	tighten := func(id netlist.NetID, t units.Tau) {
+		if t < req[id] {
+			req[id] = t
+		}
+	}
+	for _, reg := range n.Regs() {
+		tighten(reg.D, target-reg.Cell.Setup)
+	}
+	for _, id := range n.Outputs() {
+		tighten(id, target)
+	}
+	// Walk gates in reverse topological order: a gate's input must
+	// arrive early enough that input + gate delay meets the output's
+	// requirement.
+	load := func(id netlist.NetID) units.Cap { return n.Load(id) }
+	for i := len(order) - 1; i >= 0; i-- {
+		g := n.Gate(order[i])
+		d := g.Cell.Delay(load(g.Out)) + n.Net(g.Out).ExtraDelay
+		need := req[g.Out] - d
+		for _, in := range g.In {
+			tighten(in, need)
+		}
+	}
+
+	rep := &SlackReport{Target: target, Required: req, Slack: make([]units.Tau, n.NumNets())}
+	rep.WorstSlack = units.Tau(math.Inf(1))
+	for i := range req {
+		if math.IsInf(float64(req[i]), 1) {
+			rep.Slack[i] = req[i]
+			continue
+		}
+		rep.Slack[i] = req[i] - r.Arrival[i]
+		if rep.Slack[i] < rep.WorstSlack {
+			rep.WorstSlack = rep.Slack[i]
+		}
+	}
+	if math.IsInf(float64(rep.WorstSlack), 1) {
+		rep.WorstSlack = 0
+	}
+	margin := rep.WorstSlack + units.Tau(0.05*math.Abs(float64(target)))
+	for i := range rep.Slack {
+		if !math.IsInf(float64(rep.Slack[i]), 1) && rep.Slack[i] <= margin {
+			rep.CriticalCount++
+		}
+	}
+	return rep, nil
+}
+
+// Endpoint describes one timing endpoint sorted by criticality.
+type Endpoint struct {
+	Net     netlist.NetID
+	Kind    EndKind
+	Arrival units.Tau // including destination setup where applicable
+}
+
+// WorstEndpoints lists the k latest-arriving endpoints, worst first —
+// the per-path view timing reports lead with.
+func (r *Result) WorstEndpoints(n *netlist.Netlist, k int) []Endpoint {
+	var eps []Endpoint
+	for _, reg := range n.Regs() {
+		eps = append(eps, Endpoint{Net: reg.D, Kind: EndRegisterD, Arrival: r.Arrival[reg.D] + reg.Cell.Setup})
+	}
+	for _, id := range n.Outputs() {
+		eps = append(eps, Endpoint{Net: id, Kind: EndPrimaryOutput, Arrival: r.Arrival[id]})
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].Arrival != eps[j].Arrival {
+			return eps[i].Arrival > eps[j].Arrival
+		}
+		return eps[i].Net < eps[j].Net
+	})
+	if k > 0 && len(eps) > k {
+		eps = eps[:k]
+	}
+	return eps
+}

@@ -1,0 +1,113 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+)
+
+func TestRequiredTimesBasics(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ad.N
+	r, err := Analyze(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target exactly the worst arrival: worst slack must be ~zero.
+	rep, err := r.RequiredTimes(n, r.WorstEndpointDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(rep.WorstSlack)) > 1e-9 {
+		t.Fatalf("slack at exact target = %g, want 0", float64(rep.WorstSlack))
+	}
+	if rep.CriticalCount == 0 {
+		t.Fatal("no critical nets at zero slack")
+	}
+	// Loosen the target by 10 tau: worst slack becomes exactly 10.
+	rep2, err := r.RequiredTimes(n, r.WorstEndpointDelay+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(rep2.WorstSlack)-10) > 1e-9 {
+		t.Fatalf("loosened slack = %g, want 10", float64(rep2.WorstSlack))
+	}
+	// Tighten: negative slack.
+	rep3, err := r.RequiredTimes(n, r.WorstEndpointDelay-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(rep3.WorstSlack)+5) > 1e-9 {
+		t.Fatalf("tightened slack = %g, want -5", float64(rep3.WorstSlack))
+	}
+}
+
+func TestSlackConsistentWithArrival(t *testing.T) {
+	// For every net on the critical path, slack at the exact target is
+	// zero; off-path nets have non-negative slack.
+	lib := cell.RichASIC()
+	ad, err := circuits.KoggeStone(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ad.N
+	r, err := Analyze(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.RequiredTimes(n, r.WorstEndpointDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range r.Critical {
+		if math.IsInf(float64(rep.Slack[step.Net]), 1) {
+			t.Fatal("critical net has infinite slack")
+		}
+		if rep.Slack[step.Net] > 1e-9 {
+			t.Fatalf("critical-path net %d has positive slack %g", step.Net, float64(rep.Slack[step.Net]))
+		}
+	}
+	for i, s := range rep.Slack {
+		if !math.IsInf(float64(s), 1) && float64(s) < -1e-9 {
+			t.Fatalf("net %d has negative slack at the exact target", i)
+		}
+	}
+}
+
+func TestWorstEndpoints(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.RippleCarry(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ad.N
+	r, err := Analyze(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := r.WorstEndpoints(n, 5)
+	if len(eps) != 5 {
+		t.Fatalf("got %d endpoints, want 5", len(eps))
+	}
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Arrival > eps[i-1].Arrival {
+			t.Fatal("endpoints not sorted worst-first")
+		}
+	}
+	// The worst endpoint matches the analyzer's.
+	if eps[0].Arrival != r.WorstEndpointDelay {
+		t.Fatalf("worst endpoint %g != analyzer worst %g",
+			float64(eps[0].Arrival), float64(r.WorstEndpointDelay))
+	}
+	// Unlimited k returns all endpoints.
+	all := r.WorstEndpoints(n, 0)
+	if len(all) != len(n.Outputs()) {
+		t.Fatalf("all endpoints = %d, want %d", len(all), len(n.Outputs()))
+	}
+}

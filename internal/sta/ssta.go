@@ -1,0 +1,122 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// MonteCarloDelay runs statistical timing: every gate's delay is scaled by
+// an independent lognormal factor of the given sigma (intra-die random
+// variation) and the worst endpoint delay is recorded per trial. This is
+// the gate-level mechanism beneath procvar's die-level intra-die term:
+// a critical path of many gates averages out per-gate randomness, but the
+// max over many near-critical paths shifts the mean upward — which is why
+// dies run slower than the nominal corner predicts even before global
+// variation.
+func MonteCarloDelay(n *netlist.Netlist, sigma float64, trials int, seed int64) ([]units.Tau, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sta: need at least one trial")
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("sta: negative sigma")
+	}
+	if err := n.Check(); err != nil {
+		return nil, err
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Precompute nominal per-gate delays and per-reg launch delays.
+	gateDelay := make([]float64, n.NumGates())
+	for _, g := range n.Gates() {
+		gateDelay[g.ID] = float64(g.Cell.Delay(n.Load(g.Out)) + n.Net(g.Out).ExtraDelay)
+	}
+	regDelay := make([]float64, n.NumRegs())
+	for _, r := range n.Regs() {
+		regDelay[r.ID] = float64(r.Cell.Delay(n.Load(r.Q)) + n.Net(r.Q).ExtraDelay)
+	}
+
+	results := make([]units.Tau, trials)
+	arrival := make([]float64, n.NumNets())
+	for tr := 0; tr < trials; tr++ {
+		for i := range arrival {
+			arrival[i] = 0
+		}
+		for _, r := range n.Regs() {
+			arrival[r.Q] = regDelay[r.ID] * math.Exp(rng.NormFloat64()*sigma)
+		}
+		for _, gid := range order {
+			g := n.Gate(gid)
+			worst := 0.0
+			for _, in := range g.In {
+				if arrival[in] > worst {
+					worst = arrival[in]
+				}
+			}
+			arrival[g.Out] = worst + gateDelay[gid]*math.Exp(rng.NormFloat64()*sigma)
+		}
+		worst := 0.0
+		for _, r := range n.Regs() {
+			if t := arrival[r.D] + float64(r.Cell.Setup); t > worst {
+				worst = t
+			}
+		}
+		for _, id := range n.Outputs() {
+			if arrival[id] > worst {
+				worst = arrival[id]
+			}
+		}
+		results[tr] = units.Tau(worst)
+	}
+	return results, nil
+}
+
+// DelayStats summarizes a Monte Carlo run.
+type DelayStats struct {
+	Mean, Sigma units.Tau
+	P50, P95    units.Tau
+}
+
+// Stats computes summary statistics of sampled delays.
+func Stats(samples []units.Tau) DelayStats {
+	if len(samples) == 0 {
+		return DelayStats{}
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(samples))
+	varsum := 0.0
+	for _, s := range samples {
+		d := float64(s) - mean
+		varsum += d * d
+	}
+	sorted := make([]float64, len(samples))
+	for i, s := range samples {
+		sorted[i] = float64(s)
+	}
+	sort.Float64s(sorted)
+	q := func(p float64) units.Tau {
+		idx := int(p * float64(len(sorted)-1))
+		return units.Tau(sorted[idx])
+	}
+	return DelayStats{
+		Mean:  units.Tau(mean),
+		Sigma: units.Tau(math.Sqrt(varsum / float64(len(samples)))),
+		P50:   q(0.5),
+		P95:   q(0.95),
+	}
+}
+
+func (d DelayStats) String() string {
+	return fmt.Sprintf("delay %.1f FO4 +/- %.2f (p95 %.1f)", d.Mean.FO4(), d.Sigma.FO4(), d.P95.FO4())
+}

@@ -1,0 +1,132 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+)
+
+func TestMonteCarloDelayBasics(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.KoggeStone(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ad.N
+	nominal, err := Analyze(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MonteCarloDelay(n, 0.05, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(samples)
+	// The max-of-paths statistic shifts the mean above nominal, but not
+	// absurdly: within ~15%.
+	ratio := float64(st.Mean) / float64(nominal.WorstComb)
+	if ratio < 1.0 || ratio > 1.15 {
+		t.Fatalf("MC mean / nominal = %.3f, want slightly above 1", ratio)
+	}
+	if st.P95 <= st.P50 {
+		t.Fatal("p95 must exceed the median")
+	}
+	if st.Sigma <= 0 {
+		t.Fatal("nonzero sigma in, zero sigma out")
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats description")
+	}
+}
+
+func TestMonteCarloZeroSigmaIsNominal(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, err := Analyze(ad.N, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := MonteCarloDelay(ad.N, 0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if math.Abs(float64(s-nominal.WorstEndpointDelay)/float64(s)) > 1e-9 {
+			t.Fatalf("zero-sigma sample %.3f != nominal %.3f",
+				float64(s), float64(nominal.WorstEndpointDelay))
+		}
+	}
+}
+
+func TestMonteCarloSpreadGrowsWithSigma(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := MonteCarloDelay(ad.N, 0.02, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MonteCarloDelay(ad.N, 0.10, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Stats(hi).Sigma <= Stats(lo).Sigma {
+		t.Fatal("larger gate sigma must widen the path distribution")
+	}
+}
+
+func TestMonteCarloDeterministicAndValidated(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MonteCarloDelay(ad.N, 0.05, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloDelay(ad.N, 0.05, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce samples")
+		}
+	}
+	if _, err := MonteCarloDelay(ad.N, 0.05, 0, 1); err == nil {
+		t.Fatal("zero trials must be rejected")
+	}
+	if _, err := MonteCarloDelay(ad.N, -1, 10, 1); err == nil {
+		t.Fatal("negative sigma must be rejected")
+	}
+}
+
+func TestMonteCarloAveragingEffect(t *testing.T) {
+	// A long chain (many gates in series) averages per-gate randomness:
+	// its relative spread should be well below the per-gate sigma. A
+	// single gate keeps nearly the full sigma.
+	lib := cell.RichASIC()
+	long := chain(lib, 60)
+	short := chain(lib, 1)
+	sl, err := MonteCarloDelay(long, 0.10, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := MonteCarloDelay(short, 0.10, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relLong := float64(Stats(sl).Sigma) / float64(Stats(sl).Mean)
+	relShort := float64(Stats(ss).Sigma) / float64(Stats(ss).Mean)
+	if relLong >= relShort/2 {
+		t.Fatalf("60-gate chain rel-sigma %.3f should be far below 1-gate %.3f", relLong, relShort)
+	}
+}

@@ -1,0 +1,215 @@
+// Package sta is the static timing analyzer: it propagates arrival times
+// through the combinational graph of a netlist, extracts critical paths,
+// and converts worst path delay plus sequencing overheads (setup,
+// clock-to-Q, clock skew) into a minimum cycle time and clock frequency.
+//
+// All delays are in tau (see internal/units); reports convert to FO4 and,
+// given a process, to picoseconds and MHz. The decomposition of cycle time
+// into logic + latch overhead + skew is exactly the accounting the paper
+// performs in sections 4 and 4.1.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// InputArrival is the arrival time applied at every primary input
+	// (time already consumed outside this block).
+	InputArrival units.Tau
+
+	// OutputLoad is additional load applied to primary output nets that
+	// have no PortLoad annotation (a receiving gate plus wire).
+	OutputLoad units.Cap
+}
+
+// Step is one hop of a timing path.
+type Step struct {
+	Gate    netlist.GateID // None for the start point
+	Net     netlist.NetID
+	Arrival units.Tau
+	Delay   units.Tau // delay contributed by this hop
+	What    string    // human-readable: cell name, "PI", "regQ"
+}
+
+// EndKind classifies a path endpoint.
+type EndKind int
+
+// Path endpoint kinds.
+const (
+	EndPrimaryOutput EndKind = iota
+	EndRegisterD
+)
+
+// Result is the outcome of one analysis.
+type Result struct {
+	// Arrival holds the computed arrival time of every net (indexed by
+	// NetID). Nets unreachable from a start point have arrival 0.
+	Arrival []units.Tau
+
+	// WorstComb is the worst arrival at any endpoint before endpoint
+	// overhead (setup) is added.
+	WorstComb units.Tau
+
+	// WorstEndpointDelay is the worst arrival including destination
+	// setup time where the endpoint is a register.
+	WorstEndpointDelay units.Tau
+
+	// WorstEnd identifies the worst endpoint net.
+	WorstEnd     netlist.NetID
+	WorstEndKind EndKind
+
+	// Critical is the worst path, start to end.
+	Critical []Step
+
+	n *netlist.Netlist
+}
+
+// Analyze runs arrival-time propagation over the netlist. It returns an
+// error when the combinational graph has a cycle or the netlist fails its
+// structural check.
+func Analyze(n *netlist.Netlist, opt Options) (*Result, error) {
+	if err := n.Check(); err != nil {
+		return nil, err
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+
+	arrival := make([]units.Tau, n.NumNets())
+	// from[i] records the net whose arrival determined net i's arrival,
+	// for path backtracking; None for start points.
+	from := make([]netlist.NetID, n.NumNets())
+	for i := range from {
+		from[i] = netlist.None
+	}
+
+	load := func(id netlist.NetID) units.Cap {
+		l := n.Load(id)
+		nt := n.Net(id)
+		if nt.IsOutput && nt.PortLoad == 0 {
+			l += opt.OutputLoad
+		}
+		return l
+	}
+
+	// Start points.
+	for _, id := range n.Inputs() {
+		arrival[id] = opt.InputArrival
+	}
+	for _, r := range n.Regs() {
+		arrival[r.Q] = r.Cell.Delay(load(r.Q)) + n.Net(r.Q).ExtraDelay
+	}
+
+	// Propagate in topological order.
+	for _, gid := range order {
+		g := n.Gate(gid)
+		worst := units.Tau(math.Inf(-1))
+		var worstIn netlist.NetID = netlist.None
+		for _, in := range g.In {
+			if arrival[in] > worst {
+				worst, worstIn = arrival[in], in
+			}
+		}
+		if worstIn == netlist.None {
+			worst = 0
+		}
+		d := g.Cell.Delay(load(g.Out)) + n.Net(g.Out).ExtraDelay
+		arrival[g.Out] = worst + d
+		from[g.Out] = worstIn
+	}
+
+	res := &Result{Arrival: arrival, n: n, WorstEnd: netlist.None}
+
+	// Endpoints: register D pins (with setup) and primary outputs.
+	worstTotal := units.Tau(math.Inf(-1))
+	for _, r := range n.Regs() {
+		t := arrival[r.D] + r.Cell.Setup
+		if t > worstTotal {
+			worstTotal = t
+			res.WorstComb = arrival[r.D]
+			res.WorstEnd = r.D
+			res.WorstEndKind = EndRegisterD
+		}
+	}
+	for _, id := range n.Outputs() {
+		if arrival[id] > worstTotal {
+			worstTotal = arrival[id]
+			res.WorstComb = arrival[id]
+			res.WorstEnd = id
+			res.WorstEndKind = EndPrimaryOutput
+		}
+	}
+	if res.WorstEnd == netlist.None {
+		return nil, fmt.Errorf("sta: netlist %s has no timing endpoints", n.Name)
+	}
+	res.WorstEndpointDelay = worstTotal
+
+	// Backtrack the critical path.
+	res.Critical = backtrack(n, arrival, from, res.WorstEnd)
+	return res, nil
+}
+
+func backtrack(n *netlist.Netlist, arrival []units.Tau, from []netlist.NetID, end netlist.NetID) []Step {
+	var rev []Step
+	id := end
+	for id != netlist.None {
+		nt := n.Net(id)
+		st := Step{Gate: netlist.None, Net: id, Arrival: arrival[id]}
+		switch {
+		case nt.Driver != netlist.None:
+			g := n.Gate(nt.Driver)
+			st.Gate = g.ID
+			st.What = g.Cell.Name
+		case nt.DriverReg != netlist.None:
+			st.What = "regQ:" + n.Reg(nt.DriverReg).Cell.Name
+		default:
+			st.What = "PI:" + nt.Name
+		}
+		prev := from[id]
+		if prev != netlist.None {
+			st.Delay = arrival[id] - arrival[prev]
+		} else {
+			st.Delay = arrival[id]
+		}
+		rev = append(rev, st)
+		id = prev
+	}
+	// Reverse into start-to-end order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Depth returns the number of gates on the critical path.
+func (r *Result) Depth() int {
+	d := 0
+	for _, s := range r.Critical {
+		if s.Gate != netlist.None {
+			d++
+		}
+	}
+	return d
+}
+
+// CombFO4 returns the worst combinational delay in FO4 units.
+func (r *Result) CombFO4() float64 { return r.WorstComb.FO4() }
+
+// PathString formats the critical path for reports.
+func (r *Result) PathString() string {
+	s := ""
+	for i, st := range r.Critical {
+		if i > 0 {
+			s += " -> "
+		}
+		s += fmt.Sprintf("%s@%.1f", st.What, st.Arrival.FO4())
+	}
+	return s
+}

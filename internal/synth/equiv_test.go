@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+)
+
+// sameFunction compares two netlists with identical interfaces over
+// random input vectors using the netlist simulator.
+func sameFunction(t *testing.T, a, b *netlist.Netlist, vectors int, seed int64) {
+	t.Helper()
+	simA, err := netlist.NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := netlist.NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outputs()) != len(b.Outputs()) {
+		t.Fatalf("output counts differ: %d vs %d", len(a.Outputs()), len(b.Outputs()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < vectors; v++ {
+		in := map[string]bool{}
+		for _, id := range a.Inputs() {
+			in[a.Net(id).Name] = rng.Intn(2) == 1
+		}
+		oa, err := simA.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := simB.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("vector %d: output %d differs (%s vs %s)",
+					v, i, a.Name, b.Name)
+			}
+		}
+	}
+}
+
+// TestMapEquivalenceOnRandomLogic is the mapper's correctness check: for
+// seeded random control netlists, technology mapping to the rich and the
+// poor library must both preserve function exactly.
+func TestMapEquivalenceOnRandomLogic(t *testing.T) {
+	rich := cell.RichASIC()
+	poor := cell.PoorASIC()
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			src, err := circuits.RandomLogic(rich, 10, 150, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, target := range []*cell.Library{rich, poor} {
+				m, err := Map(src, target, MapOptions{})
+				if err != nil {
+					t.Fatalf("map to %s: %v", target.Name, err)
+				}
+				sameFunction(t, src, m, 120, seed*31+7)
+			}
+		})
+	}
+}
+
+// TestMapEquivalenceOnAdders verifies mapping preserves arithmetic: a
+// mapped carry-lookahead adder still adds.
+func TestMapEquivalenceOnAdders(t *testing.T) {
+	rich := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(rich, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []*cell.Library{rich, cell.PoorASIC(), cell.Custom()} {
+		m, err := Map(ad.N, target, MapOptions{})
+		if err != nil {
+			t.Fatalf("map to %s: %v", target.Name, err)
+		}
+		sameFunction(t, ad.N, m, 150, 99)
+	}
+}
+
+// TestMinAreaMapEquivalence checks the area-objective cover too.
+func TestMinAreaMapEquivalence(t *testing.T) {
+	rich := cell.RichASIC()
+	src, err := circuits.RandomLogic(rich, 8, 120, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(src, rich, MapOptions{Objective: MinArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFunction(t, src, m, 120, 5)
+}
+
+// TestBufferingPreservesFunction: buffer trees are logically transparent.
+func TestBufferingPreservesFunction(t *testing.T) {
+	lib := cell.RichASIC()
+	src, err := circuits.RandomLogic(lib, 8, 200, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := src.Clone()
+	// Force heavy fanout by pointing many sinks at one net, then buffer.
+	if _, err := InsertBuffers(clone, lib); err != nil {
+		t.Fatal(err)
+	}
+	sameFunction(t, src, clone, 120, 13)
+}

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// ScanResult reports a scan-insertion pass.
+type ScanResult struct {
+	// Chained is the number of registers stitched into the chain.
+	Chained int
+	// MuxesAdded counts the scan muxes inserted before D pins.
+	MuxesAdded int
+	// AreaBefore/AreaAfter capture the silicon cost.
+	AreaBefore, AreaAfter float64
+}
+
+func (r ScanResult) String() string {
+	return fmt.Sprintf("scan: %d registers chained, +%d muxes, area %.0f -> %.0f (+%.1f%%)",
+		r.Chained, r.MuxesAdded, r.AreaBefore, r.AreaAfter,
+		100*(r.AreaAfter-r.AreaBefore)/r.AreaBefore)
+}
+
+// InsertScan stitches every register into a scan chain: a MUX2 in front of
+// each D pin selects between functional data and the previous register's Q
+// (scan_in for the first), controlled by a new scan_en input; the last Q
+// is exposed as scan_out. This is the testability machinery behind the
+// paper's section 8.3 option — shipping parts at their measured speed
+// requires being able to test them — and its cost is real: one mux delay
+// and its area on every register path, which the returned result and the
+// netlist's timing make visible.
+func InsertScan(n *netlist.Netlist, lib *cell.Library) (ScanResult, error) {
+	res := ScanResult{AreaBefore: n.TotalArea()}
+	if n.NumRegs() == 0 {
+		return res, fmt.Errorf("synth: no registers to chain")
+	}
+	mux := lib.Smallest(cell.FuncMux2)
+	if mux == nil {
+		return res, fmt.Errorf("synth: library %s has no MUX2 for scan", lib.Name)
+	}
+
+	scanEn := n.AddInput("scan_en")
+	scanIn := n.AddInput("scan_in")
+
+	prev := scanIn
+	for _, r := range n.Regs() {
+		// MUX2(functional, scan, scan_en): sel=1 selects the chain.
+		out, err := n.AddGate(mux, r.D, prev, scanEn)
+		if err != nil {
+			return res, err
+		}
+		n.Gate(n.Net(out).Driver).Block = r.Block
+		n.RewireRegD(r.ID, out)
+		prev = r.Q
+		res.Chained++
+		res.MuxesAdded++
+	}
+	n.MarkOutput(prev)
+	if n.Net(prev).Name == "" {
+		n.Net(prev).Name = "scan_out"
+	}
+	if err := n.Check(); err != nil {
+		return res, fmt.Errorf("synth: scan insertion broke the netlist: %w", err)
+	}
+	res.AreaAfter = n.TotalArea()
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func TestInsertScanStructure(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := n.NumRegs()
+	res, err := InsertScan(n, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chained != regs || res.MuxesAdded != regs {
+		t.Fatalf("chained %d / muxes %d, want %d", res.Chained, res.MuxesAdded, regs)
+	}
+	if res.AreaAfter <= res.AreaBefore {
+		t.Fatal("scan must cost area")
+	}
+	if res.String() == "" {
+		t.Fatal("empty result")
+	}
+	// Every register's D must now be a MUX2 output.
+	for _, r := range n.Regs() {
+		drv := n.Net(r.D).Driver
+		if drv == netlist.None || n.Gate(drv).Cell.Func != cell.FuncMux2 {
+			t.Fatalf("register %d not behind a scan mux", r.ID)
+		}
+	}
+}
+
+func TestScanShiftsPatternsThrough(t *testing.T) {
+	// With scan_en high, the registers form a shift register: a pattern
+	// clocked into scan_in appears at scan_out after NumRegs cycles.
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertScan(n, lib); err != nil {
+		t.Fatal(err)
+	}
+	regs := n.NumRegs()
+	sim, err := netlist.NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIn := func() map[string]bool {
+		in := map[string]bool{"scan_en": true, "scan_in": false, "const0": false}
+		for _, id := range n.Inputs() {
+			if _, ok := in[n.Net(id).Name]; !ok {
+				in[n.Net(id).Name] = false
+			}
+		}
+		return in
+	}
+	pattern := []bool{true, false, true, true, false, true, false, false}
+	var got []bool
+	scanOut := n.Outputs()[len(n.Outputs())-1]
+	for c := 0; c < len(pattern)+regs; c++ {
+		in := baseIn()
+		if c < len(pattern) {
+			in["scan_in"] = pattern[c]
+		}
+		if _, err := sim.Step(in); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, sim.Value(scanOut))
+	}
+	for i, want := range pattern {
+		if got[i+regs] != want {
+			t.Fatalf("scan bit %d: got %v, want %v", i, got[i+regs], want)
+		}
+	}
+}
+
+func TestScanPreservesFunctionalMode(t *testing.T) {
+	// With scan_en low, the design behaves exactly as before insertion.
+	lib := cell.RichASIC()
+	mk := func() *netlist.Netlist {
+		n, err := circuits.DatapathChain(lib, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	plain := mk()
+	scanned := mk()
+	if _, err := InsertScan(scanned, lib); err != nil {
+		t.Fatal(err)
+	}
+	simA, err := netlist.NewSimulator(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := netlist.NewSimulator(scanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for c := 0; c < 30; c++ {
+		in := map[string]bool{}
+		for _, id := range plain.Inputs() {
+			in[plain.Net(id).Name] = rng.Intn(2) == 1
+		}
+		oa, err := simA.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inB := map[string]bool{"scan_en": false, "scan_in": false}
+		for k, v := range in {
+			inB[k] = v
+		}
+		ob, err := simB.Step(inB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range oa {
+			if ob[k] != v {
+				t.Fatalf("cycle %d: functional output %s changed under scan", c, k)
+			}
+		}
+	}
+}
+
+func TestScanTimingCost(t *testing.T) {
+	// The scan mux adds measurable but modest delay to register paths
+	// (the paper's testability tax).
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertScan(n, lib); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := float64(after.WorstComb)/float64(before.WorstComb) - 1
+	if penalty <= 0 {
+		t.Fatal("scan mux must cost delay")
+	}
+	if penalty > 0.30 {
+		t.Fatalf("scan penalty %.0f%% implausibly high", 100*penalty)
+	}
+	t.Logf("scan timing penalty: +%.1f%%", 100*penalty)
+}
+
+func TestInsertScanValidation(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("comb")
+	a := n.AddInput("a")
+	n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncInv), a))
+	if _, err := InsertScan(n, lib); err == nil {
+		t.Fatal("combinational netlist must be rejected")
+	}
+	poor := cell.PoorASIC() // has no MUX2
+	r, err := circuits.DatapathChain(poor, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertScan(r, poor); err == nil {
+		t.Fatal("library without MUX2 must be rejected")
+	}
+}

@@ -1,0 +1,222 @@
+// Package synth implements logic synthesis for the toolkit: decomposition
+// of a netlist into an INV/NAND2 subject graph, dynamic-programming tree
+// covering onto a concrete cell library (technology mapping), post-mapping
+// drive selection against a wire-load model, and buffer-tree insertion on
+// over-loaded nets.
+//
+// This is the register-transfer-to-gates stage of the paper's ASIC flow:
+// the quality of the available library shows up here (section 6 — a poor
+// library forces deeper decompositions), and the wire-load guesses made
+// here are what post-layout resizing (internal/sizing) later corrects.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// subjNode is one node of the subject graph: an inverter or a 2-input NAND.
+type subjNode struct {
+	id  int
+	inv bool // true: INV, false: NAND2
+	in  [2]int
+	// ext is the external net this node corresponds to when it is a
+	// start point (primary input or register Q), else netlist.None.
+	ext netlist.NetID
+
+	// block is the floorplan block of the gate this node came from.
+	block string
+
+	fanout int
+}
+
+// subjGraph is an INV/NAND2 decomposition of the combinational logic of a
+// netlist, with leaves for primary inputs and register outputs.
+// Construction hash-conses nodes (structural hashing, "strash"): two
+// requests for the same NAND or INV of the same operands return the same
+// node, so common subexpressions are shared before covering.
+type subjGraph struct {
+	nodes []subjNode
+	// outOf maps each original net to its subject-graph node.
+	outOf map[netlist.NetID]int
+	// strash maps (inv, in0, in1) to an existing node (NAND operands
+	// normalized to in0 <= in1).
+	strash map[[3]int]int
+	src    *netlist.Netlist
+}
+
+// leaf kinds use negative pseudo-ids in tree matching; real nodes are >= 0.
+
+func (g *subjGraph) addLeaf(ext netlist.NetID) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, subjNode{id: id, ext: ext, in: [2]int{-1, -1}})
+	return id
+}
+
+func (g *subjGraph) addInv(a int) int {
+	// Inverter-pair elimination keeps the subject graph canonical: the
+	// complement of an inverter is its input. This is what lets complex
+	// patterns (AOI/OAI) match without spurious double inversions.
+	if g.nodes[a].inv {
+		return g.nodes[a].in[0]
+	}
+	key := [3]int{1, a, -1}
+	if id, ok := g.strash[key]; ok {
+		return id
+	}
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, subjNode{id: id, inv: true, in: [2]int{a, -1}, ext: netlist.None})
+	g.nodes[a].fanout++
+	g.strash[key] = id
+	return id
+}
+
+func (g *subjGraph) addNand(a, b int) int {
+	if b < a {
+		a, b = b, a // NAND is commutative: normalize for sharing
+	}
+	key := [3]int{0, a, b}
+	if id, ok := g.strash[key]; ok {
+		return id
+	}
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, subjNode{id: id, in: [2]int{a, b}, ext: netlist.None})
+	g.nodes[a].fanout++
+	g.nodes[b].fanout++
+	g.strash[key] = id
+	return id
+}
+
+func (g *subjGraph) isLeaf(id int) bool {
+	n := g.nodes[id]
+	return n.in[0] < 0 && n.in[1] < 0
+}
+
+// and emits AND as NAND+INV, or as OR-of-complements when that is cheaper
+// downstream; plain NAND+INV keeps the graph canonical.
+func (g *subjGraph) and(a, b int) int { return g.addInv(g.addNand(a, b)) }
+func (g *subjGraph) or(a, b int) int  { return g.addNand(g.addInv(a), g.addInv(b)) }
+func (g *subjGraph) nor(a, b int) int { return g.addInv(g.or(a, b)) }
+
+func (g *subjGraph) xor(a, b int) int {
+	nab := g.addNand(a, b)
+	return g.addNand(g.addNand(a, nab), g.addNand(b, nab))
+}
+
+func (g *subjGraph) mux(a, b, s int) int {
+	ns := g.addInv(s)
+	return g.addNand(g.addNand(a, ns), g.addNand(b, s))
+}
+
+// buildSubject decomposes the combinational logic of n into INV/NAND2.
+func buildSubject(n *netlist.Netlist) (*subjGraph, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	g := &subjGraph{
+		outOf:  make(map[netlist.NetID]int),
+		strash: make(map[[3]int]int),
+		src:    n,
+	}
+	for _, id := range n.Inputs() {
+		g.outOf[id] = g.addLeaf(id)
+	}
+	for _, r := range n.Regs() {
+		g.outOf[r.Q] = g.addLeaf(r.Q)
+	}
+	for _, gid := range order {
+		gt := n.Gate(gid)
+		in := make([]int, len(gt.In))
+		for i, net := range gt.In {
+			s, ok := g.outOf[net]
+			if !ok {
+				return nil, fmt.Errorf("synth: net %d of gate %d has no subject node", net, gid)
+			}
+			in[i] = s
+		}
+		first := len(g.nodes)
+		out, err := g.emitFunc(gt.Cell.Func, in)
+		if err != nil {
+			return nil, fmt.Errorf("synth: gate %d: %w", gid, err)
+		}
+		for i := first; i < len(g.nodes); i++ {
+			g.nodes[i].block = gt.Block
+		}
+		g.outOf[gt.Out] = out
+	}
+	return g, nil
+}
+
+// emitFunc decomposes one library function into subject nodes.
+func (g *subjGraph) emitFunc(f cell.Func, in []int) (int, error) {
+	switch f {
+	case cell.FuncInv:
+		return g.addInv(in[0]), nil
+	case cell.FuncBuf:
+		return g.addInv(g.addInv(in[0])), nil
+	case cell.FuncNand2:
+		return g.addNand(in[0], in[1]), nil
+	case cell.FuncNand3:
+		return g.addNand(g.and(in[0], in[1]), in[2]), nil
+	case cell.FuncNand4:
+		return g.addNand(g.and(in[0], in[1]), g.and(in[2], in[3])), nil
+	case cell.FuncNor2:
+		return g.nor(in[0], in[1]), nil
+	case cell.FuncNor3:
+		return g.nor(g.or(in[0], in[1]), in[2]), nil
+	case cell.FuncNor4:
+		return g.nor(g.or(in[0], in[1]), g.or(in[2], in[3])), nil
+	case cell.FuncAnd2:
+		return g.and(in[0], in[1]), nil
+	case cell.FuncAnd3:
+		return g.and(g.and(in[0], in[1]), in[2]), nil
+	case cell.FuncAnd4:
+		return g.and(g.and(in[0], in[1]), g.and(in[2], in[3])), nil
+	case cell.FuncOr2:
+		return g.or(in[0], in[1]), nil
+	case cell.FuncOr3:
+		return g.or(g.or(in[0], in[1]), in[2]), nil
+	case cell.FuncOr4:
+		return g.or(g.or(in[0], in[1]), g.or(in[2], in[3])), nil
+	case cell.FuncXor2:
+		return g.xor(in[0], in[1]), nil
+	case cell.FuncXnor2:
+		return g.addInv(g.xor(in[0], in[1])), nil
+	case cell.FuncMux2:
+		return g.mux(in[0], in[1], in[2]), nil
+	case cell.FuncAoi21:
+		// NOT(ab + c) = NAND(NAND(a,b), c') ... use nor(and(a,b), c).
+		return g.nor(g.and(in[0], in[1]), in[2]), nil
+	case cell.FuncAoi22:
+		return g.nor(g.and(in[0], in[1]), g.and(in[2], in[3])), nil
+	case cell.FuncOai21:
+		return g.addNand(g.or(in[0], in[1]), in[2]), nil
+	case cell.FuncOai22:
+		return g.addNand(g.or(in[0], in[1]), g.or(in[2], in[3])), nil
+	case cell.FuncMaj3:
+		ab := g.addNand(in[0], in[1])
+		ac := g.addNand(in[0], in[2])
+		bc := g.addNand(in[1], in[2])
+		// maj = NAND3(ab', ac', bc') in NAND2 basis.
+		return g.addNand(g.and(ab, ac), bc), nil
+	}
+	return 0, fmt.Errorf("unsupported function %v", f)
+}
+
+// Stats about a subject graph, for tests and reports.
+func (g *subjGraph) stats() (nands, invs, leaves int) {
+	for _, n := range g.nodes {
+		switch {
+		case g.isLeaf(n.id):
+			leaves++
+		case n.inv:
+			invs++
+		default:
+			nands++
+		}
+	}
+	return
+}

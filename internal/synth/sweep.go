@@ -1,0 +1,325 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Sweep performs constant propagation, algebraic simplification, and
+// dead-code elimination: primary inputs named "const0"/"const1" (the
+// tie-offs circuit generators emit for speculative carries and the like)
+// are treated as constants and folded through the logic. A gate whose
+// output is constant disappears; one whose output equals an input (or its
+// complement) is replaced by a wire (or the input's inverter); everything
+// unreachable from an output or register is dropped.
+//
+// The returned netlist preserves the primary interface (constant tie-off
+// inputs are kept, possibly unused; outputs that fold to constants are
+// wired to them).
+func Sweep(n *netlist.Netlist) (*netlist.Netlist, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+
+	// state per original net: known constant or symbolic.
+	type state struct {
+		isConst bool
+		val     bool
+		// root is the original net this one is equivalent to (possibly
+		// inverted); defaults to itself.
+		root netlist.NetID
+		inv  bool
+	}
+	st := make([]state, n.NumNets())
+	for i := range st {
+		st[i] = state{root: netlist.NetID(i)}
+	}
+	// rewrite2 records nets whose residual function collapsed to a
+	// 2-input library function of two symbolic roots (e.g. the carry
+	// MAJ3(a,b,0) = AND2(a,b)).
+	type rw2 struct {
+		f    cell.Func
+		a, b netlist.NetID
+	}
+	rewrite := map[netlist.NetID]rw2{}
+	var constNet [2]netlist.NetID
+	constNet[0], constNet[1] = netlist.None, netlist.None
+	for _, id := range n.Inputs() {
+		switch n.Net(id).Name {
+		case "const0":
+			st[id] = state{isConst: true, val: false, root: id}
+			constNet[0] = id
+		case "const1":
+			st[id] = state{isConst: true, val: true, root: id}
+			constNet[1] = id
+		}
+	}
+
+	// Analyze every gate in topological order.
+	for _, gid := range order {
+		g := n.Gate(gid)
+		// Resolve each input to (root, inv) or constant.
+		type inref struct {
+			isConst bool
+			val     bool
+			root    netlist.NetID
+			inv     bool
+		}
+		ins := make([]inref, len(g.In))
+		// Distinct symbolic roots, preserving correlation of repeated
+		// inputs (XOR(x,x) must fold to 0).
+		type symKey struct {
+			root netlist.NetID
+		}
+		symIndex := map[symKey]int{}
+		var syms []netlist.NetID
+		for i, in := range g.In {
+			s := st[in]
+			if s.isConst {
+				ins[i] = inref{isConst: true, val: s.val}
+				continue
+			}
+			ins[i] = inref{root: s.root, inv: s.inv}
+			k := symKey{s.root}
+			if _, ok := symIndex[k]; !ok {
+				symIndex[k] = len(syms)
+				syms = append(syms, s.root)
+			}
+		}
+		if len(syms) > 4 {
+			continue // cannot happen (max 4 pins), defensive
+		}
+		// Enumerate assignments over distinct symbolic roots and
+		// evaluate the gate.
+		total := 1 << uint(len(syms))
+		results := make([]bool, total)
+		for a := 0; a < total; a++ {
+			inVals := make([]bool, len(ins))
+			for i, r := range ins {
+				if r.isConst {
+					inVals[i] = r.val
+					continue
+				}
+				bit := a&(1<<uint(symIndex[symKey{r.root}])) != 0
+				inVals[i] = bit != r.inv
+			}
+			v, err := netlist.EvalFunc(g.Cell.Func, inVals)
+			if err != nil {
+				return nil, err
+			}
+			results[a] = v
+		}
+		out := g.Out
+		// Constant output?
+		allSame := true
+		for _, v := range results[1:] {
+			if v != results[0] {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			st[out] = state{isConst: true, val: results[0], root: out}
+			continue
+		}
+		// Equal (or complement) to a single symbolic root?
+		folded := false
+		for si, root := range syms {
+			eq, comp := true, true
+			for a := 0; a < total; a++ {
+				bit := a&(1<<uint(si)) != 0
+				if results[a] != bit {
+					eq = false
+				}
+				if results[a] != !bit {
+					comp = false
+				}
+			}
+			if eq {
+				st[out] = state{root: root, inv: false}
+				folded = true
+				break
+			}
+			if comp {
+				st[out] = state{root: root, inv: true}
+				folded = true
+				break
+			}
+		}
+		if folded {
+			continue
+		}
+		// Exactly two symbolic roots and a simpler gate than the
+		// current one: match the 4-entry truth table against the basic
+		// 2-input functions. Only rewrite when it actually simplifies
+		// (wide gate, constant pins, or correlated pins).
+		if len(syms) == 2 && (len(g.In) > 2 || len(syms) < len(g.In)) {
+			tt := [4]bool{results[0], results[1], results[2], results[3]}
+			if f, ok := match2(tt); ok {
+				rewrite[out] = rw2{f: f, a: syms[0], b: syms[1]}
+			}
+		}
+		// Otherwise the gate stays; out keeps itself as root.
+	}
+
+	// Rebuild, emitting only what outputs and registers need.
+	out := netlist.New(n.Name + "_swept")
+	newNet := make(map[netlist.NetID]netlist.NetID) // original root net -> new net
+	for _, id := range n.Inputs() {
+		newNet[id] = out.AddInput(n.Net(id).Name)
+	}
+	// Pre-allocate register Q nets (they are symbolic roots).
+	for _, r := range n.Regs() {
+		q := out.AllocNet(n.Net(r.Q).Name)
+		newNet[r.Q] = q
+	}
+
+	invCache := map[netlist.NetID]netlist.NetID{}
+	invCell := invFor(n)
+
+	// emit returns the new net carrying the value of original net id.
+	var emit func(id netlist.NetID) (netlist.NetID, error)
+	emit = func(id netlist.NetID) (netlist.NetID, error) {
+		s := st[id]
+		if s.isConst {
+			return emitConst(out, s.val), nil
+		}
+		root := s.root
+		base, ok := newNet[root]
+		if !ok {
+			nt := n.Net(root)
+			if rw, isRW := rewrite[root]; isRW {
+				// Residual 2-input function of two roots.
+				av, err := emit(rw.a)
+				if err != nil {
+					return netlist.None, err
+				}
+				bv, err := emit(rw.b)
+				if err != nil {
+					return netlist.None, err
+				}
+				nid, err := out.AddGate(cell.NewStatic(rw.f, 1), av, bv)
+				if err != nil {
+					return netlist.None, err
+				}
+				if nt.Driver != netlist.None {
+					out.Gate(out.Net(nid).Driver).Block = n.Gate(nt.Driver).Block
+				}
+				out.Net(nid).Name = nt.Name
+				newNet[root] = nid
+				base = nid
+			} else {
+				// The root must be a gate output: emit the gate.
+				if nt.Driver == netlist.None {
+					return netlist.None, fmt.Errorf("synth: sweep lost net %s", nt.Name)
+				}
+				g := n.Gate(nt.Driver)
+				ins := make([]netlist.NetID, len(g.In))
+				for i, in := range g.In {
+					nid, err := emit(in)
+					if err != nil {
+						return netlist.None, err
+					}
+					ins[i] = nid
+				}
+				nid, err := out.AddGate(g.Cell, ins...)
+				if err != nil {
+					return netlist.None, err
+				}
+				out.Gate(out.Net(nid).Driver).Block = g.Block
+				out.Net(nid).Name = nt.Name
+				newNet[root] = nid
+				base = nid
+			}
+		}
+		if !s.inv {
+			return base, nil
+		}
+		if iv, ok := invCache[base]; ok {
+			return iv, nil
+		}
+		iv, err := out.AddGate(invCell, base)
+		if err != nil {
+			return netlist.None, err
+		}
+		invCache[base] = iv
+		return iv, nil
+	}
+
+	for _, r := range n.Regs() {
+		d, err := emit(r.D)
+		if err != nil {
+			return nil, err
+		}
+		rid, err := out.AddRegTo(r.Cell, d, newNet[r.Q])
+		if err != nil {
+			return nil, err
+		}
+		out.Reg(rid).Block = r.Block
+	}
+	for _, id := range n.Outputs() {
+		nid, err := emit(id)
+		if err != nil {
+			return nil, err
+		}
+		out.MarkOutput(nid)
+		out.Net(nid).PortLoad = n.Net(id).PortLoad
+	}
+	if err := out.Check(); err != nil {
+		return nil, fmt.Errorf("synth: sweep produced invalid netlist: %w", err)
+	}
+	return out, nil
+}
+
+// match2 maps a 4-entry truth table over roots (a, b), indexed a|b<<1,
+// to a basic 2-input function.
+func match2(tt [4]bool) (cell.Func, bool) {
+	type cand struct {
+		f  cell.Func
+		tt [4]bool
+	}
+	// Index: bit0 = a, bit1 = b.
+	cands := []cand{
+		{cell.FuncAnd2, [4]bool{false, false, false, true}},
+		{cell.FuncNand2, [4]bool{true, true, true, false}},
+		{cell.FuncOr2, [4]bool{false, true, true, true}},
+		{cell.FuncNor2, [4]bool{true, false, false, false}},
+		{cell.FuncXor2, [4]bool{false, true, true, false}},
+		{cell.FuncXnor2, [4]bool{true, false, false, true}},
+	}
+	for _, c := range cands {
+		if c.tt == tt {
+			return c.f, true
+		}
+	}
+	return cell.FuncInvalid, false
+}
+
+// emitConst returns (creating if needed) a tie-off net of the given value
+// in the rebuilt netlist.
+func emitConst(out *netlist.Netlist, val bool) netlist.NetID {
+	name := "const0"
+	if val {
+		name = "const1"
+	}
+	for _, id := range out.Inputs() {
+		if out.Net(id).Name == name {
+			return id
+		}
+	}
+	return out.AddInput(name)
+}
+
+// invFor picks an inverter cell present in the design, falling back to a
+// minimum static inverter.
+func invFor(n *netlist.Netlist) *cell.Cell {
+	for _, g := range n.Gates() {
+		if g.Cell.Func == cell.FuncInv {
+			return g.Cell
+		}
+	}
+	return cell.NewStatic(cell.FuncInv, 1)
+}

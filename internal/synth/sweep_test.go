@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+)
+
+func TestSweepFoldsConstants(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	x := n.AddInput("x")
+	zero := n.AddInput("const0")
+	one := n.AddInput("const1")
+	// AND(x, 0) = 0; OR(x, 1) = 1; XOR(x, 0) = x; MUX(a,b,1) = b.
+	andOut := n.MustGate(lib.Smallest(cell.FuncAnd2), x, zero)
+	orOut := n.MustGate(lib.Smallest(cell.FuncOr2), x, one)
+	xorOut := n.MustGate(lib.Smallest(cell.FuncXor2), x, zero)
+	b := n.AddInput("b")
+	muxOut := n.MustGate(lib.Smallest(cell.FuncMux2), x, b, one)
+	for _, id := range []netlist.NetID{andOut, orOut, xorOut, muxOut} {
+		n.MarkOutput(id)
+	}
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGates() != 0 {
+		t.Fatalf("all four gates should fold away, %d remain", s.NumGates())
+	}
+	// Outputs: const0, const1, x, b — verify by simulation.
+	sim, err := netlist.NewSimulator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vec := 0; vec < 4; vec++ {
+		in := map[string]bool{
+			"x": vec&1 != 0, "b": vec&2 != 0,
+			"const0": false, "const1": true,
+		}
+		out, err := sim.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []bool{false, true, in["x"], in["b"]}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("vec %d output %d = %v, want %v", vec, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepCorrelatedInputs(t *testing.T) {
+	// XOR(x, x) = 0 and NAND(x, x) = NOT x: correlation must be kept.
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	x := n.AddInput("x")
+	n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncXor2), x, x))
+	n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncNand2), x, x))
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR folds to const; NAND folds to an inverter.
+	if s.NumGates() != 1 || s.Gates()[0].Cell.Func != cell.FuncInv {
+		t.Fatalf("want exactly one inverter, got %d gates", s.NumGates())
+	}
+	sim, _ := netlist.NewSimulator(s)
+	for _, xv := range []bool{false, true} {
+		out, err := sim.Eval(map[string]bool{"x": xv, "const0": false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != false || out[1] != !xv {
+			t.Fatalf("x=%v: got %v/%v, want false/%v", xv, out[0], out[1], !xv)
+		}
+	}
+}
+
+func TestSweepShrinksCarrySelect(t *testing.T) {
+	// The carry-select adder speculates on const0/const1 carries: sweep
+	// folds the speculation logic's constant legs.
+	lib := cell.RichASIC()
+	ad, err := circuits.CarrySelect(lib, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ad.N.NumGates()
+	s, err := Sweep(ad.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.NumGates()
+	if after >= before {
+		t.Fatalf("sweep did not shrink: %d -> %d gates", before, after)
+	}
+	if s.TotalArea() >= ad.N.TotalArea()*0.96 {
+		t.Fatalf("area barely moved: %.0f -> %.0f (MAJ3(a,b,const) should rewrite to AND2/OR2)",
+			ad.N.TotalArea(), s.TotalArea())
+	}
+	maj := 0
+	for _, g := range s.Gates() {
+		if g.Cell.Func == cell.FuncMaj3 {
+			maj++
+		}
+	}
+	majBefore := 0
+	for _, g := range ad.N.Gates() {
+		if g.Cell.Func == cell.FuncMaj3 {
+			majBefore++
+		}
+	}
+	if maj >= majBefore {
+		t.Fatalf("constant-fed MAJ3 carries were not rewritten: %d -> %d", majBefore, maj)
+	}
+	t.Logf("carry-select: %d -> %d gates, area %.0f -> %.0f", before, after, ad.N.TotalArea(), s.TotalArea())
+
+	// Function preserved: compare against the original on vectors.
+	simA, err := netlist.NewSimulator(ad.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := netlist.NewSimulator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 60; v++ {
+		in := map[string]bool{"cin": v%3 == 0, "const0": false, "const1": true}
+		netlist.WordToInputs(in, "a", v*2654435761, 16)
+		netlist.WordToInputs(in, "b", v*40503+7, 16)
+		oa, err := simA.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := simB.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("vector %d: output %d changed", v, i)
+			}
+		}
+	}
+}
+
+func TestSweepPreservesRegisters(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegs() != n.NumRegs() {
+		t.Fatalf("registers changed: %d -> %d", n.NumRegs(), s.NumRegs())
+	}
+	if _, err := s.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepDropsDeadLogic(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	live := n.MustGate(lib.Smallest(cell.FuncNand2), a, b)
+	n.MarkOutput(live)
+	// Dead cone: never marked as output.
+	d1 := n.MustGate(lib.Smallest(cell.FuncXor2), a, b)
+	n.MustGate(lib.Smallest(cell.FuncInv), d1)
+	s, err := Sweep(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumGates() != 1 {
+		t.Fatalf("dead logic survived: %d gates", s.NumGates())
+	}
+}

@@ -1,0 +1,494 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func analyze(t *testing.T, n *netlist.Netlist) *sta.Result {
+	t.Helper()
+	r, err := sta.Analyze(n, sta.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", n.Name, err)
+	}
+	return r
+}
+
+func TestSubjectGraphBasics(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.MustGate(lib.Smallest(cell.FuncAnd2), a, b)
+	n.MarkOutput(x)
+	g, err := buildSubject(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nands, invs, leaves := g.stats()
+	if leaves != 2 || nands != 1 || invs != 1 {
+		t.Fatalf("AND2 subject = %d nands, %d invs, %d leaves; want 1/1/2", nands, invs, leaves)
+	}
+}
+
+func TestSubjectInverterPairElimination(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	x := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	y := n.MustGate(lib.Smallest(cell.FuncInv), x)
+	n.MarkOutput(y)
+	g, err := buildSubject(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inv(inv(a)) must collapse to the leaf itself.
+	if g.outOf[y] != g.outOf[a] {
+		t.Fatal("double inversion not eliminated")
+	}
+}
+
+func TestMapRoundTripPreservesInterface(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(ad.N, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Inputs()) != len(ad.N.Inputs()) || len(m.Outputs()) != len(ad.N.Outputs()) {
+		t.Fatalf("interface changed: %d/%d inputs, %d/%d outputs",
+			len(m.Inputs()), len(ad.N.Inputs()), len(m.Outputs()), len(ad.N.Outputs()))
+	}
+}
+
+func TestMapUsesComplexGates(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(ad.N, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[cell.Func]int{}
+	for _, g := range m.Gates() {
+		counts[g.Cell.Func]++
+	}
+	complexUsed := counts[cell.FuncAoi21] + counts[cell.FuncOai21] +
+		counts[cell.FuncAoi22] + counts[cell.FuncOai22] +
+		counts[cell.FuncNand3] + counts[cell.FuncNand4] +
+		counts[cell.FuncAnd3] + counts[cell.FuncAnd4] +
+		counts[cell.FuncOr3] + counts[cell.FuncOr4]
+	if complexUsed == 0 {
+		t.Fatalf("mapping to a rich library used no complex gates: %s", CoverStats(m))
+	}
+}
+
+func TestMapToPoorLibraryIsDeeper(t *testing.T) {
+	rich := cell.RichASIC()
+	poor := cell.PoorASIC()
+	ad, err := circuits.CarryLookahead(rich, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := Map(ad.N, rich, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Map(ad.N, poor, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the realistic flow on both: wire loads, buffering, sizing.
+	wl := &wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 1}
+	for _, step := range []struct {
+		n   *netlist.Netlist
+		lib *cell.Library
+	}{{mr, rich}, {mp, poor}} {
+		if err := SelectDrives(step.n, step.lib, wl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := InsertBuffers(step.n, step.lib); err != nil {
+			t.Fatal(err)
+		}
+		if err := SelectDrives(step.n, step.lib, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dr := analyze(t, mr).WorstComb
+	dp := analyze(t, mp).WorstComb
+	ratio := float64(dp) / float64(dr)
+	// Section 6.1 puts the poor-library penalty at 25% or more; our
+	// substrate lands above that under wire loading. Guard the shape:
+	// strictly slower, not absurdly so.
+	if ratio < 1.2 {
+		t.Fatalf("poor/rich = %.2f, want >= 1.2 (paper: >= 1.25)", ratio)
+	}
+	if ratio > 4 {
+		t.Fatalf("poor/rich = %.2f, implausibly large", ratio)
+	}
+}
+
+func TestTwoDriveLibraryPenalty(t *testing.T) {
+	// The isolated drive-granularity axis: same functions, drives
+	// restricted to {1,4}.
+	rich := cell.RichASIC()
+	two := cell.RestrictDrives(rich, 1, 4)
+	ad, err := circuits.CarryLookahead(rich, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 1}
+	var delays []float64
+	for _, lib := range []*cell.Library{rich, two} {
+		m, err := Map(ad.N, lib, MapOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SelectDrives(m, lib, wl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := InsertBuffers(m, lib); err != nil {
+			t.Fatal(err)
+		}
+		if err := SelectDrives(m, lib, nil); err != nil {
+			t.Fatal(err)
+		}
+		delays = append(delays, float64(analyze(t, m).WorstComb))
+	}
+	ratio := delays[1] / delays[0]
+	if ratio < 1.1 {
+		t.Fatalf("two-drive/rich = %.2f, want >= 1.1 (paper: ~1.25)", ratio)
+	}
+}
+
+func TestMinAreaSmallerThanMinDelay(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Map(ad.N, lib, MapOptions{Objective: MinDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := Map(ad.N, lib, MapOptions{Objective: MinArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.TotalArea() > md.TotalArea()*1.05 {
+		t.Fatalf("min-area map (%.0f) larger than min-delay map (%.0f)",
+			ma.TotalArea(), md.TotalArea())
+	}
+}
+
+func TestMapPreservesRegisters(t *testing.T) {
+	lib := cell.RichASIC()
+	n, err := circuits.DatapathChain(lib, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(n, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRegs() != n.NumRegs() {
+		t.Fatalf("registers changed: %d -> %d", n.NumRegs(), m.NumRegs())
+	}
+	// The mapped netlist must still analyze.
+	analyze(t, m)
+}
+
+func TestMapRejectsBasislessLibrary(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncInv), a))
+	empty := cell.NewLibrary("empty")
+	if _, err := Map(n, empty, MapOptions{}); err == nil {
+		t.Fatal("mapping to an empty library must fail")
+	}
+}
+
+func TestSelectDrivesUpsizesLoadedGates(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	// One driver, 30 sinks.
+	d := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	for i := 0; i < 30; i++ {
+		n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncNand2), d, a))
+	}
+	before := analyze(t, n).WorstComb
+	if err := SelectDrives(n, lib, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := analyze(t, n).WorstComb
+	if n.Gate(0).Cell.Drive <= 1 {
+		t.Fatal("heavily loaded driver was not upsized")
+	}
+	if after >= before {
+		t.Fatalf("drive selection made timing worse: %.1f -> %.1f FO4", before.FO4(), after.FO4())
+	}
+}
+
+func TestSelectDrivesWithWireLoadModel(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, err := circuits.CarryLookahead(lib, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &wire.LoadModel{M: wire.NewModel(units.ASIC025), BlockAreaMM2: 4}
+	if err := SelectDrives(ad.N, lib, wl); err != nil {
+		t.Fatal(err)
+	}
+	anyWire := false
+	for _, nt := range ad.N.Nets() {
+		if nt.WireCap > 0 {
+			anyWire = true
+			break
+		}
+	}
+	if !anyWire {
+		t.Fatal("wire-load model applied no capacitance")
+	}
+}
+
+func TestInsertBuffers(t *testing.T) {
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	d := n.MustGate(lib.Smallest(cell.FuncInv), a)
+	// 2000 sinks: far beyond any single drive at target effort.
+	for i := 0; i < 2000; i++ {
+		n.MarkOutput(n.MustGate(lib.Smallest(cell.FuncNand2), d, a))
+	}
+	added, err := InsertBuffers(n, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("no buffers inserted on a 200-fanout net")
+	}
+	if err := n.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// After buffering + sizing, timing must improve over unbuffered+sized.
+	if err := SelectDrives(n, lib, nil); err != nil {
+		t.Fatal(err)
+	}
+	buffered := analyze(t, n).WorstComb
+
+	n2 := netlist.New("t2")
+	a2 := n2.AddInput("a")
+	d2 := n2.MustGate(lib.Smallest(cell.FuncInv), a2)
+	for i := 0; i < 2000; i++ {
+		n2.MarkOutput(n2.MustGate(lib.Smallest(cell.FuncNand2), d2, a2))
+	}
+	if err := SelectDrives(n2, lib, nil); err != nil {
+		t.Fatal(err)
+	}
+	unbuffered := analyze(t, n2).WorstComb
+	if buffered >= unbuffered {
+		t.Fatalf("buffering did not help: %.1f vs %.1f FO4", buffered.FO4(), unbuffered.FO4())
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	lib := cell.RichASIC()
+	ad, _ := circuits.CarryLookahead(lib, 8)
+	a, err := Map(ad.N, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Map(ad.N, lib, MapOptions{})
+	if a.NumGates() != b.NumGates() || CoverStats(a) != CoverStats(b) {
+		t.Fatal("mapping is not deterministic")
+	}
+}
+
+func TestMappedEquivalenceSpotCheck(t *testing.T) {
+	// Structural sanity: mapping an XOR-free circuit (all-NAND ripple
+	// of ANDs) must produce identical simulation on a few vectors.
+	lib := cell.RichASIC()
+	n := netlist.New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	x := n.MustGate(lib.Smallest(cell.FuncAnd2), a, b)
+	y := n.MustGate(lib.Smallest(cell.FuncNor2), x, c)
+	z := n.MustGate(lib.Smallest(cell.FuncNand2), y, a)
+	n.MarkOutput(z)
+
+	m, err := Map(n, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vec := 0; vec < 8; vec++ {
+		in := map[string]bool{
+			"a": vec&1 != 0, "b": vec&2 != 0, "c": vec&4 != 0,
+		}
+		want := simulate(t, n, in)
+		got := simulate(t, m, in)
+		if len(want) != len(got) {
+			t.Fatal("output count mismatch")
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("vector %03b: output %d mismatch (want %v got %v)", vec, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// simulate evaluates the netlist's primary outputs for named input values.
+func simulate(t *testing.T, n *netlist.Netlist, in map[string]bool) []bool {
+	t.Helper()
+	val := make([]bool, n.NumNets())
+	for _, id := range n.Inputs() {
+		v, ok := in[n.Net(id).Name]
+		if !ok {
+			t.Fatalf("missing input %s", n.Net(id).Name)
+		}
+		val[id] = v
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gid := range order {
+		g := n.Gate(gid)
+		ins := make([]bool, len(g.In))
+		for i, net := range g.In {
+			ins[i] = val[net]
+		}
+		val[g.Out] = evalFunc(t, g.Cell.Func, ins)
+	}
+	outs := make([]bool, len(n.Outputs()))
+	for i, id := range n.Outputs() {
+		outs[i] = val[id]
+	}
+	return outs
+}
+
+func evalFunc(t *testing.T, f cell.Func, in []bool) bool {
+	t.Helper()
+	and := func() bool {
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	or := func() bool {
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	switch f {
+	case cell.FuncInv:
+		return !in[0]
+	case cell.FuncBuf:
+		return in[0]
+	case cell.FuncNand2, cell.FuncNand3, cell.FuncNand4:
+		return !and()
+	case cell.FuncNor2, cell.FuncNor3, cell.FuncNor4:
+		return !or()
+	case cell.FuncAnd2, cell.FuncAnd3, cell.FuncAnd4:
+		return and()
+	case cell.FuncOr2, cell.FuncOr3, cell.FuncOr4:
+		return or()
+	case cell.FuncXor2:
+		return in[0] != in[1]
+	case cell.FuncXnor2:
+		return in[0] == in[1]
+	case cell.FuncMux2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	case cell.FuncAoi21:
+		return !(in[0] && in[1] || in[2])
+	case cell.FuncAoi22:
+		return !(in[0] && in[1] || in[2] && in[3])
+	case cell.FuncOai21:
+		return !((in[0] || in[1]) && in[2])
+	case cell.FuncOai22:
+		return !((in[0] || in[1]) && (in[2] || in[3]))
+	case cell.FuncMaj3:
+		n := 0
+		for _, v := range in {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	t.Fatalf("evalFunc: unsupported %v", f)
+	return false
+}
+
+func TestStrashSharesCommonSubexpressions(t *testing.T) {
+	// Build the same expression twice from the same inputs: the subject
+	// graph must contain it once, and the mapped netlist must be much
+	// smaller than two independent copies.
+	lib := cell.RichASIC()
+	n := netlist.New("dup")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	build := func() netlist.NetID {
+		x := n.MustGate(lib.Smallest(cell.FuncAnd2), a, b)
+		y := n.MustGate(lib.Smallest(cell.FuncOr2), x, c)
+		return n.MustGate(lib.Smallest(cell.FuncXor2), y, a)
+	}
+	o1 := build()
+	o2 := build()
+	n.MarkOutput(o1)
+	n.MarkOutput(o2)
+
+	g, err := buildSubject(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strash must collapse the duplicate cone to the same node.
+	if g.outOf[o1] != g.outOf[o2] {
+		t.Fatal("identical cones got distinct subject nodes")
+	}
+	m, err := Map(n, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := netlist.New("single")
+	a2 := single.AddInput("a")
+	b2 := single.AddInput("b")
+	c2 := single.AddInput("c")
+	x := single.MustGate(lib.Smallest(cell.FuncAnd2), a2, b2)
+	y := single.MustGate(lib.Smallest(cell.FuncOr2), x, c2)
+	single.MarkOutput(single.MustGate(lib.Smallest(cell.FuncXor2), y, a2))
+	ms, err := Map(single, lib, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGates() != ms.NumGates() {
+		t.Fatalf("shared map has %d gates, single cone %d — sharing failed",
+			m.NumGates(), ms.NumGates())
+	}
+}

@@ -1,0 +1,160 @@
+// Package units provides the physical-unit conventions shared by the whole
+// toolkit: time, capacitance and resistance scalars, and the fanout-of-four
+// (FO4) normalization the paper uses to compare designs across processes.
+//
+// All combinational delay inside the toolkit is computed in tau, the
+// technology-independent logical-effort time unit (the delay of a minimum
+// inverter driving zero load is one parasitic delay, p_inv = 1 tau, and its
+// effort delay driving a copy of itself is g_inv * 1 = 1 tau). One FO4 delay
+// is the delay of an inverter driving four copies of itself:
+//
+//	FO4 = p_inv + g_inv*4 = 5 tau.
+//
+// Conversion to absolute time uses the paper's rule of thumb
+// FO4(ns) = 0.5 * Leff(um), e.g. Leff = 0.15 um gives FO4 = 75 ps
+// (the 1.0 GHz IBM PowerPC process) and Leff = 0.18 um gives FO4 = 90 ps
+// (a typical 0.25 um ASIC process).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tau is the dimensionless logical-effort delay unit. One FO4 = 5 Tau.
+type Tau float64
+
+// TauPerFO4 is the number of tau units in one fanout-of-four inverter delay.
+const TauPerFO4 = 5.0
+
+// FO4 converts a delay in tau to FO4 units.
+func (t Tau) FO4() float64 { return float64(t) / TauPerFO4 }
+
+// Picoseconds converts the delay to absolute time in the given process.
+func (t Tau) Picoseconds(p Process) float64 { return t.FO4() * p.FO4Picoseconds() }
+
+// Seconds converts the delay to absolute time in seconds in the given process.
+func (t Tau) Seconds(p Process) float64 { return t.Picoseconds(p) * 1e-12 }
+
+// FromFO4 converts a delay expressed in FO4 units to tau.
+func FromFO4(fo4 float64) Tau { return Tau(fo4 * TauPerFO4) }
+
+// Cap is capacitance in units of the minimum inverter input capacitance.
+type Cap float64
+
+// Femtofarads converts a normalized capacitance to fF in the given process.
+func (c Cap) Femtofarads(p Process) float64 { return float64(c) * p.CinFF }
+
+// Res is resistance in units of the minimum inverter output resistance.
+type Res float64
+
+// Process captures the handful of technology parameters the toolkit needs.
+// Everything else is derived from Leff via the FO4 rule of thumb, so two
+// processes with the same design rules but different effective channel
+// lengths (the paper's "accessibility" distinction) differ only here.
+type Process struct {
+	Name string
+
+	// LeffUm is the effective transistor channel length in microns.
+	// The paper's 0.25 um generation spans Leff 0.15 um (best custom
+	// fabs) to 0.18 um (typical ASIC fabs).
+	LeffUm float64
+
+	// DrawnUm is the drawn feature size of the generation (0.25 for all
+	// processes considered by the paper's comparison).
+	DrawnUm float64
+
+	// Vdd is the nominal supply voltage in volts.
+	Vdd float64
+
+	// CinFF is the input capacitance of a minimum inverter in fF.
+	CinFF float64
+
+	// RdrvOhm is the output resistance of a minimum inverter in ohms.
+	RdrvOhm float64
+
+	// Metal gives the global-layer interconnect parasitics. The paper's
+	// 0.25 um comparison is aluminum interconnect throughout.
+	Metal Interconnect
+}
+
+// Interconnect holds per-length wire parasitics for a routing layer.
+type Interconnect struct {
+	// ROhmPerMm is wire resistance per millimeter at minimum width.
+	ROhmPerMm float64
+	// CfFPerMm is wire capacitance per millimeter at minimum width.
+	CfFPerMm float64
+	// MaxWidthMult is the largest width multiple the router permits when
+	// widening wires to cut resistance.
+	MaxWidthMult float64
+}
+
+// FO4Picoseconds returns the FO4 inverter delay for this process using the
+// paper's rule of thumb FO4(ns) = 0.5 * Leff(um).
+func (p Process) FO4Picoseconds() float64 { return 0.5 * p.LeffUm * 1000 }
+
+// TauPicoseconds returns the absolute duration of one tau.
+func (p Process) TauPicoseconds() float64 { return p.FO4Picoseconds() / TauPerFO4 }
+
+// FrequencyMHz converts a cycle time in tau to a clock frequency in MHz.
+func (p Process) FrequencyMHz(cycle Tau) float64 {
+	ps := cycle.Picoseconds(p)
+	if ps <= 0 {
+		return math.Inf(1)
+	}
+	return 1e6 / ps
+}
+
+// CycleTau converts a clock frequency in MHz to a cycle time in tau.
+func (p Process) CycleTau(mhz float64) Tau {
+	ps := 1e6 / mhz
+	return FromFO4(ps / p.FO4Picoseconds())
+}
+
+func (p Process) String() string {
+	return fmt.Sprintf("%s (%.2fum drawn, Leff %.2fum, FO4 %.0fps, %.1fV)",
+		p.Name, p.DrawnUm, p.LeffUm, p.FO4Picoseconds(), p.Vdd)
+}
+
+// The paper's 0.25 um generation, parameterized three ways. Interconnect
+// values are representative published 0.25 um aluminum numbers (BACPAC-era):
+// global-layer Al at minimum width runs on the order of 75 ohm/mm and
+// 200 fF/mm with adjacent-line coupling included.
+var (
+	// ASIC025 is a typical 0.25 um ASIC foundry process: conservative
+	// Leff, worst-case characterized libraries.
+	ASIC025 = Process{
+		Name:    "asic-0.25um",
+		LeffUm:  0.18,
+		DrawnUm: 0.25,
+		Vdd:     2.5,
+		CinFF:   3.0,
+		RdrvOhm: 9000,
+		Metal:   Interconnect{ROhmPerMm: 75, CfFPerMm: 200, MaxWidthMult: 4},
+	}
+
+	// Custom025 is a leading-edge 0.25 um custom process of the kind the
+	// Alpha 21264A and IBM 1 GHz PowerPC were fabricated in.
+	Custom025 = Process{
+		Name:    "custom-0.25um",
+		LeffUm:  0.15,
+		DrawnUm: 0.25,
+		Vdd:     2.1,
+		CinFF:   2.6,
+		RdrvOhm: 7800,
+		Metal:   Interconnect{ROhmPerMm: 70, CfFPerMm: 195, MaxWidthMult: 8},
+	}
+
+	// ASIC018 is a mature 0.18 um ASIC process (IBM SA-27E class,
+	// Leff 0.11-0.12 um, FO4 about 55-60 ps) used by the paper's closing
+	// observation that refreshed ASIC libraries track custom processes.
+	ASIC018 = Process{
+		Name:    "asic-0.18um",
+		LeffUm:  0.115,
+		DrawnUm: 0.18,
+		Vdd:     1.8,
+		CinFF:   2.0,
+		RdrvOhm: 7000,
+		Metal:   Interconnect{ROhmPerMm: 55, CfFPerMm: 190, MaxWidthMult: 8},
+	}
+)

@@ -1,0 +1,98 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFO4Conversion(t *testing.T) {
+	d := FromFO4(13)
+	if got := d.FO4(); math.Abs(got-13) > 1e-12 {
+		t.Fatalf("FO4 round trip: got %g, want 13", got)
+	}
+	if got := Tau(TauPerFO4).FO4(); got != 1 {
+		t.Fatalf("5 tau should be 1 FO4, got %g", got)
+	}
+}
+
+func TestProcessFO4RuleOfThumb(t *testing.T) {
+	// The paper: Leff 0.15um -> FO4 75ps (IBM 1 GHz PowerPC process).
+	if got := Custom025.FO4Picoseconds(); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("custom 0.25um FO4 = %g ps, want 75", got)
+	}
+	// Typical ASIC 0.25um: Leff 0.18um -> FO4 90ps.
+	if got := ASIC025.FO4Picoseconds(); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("asic 0.25um FO4 = %g ps, want 90", got)
+	}
+	// 0.18um ASIC refresh: FO4 in the 55-60 ps band of IBM CMOS7S.
+	if got := ASIC018.FO4Picoseconds(); got < 55 || got > 60 {
+		t.Fatalf("asic 0.18um FO4 = %g ps, want 55-60", got)
+	}
+}
+
+func TestPaperFrequencyCalibration(t *testing.T) {
+	// 13 FO4 per cycle at 75ps FO4 is the paper's footnote-1 derivation
+	// of the 1.0 GHz IBM PowerPC.
+	cycle := FromFO4(13)
+	mhz := Custom025.FrequencyMHz(cycle)
+	if mhz < 1000 || mhz > 1030 {
+		t.Fatalf("13 FO4 at 75ps = %.0f MHz, want ~1026 (1.0 GHz)", mhz)
+	}
+	// 44 FO4 at 90ps is the Xtensa-class ASIC: ~250 MHz.
+	mhz = ASIC025.FrequencyMHz(FromFO4(44))
+	if mhz < 245 || mhz > 260 {
+		t.Fatalf("44 FO4 at 90ps = %.0f MHz, want ~252 (250 MHz class)", mhz)
+	}
+}
+
+func TestCycleTauRoundTrip(t *testing.T) {
+	f := func(mhz float64) bool {
+		mhz = 50 + math.Mod(math.Abs(mhz), 2000) // clamp to a sane band
+		cycle := ASIC025.CycleTau(mhz)
+		back := ASIC025.FrequencyMHz(cycle)
+		return math.Abs(back-mhz)/mhz < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencyMonotoneInCycle(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = 1 + math.Mod(math.Abs(a), 100)
+		b = 1 + math.Mod(math.Abs(b), 100)
+		fa := ASIC025.FrequencyMHz(FromFO4(a))
+		fb := ASIC025.FrequencyMHz(FromFO4(b))
+		if a < b {
+			return fa >= fb
+		}
+		return fb >= fa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCycleIsInfiniteFrequency(t *testing.T) {
+	if !math.IsInf(ASIC025.FrequencyMHz(0), 1) {
+		t.Fatal("zero cycle should report +Inf frequency")
+	}
+}
+
+func TestPicoseconds(t *testing.T) {
+	// One FO4 in the ASIC 0.25um process is 90ps.
+	if got := FromFO4(1).Picoseconds(ASIC025); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("1 FO4 = %g ps, want 90", got)
+	}
+	if got := FromFO4(2).Seconds(ASIC025); math.Abs(got-180e-12) > 1e-20 {
+		t.Fatalf("2 FO4 = %g s, want 1.8e-10", got)
+	}
+}
+
+func TestProcessString(t *testing.T) {
+	s := ASIC025.String()
+	if s == "" {
+		t.Fatal("empty process description")
+	}
+}

@@ -1,0 +1,193 @@
+// Package wire models on-chip interconnect the way the BACPAC calculator
+// the paper used did: distributed-RC (Elmore) delay for point-to-point
+// wires, optimal repeater insertion for long global wires, and wire
+// widening to trade capacitance for resistance. It also provides the
+// pre-placement statistical wire-load model synthesis uses.
+//
+// Units: lengths in millimeters, electrical values from the process
+// (ohms, fF), results converted to tau so they compose with gate delays.
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// elmoreFactor is the 50%-swing step-response factor ln 2.
+const elmoreFactor = 0.69
+
+// Model evaluates wire delays in one process.
+type Model struct {
+	P units.Process
+}
+
+// NewModel builds a wire model for the process.
+func NewModel(p units.Process) Model { return Model{P: p} }
+
+// psToTau converts picoseconds to tau in the model's process.
+func (m Model) psToTau(ps float64) units.Tau {
+	return units.FromFO4(ps / m.P.FO4Picoseconds())
+}
+
+// CapOfLength returns the capacitance of a wire of the given length and
+// width multiple, in normalized units. Widening trades area capacitance
+// up but, at these geometries, fringe and coupling
+// dominate, so doubling width costs only ~15% more capacitance:
+// C(w) ~ C0*(0.85 + 0.15*w).
+func (m Model) CapOfLength(mm, widthMult float64) units.Cap {
+	cf := m.P.Metal.CfFPerMm * mm * (0.85 + 0.15*widthMult)
+	return units.Cap(cf / m.P.CinFF)
+}
+
+// resOfLength returns wire resistance in ohms.
+func (m Model) resOfLength(mm, widthMult float64) float64 {
+	return m.P.Metal.ROhmPerMm * mm / widthMult
+}
+
+// UnbufferedDelay returns the Elmore delay of a driver of the given drive
+// strength pushing a signal down a wire of length mm (at widthMult times
+// minimum width) into loadCap, in tau.
+//
+//	t = ln2 * [ Rd*(Cw + CL) + Rw*(Cw/2 + CL) ]
+func (m Model) UnbufferedDelay(mm, widthMult, drive float64, load units.Cap) units.Tau {
+	if mm < 0 {
+		mm = 0
+	}
+	rd := m.P.RdrvOhm / drive
+	cw := m.P.Metal.CfFPerMm * mm * (0.85 + 0.15*widthMult)
+	rw := m.resOfLength(mm, widthMult)
+	cl := float64(load) * m.P.CinFF
+	ps := elmoreFactor * (rd*(cw+cl) + rw*(cw/2+cl)) / 1000 // ohm*fF = 1e-3 ps
+	return m.psToTau(ps)
+}
+
+// Repeaters describes a repeater-insertion solution for one wire.
+type Repeaters struct {
+	Count int     // repeaters inserted along the wire
+	Size  float64 // drive strength of each repeater (and of the driver)
+	// Delay is the end-to-end delay in tau, including the driver stage.
+	Delay units.Tau
+	// WidthMult is the wire width multiple used.
+	WidthMult float64
+}
+
+func (r Repeaters) String() string {
+	return fmt.Sprintf("%d repeaters x X%.0f (w=%.0fx): %.1f FO4", r.Count, r.Size, r.WidthMult, r.Delay.FO4())
+}
+
+// segmentDelay returns the delay of one repeated segment: a size-h driver,
+// a wire of length segMM, and a size-h repeater load.
+func (m Model) segmentDelay(segMM, widthMult, h float64) float64 {
+	rd := m.P.RdrvOhm / h
+	cw := m.P.Metal.CfFPerMm * segMM * (0.85 + 0.15*widthMult)
+	rw := m.resOfLength(segMM, widthMult)
+	cl := h * m.P.CinFF // next repeater's input
+	// Add the repeater's own parasitic as one tau worth of output cap.
+	cpar := h * m.P.CinFF * 0.5
+	return elmoreFactor * (rd*(cw+cl+cpar) + rw*(cw/2+cl)) / 1000
+}
+
+// repeaterSizes is the ladder searched during insertion.
+var repeaterSizes = []float64{1, 2, 4, 8, 16, 32, 64, 96, 128}
+
+// OptimalRepeaters finds the repeater count and size minimizing the delay
+// of a wire of the given length at the given width multiple, searching
+// counts 0..maxRep and the size ladder. The final load is the given
+// receiver capacitance.
+func (m Model) OptimalRepeaters(mm, widthMult float64, load units.Cap) Repeaters {
+	const maxRep = 64
+	best := Repeaters{Count: 0, Size: 1, WidthMult: widthMult}
+	bestPS := math.Inf(1)
+	for _, h := range repeaterSizes {
+		for k := 0; k <= maxRep; k++ {
+			seg := mm / float64(k+1)
+			// k+1 segments; the last one drives the receiver load
+			// instead of another repeater.
+			ps := float64(k) * m.segmentDelay(seg, widthMult, h)
+			rd := m.P.RdrvOhm / h
+			cw := m.P.Metal.CfFPerMm * seg * (0.85 + 0.15*widthMult)
+			rw := m.resOfLength(seg, widthMult)
+			cl := float64(load) * m.P.CinFF
+			ps += elmoreFactor * (rd*(cw+cl) + rw*(cw/2+cl)) / 1000
+			if ps < bestPS {
+				bestPS = ps
+				best = Repeaters{Count: k, Size: h, WidthMult: widthMult, Delay: m.psToTau(ps)}
+			}
+		}
+	}
+	return best
+}
+
+// RepeatersForDriver finds the best repeater solution for a wire whose
+// first segment is driven by the actual on-path driver (of the given
+// drive strength), not an idealized repeater: the driver pushes the first
+// segment plus the first repeater's input, k-1 interior segments run
+// repeater-to-repeater, and the last repeater drives the receiver load.
+// Count 0 means the raw wire wins.
+func (m Model) RepeatersForDriver(drive, mm float64, load units.Cap) Repeaters {
+	raw := m.UnbufferedDelay(mm, 1, drive, load)
+	best := Repeaters{Count: 0, Size: drive, WidthMult: 1, Delay: raw}
+	if mm <= 0 {
+		return best
+	}
+	const maxRep = 32
+	rdReal := m.P.RdrvOhm / drive
+	cl := float64(load) * m.P.CinFF
+	for _, h := range repeaterSizes {
+		ch := h * m.P.CinFF
+		rdRep := m.P.RdrvOhm / h
+		for k := 1; k <= maxRep; k++ {
+			seg := mm / float64(k+1)
+			cw := m.P.Metal.CfFPerMm * seg
+			rw := m.resOfLength(seg, 1)
+			// Driver stage into the first repeater.
+			ps := elmoreFactor * (rdReal*(cw+ch) + rw*(cw/2+ch)) / 1000
+			// Interior repeater-to-repeater segments.
+			ps += float64(k-1) * m.segmentDelay(seg, 1, h)
+			// Final repeater into the receiver.
+			ps += elmoreFactor * (rdRep*(cw+cl+ch*0.5) + rw*(cw/2+cl)) / 1000
+			if d := m.psToTau(ps); d < best.Delay {
+				best = Repeaters{Count: k, Size: h, WidthMult: 1, Delay: d}
+			}
+		}
+	}
+	return best
+}
+
+// BestWireDelay additionally searches wire widths up to the process
+// maximum, returning the overall best repeated solution.
+func (m Model) BestWireDelay(mm float64, load units.Cap) Repeaters {
+	best := m.OptimalRepeaters(mm, 1, load)
+	for w := 2.0; w <= m.P.Metal.MaxWidthMult; w *= 2 {
+		if r := m.OptimalRepeaters(mm, w, load); r.Delay < best.Delay {
+			best = r
+		}
+	}
+	return best
+}
+
+// LoadModel is the statistical pre-layout wire-load model: estimated wire
+// capacitance as a function of fanout, for a block of the given area.
+// Synthesis uses it to pick drive strengths before placement exists;
+// the paper (section 6.2) notes this estimate "will differ from that in
+// the final layout", which is why post-layout resizing matters.
+type LoadModel struct {
+	M Model
+	// BlockAreaMM2 is the area of the block being synthesized;
+	// estimated net length scales with its half-perimeter.
+	BlockAreaMM2 float64
+}
+
+// NetCap estimates wire capacitance for a net with the given fanout.
+func (wl LoadModel) NetCap(fanout int) units.Cap {
+	if fanout < 1 {
+		fanout = 1
+	}
+	side := math.Sqrt(wl.BlockAreaMM2)
+	// Rent-style estimate: average net spans a fraction of the block
+	// that grows slowly with fanout.
+	mm := side * 0.1 * math.Sqrt(float64(fanout))
+	return wl.M.CapOfLength(mm, 1)
+}

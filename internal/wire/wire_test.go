@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func model() Model { return NewModel(units.ASIC025) }
+
+func TestUnbufferedDelayGrowsQuadratically(t *testing.T) {
+	m := model()
+	d1 := m.UnbufferedDelay(1, 1, 4, 4)
+	d2 := m.UnbufferedDelay(2, 1, 4, 4)
+	// With a weak driver the wire looks capacitive: doubling length
+	// about doubles delay.
+	if r := float64(d2) / float64(d1); r < 1.9 {
+		t.Fatalf("2mm/1mm ratio %.2f, want near >2 for RC wire", r)
+	}
+	// With a strong driver (Rd << Rw) the distributed term dominates and
+	// delay grows superlinearly toward quadratic.
+	d5 := m.UnbufferedDelay(5, 1, 64, 4)
+	d10 := m.UnbufferedDelay(10, 1, 64, 4)
+	if r := float64(d10) / float64(d5); r < 2.8 {
+		t.Fatalf("10mm/5mm strong-driver ratio %.2f, want approaching 4 (quadratic regime)", r)
+	}
+}
+
+func TestRepeatersLinearizeLongWires(t *testing.T) {
+	m := model()
+	raw := m.UnbufferedDelay(10, 1, 4, 4)
+	rep := m.OptimalRepeaters(10, 1, 4)
+	if rep.Delay >= raw {
+		t.Fatalf("repeaters (%.1f FO4) must beat raw wire (%.1f FO4)", rep.Delay.FO4(), raw.FO4())
+	}
+	if rep.Count == 0 {
+		t.Fatal("a 10mm global wire needs repeaters")
+	}
+	// Repeated delay should grow ~linearly: 10mm should be ~2x 5mm, not 4x.
+	r5 := m.OptimalRepeaters(5, 1, 4)
+	ratio := float64(rep.Delay) / float64(r5.Delay)
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("10mm/5mm repeated ratio = %.2f, want ~2 (linear)", ratio)
+	}
+}
+
+func TestShortWireNeedsNoRepeaters(t *testing.T) {
+	m := model()
+	r := m.OptimalRepeaters(0.05, 1, 4)
+	if r.Count != 0 {
+		t.Fatalf("50um wire got %d repeaters", r.Count)
+	}
+}
+
+func TestWideningHelpsLongWires(t *testing.T) {
+	m := model()
+	narrow := m.OptimalRepeaters(10, 1, 4)
+	best := m.BestWireDelay(10, 4)
+	if best.Delay > narrow.Delay {
+		t.Fatal("width search must never be worse than minimum width")
+	}
+	if best.WidthMult <= 1 {
+		t.Fatalf("10mm wire should prefer widening, got %.0fx", best.WidthMult)
+	}
+}
+
+func TestCapOfLengthScalesLinearly(t *testing.T) {
+	m := model()
+	f := func(seed uint8) bool {
+		mm := 0.1 + float64(seed%50)/10
+		c1 := float64(m.CapOfLength(mm, 1))
+		c2 := float64(m.CapOfLength(2*mm, 1))
+		return math.Abs(c2-2*c1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayMonotoneInLength(t *testing.T) {
+	m := model()
+	f := func(a, b uint8) bool {
+		la, lb := float64(a%100)/10, float64(b%100)/10
+		da := m.UnbufferedDelay(la, 1, 2, 4)
+		db := m.UnbufferedDelay(lb, 1, 2, 4)
+		if la <= lb {
+			return da <= db
+		}
+		return db <= da
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossDieWireIsManyFO4(t *testing.T) {
+	// The paper's floorplanning study: a path crossing a 100mm^2 die
+	// (10mm) costs many FO4 even with optimal repeaters — this is the
+	// wire-delay budget careful floorplanning eliminates.
+	m := model()
+	r := m.BestWireDelay(10, 4)
+	if f := r.Delay.FO4(); f < 3 || f > 30 {
+		t.Fatalf("10mm repeated wire = %.1f FO4, want single-digit-to-20s", f)
+	}
+	// And a 0.5mm local wire should be well under 1 FO4.
+	local := m.BestWireDelay(0.5, 4)
+	if local.Delay.FO4() > 1.5 {
+		t.Fatalf("0.5mm local wire = %.2f FO4, want < 1.5", local.Delay.FO4())
+	}
+}
+
+func TestLoadModelGrowsWithFanoutAndArea(t *testing.T) {
+	m := model()
+	small := LoadModel{M: m, BlockAreaMM2: 1}
+	big := LoadModel{M: m, BlockAreaMM2: 100}
+	if small.NetCap(2) >= big.NetCap(2) {
+		t.Fatal("bigger blocks must estimate more wire cap")
+	}
+	if small.NetCap(1) > small.NetCap(8) {
+		t.Fatal("higher fanout must estimate more wire cap")
+	}
+	if small.NetCap(0) != small.NetCap(1) {
+		t.Fatal("fanout clamps at 1")
+	}
+}
+
+func TestNegativeLengthClamps(t *testing.T) {
+	m := model()
+	if d := m.UnbufferedDelay(-3, 1, 1, 1); d != m.UnbufferedDelay(0, 1, 1, 1) {
+		t.Fatal("negative length should clamp to zero")
+	}
+}
+
+func TestRepeatersString(t *testing.T) {
+	if model().OptimalRepeaters(5, 1, 4).String() == "" {
+		t.Fatal("empty repeater description")
+	}
+}
+
+func TestRepeatersForDriverDirect(t *testing.T) {
+	m := model()
+	// A long wire behind a weak driver: the driver-aware solver should
+	// insert repeaters and beat the raw wire.
+	raw := m.UnbufferedDelay(8, 1, 2, 4)
+	rep := m.RepeatersForDriver(2, 8, 4)
+	if rep.Count < 1 {
+		t.Fatalf("8mm wire behind an X2 driver got %d repeaters", rep.Count)
+	}
+	if rep.Delay >= raw {
+		t.Fatalf("repeated delay %.1f FO4 should beat raw %.1f FO4", rep.Delay.FO4(), raw.FO4())
+	}
+	// A very short wire: raw wins, count 0, delay equals the raw delay.
+	short := m.RepeatersForDriver(4, 0.05, 4)
+	if short.Count != 0 {
+		t.Fatalf("50um wire got %d repeaters", short.Count)
+	}
+	if short.Delay != m.UnbufferedDelay(0.05, 1, 4, 4) {
+		t.Fatal("count-0 solution must equal the raw delay")
+	}
+	// Zero length is the degenerate raw case.
+	if z := m.RepeatersForDriver(4, 0, 4); z.Count != 0 {
+		t.Fatal("zero-length wire must not get repeaters")
+	}
+}
+
+func TestRepeatersForDriverMonotoneInLength(t *testing.T) {
+	m := model()
+	prev := 0.0
+	for _, mm := range []float64{1, 2, 4, 8, 12} {
+		d := float64(m.RepeatersForDriver(4, mm, 4).Delay)
+		if d < prev {
+			t.Fatalf("repeated delay decreased at %.0fmm", mm)
+		}
+		prev = d
+	}
+}
