@@ -1,0 +1,33 @@
+# Developer entry points. `make tier1` is the gate every change must
+# pass: formatting, vet, a full build, and the test suite under the race
+# detector (the concurrency proof for the gapd job engine).
+
+GO ?= go
+
+.PHONY: tier1 fmt vet build test race bench gapd
+
+tier1: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+gapd:
+	$(GO) run ./cmd/gapd

@@ -7,6 +7,10 @@ package repro
 // repeater insertion, snap strategy, and mapping objective.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cell"
@@ -14,6 +18,7 @@ import (
 	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/dynlogic"
+	"repro/internal/jobs"
 	"repro/internal/pipeline"
 	"repro/internal/place"
 	"repro/internal/procvar"
@@ -369,6 +374,66 @@ func BenchmarkAblation_MapObjective(b *testing.B) {
 	b.ReportMetric(dArea, "minDelay_area")
 	b.ReportMetric(aDelay, "minArea_FO4")
 	b.ReportMetric(aArea, "minArea_area")
+}
+
+// BenchmarkServiceThroughput measures end-to-end evaluations per second
+// through the internal/jobs pool at different worker counts, cold
+// (distinct specs, every submission runs the flow) and warm (one spec,
+// everything after the first submission is a cache hit). This is the
+// scaling story for the gapd service: warm throughput is bounded by the
+// cache lookup, cold throughput by NumCPU-way flow evaluation.
+func BenchmarkServiceThroughput(b *testing.B) {
+	workerCounts := []int{1, runtime.NumCPU(), 2 * runtime.NumCPU()}
+	for _, workers := range workerCounts {
+		for _, warm := range []bool{false, true} {
+			label := fmt.Sprintf("workers=%d/cold", workers)
+			if warm {
+				label = fmt.Sprintf("workers=%d/warm", workers)
+			}
+			b.Run(label, func(b *testing.B) {
+				pool := jobs.NewPool(jobs.Options{
+					Workers:      workers,
+					Parallelism:  1,
+					CacheEntries: 8192,
+				})
+				spec := func(i int) jobs.Spec {
+					s := jobs.Spec{
+						Kind:        jobs.KindEvaluate,
+						Design:      jobs.DesignSpec{Name: "datapath", Width: 8, Depth: 2},
+						Methodology: jobs.MethSpec{Base: "typical"},
+					}
+					if !warm {
+						// Distinct seeds defeat the cache so every
+						// submission runs the full flow.
+						s.Seed = int64(i)
+					}
+					return s
+				}
+				if warm {
+					// Populate the single cache entry up front.
+					if _, err := pool.Do(context.Background(), spec(0)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				var next atomic.Int64
+				b.SetParallelism(workers)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := int(next.Add(1))
+						if _, err := pool.Do(context.Background(), spec(i)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+				elapsed := b.Elapsed().Seconds()
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed, "jobs/s")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkSTA measures raw analyzer throughput on a mapped 32-bit CLA.

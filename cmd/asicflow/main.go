@@ -7,10 +7,16 @@
 // Usage:
 //
 //	asicflow [-circuit cla32|rca32|ks32|mult8|shifter32|alu32|datapath]
-//	         [-lib rich|poor|custom] [-stages N] [-die mm] [-seed N]
+//	         [-lib rich|poor|custom] [-stages N] [-die mm] [-seed N] [-json]
+//
+// With -json the flags are mapped onto an evaluate job spec and the
+// result is emitted as the same envelope the gapd service returns from
+// POST /v1/evaluate (the step-by-step trace is suppressed).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/circuits"
 	"repro/internal/dynlogic"
+	"repro/internal/jobs"
 	"repro/internal/netlist"
 	"repro/internal/pipeline"
 	"repro/internal/place"
@@ -78,6 +85,51 @@ func buildCircuit(name string, lib *cell.Library) (*netlist.Netlist, error) {
 	return nil, fmt.Errorf("unknown circuit %q", name)
 }
 
+// jsonSpecs maps asicflow's flag vocabulary onto the jobs package's.
+var (
+	jsonCircuits = map[string]jobs.DesignSpec{
+		"cla32":     {Name: "cla", Width: 32},
+		"rca32":     {Name: "rca", Width: 32},
+		"ks32":      {Name: "ks", Width: 32},
+		"mult8":     {Name: "mult", Width: 8},
+		"shifter32": {Name: "shifter", Width: 32},
+		"alu32":     {Name: "alu", Width: 32},
+		"datapath":  {Name: "datapath", Width: 16, Depth: 4},
+	}
+	jsonBases = map[string]string{
+		"poor":   "typical-asic",
+		"rich":   "best-practice-asic",
+		"custom": "full-custom",
+	}
+)
+
+// emitJSON runs the flag-equivalent evaluate job and prints the gapd
+// result envelope.
+func emitJSON(circuit, libName string, stages int, dieMM float64, seed int64) {
+	design, ok := jsonCircuits[circuit]
+	if !ok {
+		fail(fmt.Errorf("unknown circuit %q", circuit))
+	}
+	base, ok := jsonBases[libName]
+	if !ok {
+		fail(fmt.Errorf("unknown library %q", libName))
+	}
+	res, err := jobs.Run(context.Background(), jobs.Spec{
+		Kind:        jobs.KindEvaluate,
+		Design:      design,
+		Methodology: jobs.MethSpec{Base: base, Stages: stages, DieSideMM: dieMM},
+		Seed:        seed,
+	}, 1)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fail(err)
+	}
+}
+
 func report(tag string, n *netlist.Netlist) {
 	r, err := sta.Analyze(n, sta.Options{})
 	if err != nil {
@@ -94,7 +146,13 @@ func main() {
 	dieMM := flag.Float64("die", 0, "die side in mm (0 = auto)")
 	seed := flag.Int64("seed", 1, "placement seed")
 	dump := flag.String("dump", "", "write the final pipelined netlist as Verilog to this file")
+	asJSON := flag.Bool("json", false, "emit the equivalent evaluate job result as JSON")
 	flag.Parse()
+
+	if *asJSON {
+		emitJSON(*circuit, *libName, *stages, *dieMM, *seed)
+		return
+	}
 
 	var lib *cell.Library
 	switch *libName {

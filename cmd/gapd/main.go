@@ -1,0 +1,88 @@
+// Command gapd serves the evaluation engine over HTTP: POST a job spec
+// to /v1/evaluate, /v1/ladder, or /v1/sweep and get the flow's result as
+// JSON, with identical submissions answered from a content-addressed
+// cache. See internal/serve for the route table and internal/jobs for
+// the spec schema.
+//
+// Usage:
+//
+//	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
+//
+// The server drains in-flight jobs and exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "flow evaluations per ladder/sweep job (0 = workers)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = 512, negative disables)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wall-clock limit")
+	reqTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request wait limit")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	flag.Parse()
+
+	pool := jobs.NewPool(jobs.Options{
+		Workers:      *workers,
+		Parallelism:  *parallel,
+		CacheEntries: *cache,
+		JobTimeout:   *timeout,
+	})
+	handler := serve.NewHandler(serve.Options{
+		Pool:           pool,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("gapd: listening on %s (%d workers, cache %d entries, job timeout %v)",
+			*addr, pool.Workers(), pool.Cache().Cap(), *timeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("gapd: shutting down")
+		// Shutdown waits for in-flight requests; since jobs run on the
+		// request goroutine, this drains the worker pool too.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("gapd: bye")
+}

@@ -5,23 +5,49 @@
 //
 // Usage:
 //
-//	gapreport [-width N] [-depth N] [-seed N]
+//	gapreport [-width N] [-depth N] [-seed N] [-json]
+//
+// With -json the factor ladder is emitted as the same job-result
+// envelope the gapd service returns from POST /v1/ladder.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/chips"
 	"repro/internal/core"
+	"repro/internal/jobs"
 )
 
 func main() {
 	width := flag.Int("width", 16, "datapath word width")
 	depth := flag.Int("depth", 4, "datapath slice depth")
 	seed := flag.Int64("seed", 1, "seed for placement and Monte Carlo")
+	asJSON := flag.Bool("json", false, "emit the factor ladder as a gapd job result")
 	flag.Parse()
+
+	if *asJSON {
+		res, err := jobs.Run(context.Background(), jobs.Spec{
+			Kind:   jobs.KindLadder,
+			Design: jobs.DesignSpec{Name: "datapath", Width: *width, Depth: *depth},
+			Seed:   *seed,
+		}, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gapreport:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "gapreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("== Section 2: published 0.25um silicon survey ==")
 	fmt.Printf("%-22s %8s %9s %7s %7s %s\n", "chip", "MHz", "FO4/cyc", "stages", "skew", "family")

@@ -6,16 +6,23 @@
 //
 // Usage:
 //
-//	pipesweep [-width N] [-depth N] [-max N]
+//	pipesweep [-width N] [-depth N] [-max N] [-workload dsp|integer|bus|flat] [-json]
+//
+// With -json a depth sweep through the full best-practice flow is
+// emitted as the same job-result envelope the gapd service returns from
+// POST /v1/sweep.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cell"
 	"repro/internal/circuits"
+	"repro/internal/jobs"
 	"repro/internal/pipeline"
 	"repro/internal/sta"
 	"repro/internal/units"
@@ -25,7 +32,32 @@ func main() {
 	width := flag.Int("width", 16, "datapath word width")
 	depth := flag.Int("depth", 4, "datapath slice depth")
 	maxStages := flag.Int("max", 10, "deepest pipeline to try")
+	workload := flag.String("workload", "integer", "workload for -json mode: dsp, integer, bus, flat")
+	seed := flag.Int64("seed", 1, "placement seed for -json mode")
+	asJSON := flag.Bool("json", false, "emit a best-practice depth sweep as a gapd job result")
 	flag.Parse()
+
+	if *asJSON {
+		res, err := jobs.Run(context.Background(), jobs.Spec{
+			Kind:        jobs.KindSweep,
+			Design:      jobs.DesignSpec{Name: "datapath", Width: *width, Depth: *depth},
+			Methodology: jobs.MethSpec{Base: "best-practice"},
+			MaxStages:   *maxStages,
+			Workload:    *workload,
+			Seed:        *seed,
+		}, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipesweep:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "pipesweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	lib := cell.RichASIC()
 	n, err := circuits.DatapathComb(lib, *width, *depth)

@@ -6,37 +6,52 @@
 //
 // Usage:
 //
-//	procmc [-dies N] [-seed N]
+//	procmc [-dies N] [-seed N] [-json]
+//
+// With -json the measured statistics are emitted in the gapd job-result
+// envelope under kind "procvar" (a CLI-only kind: the numbers land in
+// the result's tables map; the service itself does not run this kind).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/jobs"
 	"repro/internal/procvar"
 )
 
 func main() {
 	dies := flag.Int("dies", 20000, "dies per line to sample")
 	seed := flag.Int64("seed", 42, "Monte Carlo seed")
+	asJSON := flag.Bool("json", false, "emit the statistics as a gapd job result")
 	flag.Parse()
 
 	lines := []struct {
 		name string
+		slug string
 		c    procvar.Components
 	}{
-		{"new process (ramp)", procvar.NewProcess()},
-		{"mature process", procvar.MatureProcess()},
-		{"second-tier fab", procvar.SecondTierFab()},
+		{"new process (ramp)", "new_process", procvar.NewProcess()},
+		{"mature process", "mature_process", procvar.MatureProcess()},
+		{"second-tier fab", "second_tier_fab", procvar.SecondTierFab()},
 	}
 	samples := make(map[string][]float64, len(lines))
+	for i, l := range lines {
+		samples[l.name] = l.c.Sample(*dies, *seed+int64(i))
+	}
+
+	if *asJSON {
+		emitJSON(lines, samples, *dies, *seed)
+		return
+	}
 
 	fmt.Printf("%-20s %7s %8s %8s %8s %8s %8s\n",
 		"line", "rated", "median", "fast", "typ+%", "fast+%", "spread%")
-	for i, l := range lines {
-		s := l.c.Sample(*dies, *seed+int64(i))
-		samples[l.name] = s
-		r := procvar.Analyze(s)
+	for _, l := range lines {
+		r := procvar.Analyze(samples[l.name])
 		fmt.Printf("%-20s %7.2f %8.2f %8.2f %7.0f%% %7.0f%% %7.0f%%\n",
 			l.name, r.Rated, r.Median, r.Fast, 100*r.TypGain, 100*r.FastGain, 100*r.Spread)
 	}
@@ -68,4 +83,53 @@ func main() {
 		100*procvar.TestedSpeedGain(second))
 	fmt.Printf("  custom best vs ASIC rating:    measured +%.0f%% (paper: ~90%%)\n",
 		100*procvar.CustomAdvantage(mature, second))
+}
+
+// emitJSON flattens the Monte Carlo statistics into the gapd job-result
+// envelope under the CLI-only "procvar" kind.
+func emitJSON(lines []struct {
+	name string
+	slug string
+	c    procvar.Components
+}, samples map[string][]float64, dies int, seed int64) {
+	tables := map[string]float64{
+		"dies_per_line": float64(dies),
+	}
+	for _, l := range lines {
+		r := procvar.Analyze(samples[l.name])
+		tables[l.slug+".rated"] = r.Rated
+		tables[l.slug+".median"] = r.Median
+		tables[l.slug+".fast"] = r.Fast
+		tables[l.slug+".typ_gain"] = r.TypGain
+		tables[l.slug+".fast_gain"] = r.FastGain
+		tables[l.slug+".spread"] = r.Spread
+	}
+	newLine := samples["new process (ramp)"]
+	mature := samples["mature process"]
+	second := samples["second-tier fab"]
+	tables["claims.typ_over_worst"] = procvar.Analyze(newLine).TypGain
+	tables["claims.fast_over_typ_young"] = procvar.Analyze(newLine).FastGain
+	tables["claims.new_process_spread"] = procvar.Analyze(newLine).Spread
+	tables["claims.fab_to_fab_gap"] = procvar.FabToFabGap(mature, second)
+	tables["claims.tested_speed_gain"] = procvar.TestedSpeedGain(second)
+	tables["claims.custom_advantage"] = procvar.CustomAdvantage(mature, second)
+	for i, b := range procvar.SpeedBin(newLine, []float64{0.80, 0.90, 1.00, 1.10}) {
+		key := "bin.discard"
+		if i > 0 {
+			key = fmt.Sprintf("bin.ge_%.2f", b.MinSpeed)
+		}
+		tables[key+".frac"] = b.Frac
+	}
+
+	res := jobs.Result{
+		Kind:   jobs.KindProcvar,
+		Spec:   jobs.Spec{Kind: jobs.KindProcvar, Seed: seed},
+		Tables: tables,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, "procmc:", err)
+		os.Exit(1)
+	}
 }

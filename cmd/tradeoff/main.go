@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	tradeoff [-flow asic|custom] [-max N] [-workload dsp|integer|bus]
+//	tradeoff [-flow asic|custom] [-max N] [-workload dsp|integer|bus] [-json]
+//
+// With -json the sweep is emitted as the same job-result envelope the
+// gapd service returns from POST /v1/sweep.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/pipeline"
 )
 
@@ -21,7 +27,36 @@ func main() {
 	flow := flag.String("flow", "asic", "methodology: asic (best-practice) or custom")
 	maxStages := flag.Int("max", 8, "deepest pipeline")
 	workload := flag.String("workload", "integer", "workload: dsp, integer, bus")
+	seed := flag.Int64("seed", 0, "placement seed")
+	asJSON := flag.Bool("json", false, "emit the sweep as a gapd job result")
 	flag.Parse()
+
+	if *asJSON {
+		base := map[string]string{"asic": "best-practice", "custom": "custom"}[*flow]
+		if base == "" {
+			fmt.Fprintf(os.Stderr, "tradeoff: unknown flow %q\n", *flow)
+			os.Exit(1)
+		}
+		res, err := jobs.Run(context.Background(), jobs.Spec{
+			Kind:        jobs.KindSweep,
+			Design:      jobs.DesignSpec{Name: "datapath", Width: 16, Depth: 4},
+			Methodology: jobs.MethSpec{Base: base},
+			MaxStages:   *maxStages,
+			Workload:    *workload,
+			Seed:        *seed,
+		}, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var m core.Methodology
 	switch *flow {
@@ -33,6 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tradeoff: unknown flow %q\n", *flow)
 		os.Exit(1)
 	}
+	m.Seed = *seed
 	var wl pipeline.Workload
 	switch *workload {
 	case "dsp":

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -88,13 +89,28 @@ func ALUDesign(w int) Design {
 
 // Evaluate runs the full flow for the methodology on the design.
 func Evaluate(d Design, m Methodology) (Evaluation, error) {
+	return EvaluateCtx(context.Background(), d, m)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation: the context is
+// checked between flow stages (generate/map, size, place, pipeline,
+// resize, dominoize, rate), so a cancelled or timed-out job stops at the
+// next stage boundary instead of running the flow to completion. The
+// flow itself never mutates shared state, so abandoning it mid-stage is
+// safe; stage granularity just bounds the wasted work.
+func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, error) {
 	ev := Evaluation{Design: d.Name, Methodology: m.Name}
 	if m.Seq == nil {
 		return ev, fmt.Errorf("core: methodology %s has no sequential cell", m.Name)
 	}
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
+	obs := stageObserver(ctx)
 
 	// 1. Generate, sweep (constant folding + DCE on the generator's
 	// tie-offs), and technology-map the logic.
+	stageDone := stageTimer(obs, "synthesize")
 	raw, err := d.Build(m.Library)
 	if err != nil {
 		return ev, err
@@ -107,8 +123,14 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 	if err != nil {
 		return ev, err
 	}
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 2. Pre-layout sizing against the wire-load model.
+	stageDone = stageTimer(obs, "presize")
 	wm := wire.NewModel(m.Process)
 	blockArea := comb.TotalArea() * place.CellAreaUnitMM2
 	wl := &wire.LoadModel{M: wm, BlockAreaMM2: maxf(blockArea, 0.25)}
@@ -121,6 +143,11 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 	if err := synth.SelectDrives(comb, m.Library, nil); err != nil {
 		return ev, err
 	}
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 3. Floorplan the combinational design and annotate parasitics, so
 	// both the pipeline cut and the sizing passes see wire delay. A
@@ -128,6 +155,7 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 	// block-level utilization (blocks plus routing/whitespace spread
 	// over ~40x their cell area), so wire lengths stay proportionate to
 	// the design instead of to an arbitrary chip.
+	stageDone = stageTimer(obs, "floorplan")
 	side := m.DieSideMM
 	if side <= 0 {
 		side = clampf(sqrtf(comb.TotalArea()*place.CellAreaUnitMM2*40), 0.8, 10)
@@ -147,10 +175,16 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 	if r, err := sta.Analyze(comb, sta.Options{}); err == nil {
 		ev.CombFO4 = r.CombFO4()
 	}
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 4. Pipeline on the wire-annotated timing (the balanced cut now
 	// accounts for inter-block wire delay), then re-place and
 	// re-annotate the pipelined netlist.
+	stageDone = stageTimer(obs, "pipeline")
 	piped, err := pipeline.Pipeline(comb, pipeline.Options{
 		Stages: m.Stages, Seq: m.Seq, Method: m.Cut, Refine: m.RefineCut,
 	})
@@ -158,11 +192,17 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 		return ev, err
 	}
 	annotate(piped)
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 5. Post-layout sizing. Every flow at least re-selects drives
 	// against the extracted parasitics (the standard ECO resize);
 	// better flows add post-layout buffering of the now-visible long
 	// nets, and custom flows run continuous sensitivity sizing.
+	stageDone = stageTimer(obs, "postsize")
 	if err := synth.SelectDrives(piped, m.Library, nil); err != nil {
 		return ev, err
 	}
@@ -184,8 +224,14 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 			}
 		}
 	}
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 6. Dynamic logic on critical paths.
+	stageDone = stageTimer(obs, "domino")
 	if m.DominoFrac > 0 {
 		opt := dynlogic.DefaultOptions()
 		opt.Fraction = m.DominoFrac
@@ -195,8 +241,14 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 		}
 		ev.Converted = dres.Converted
 	}
+	stageDone()
+
+	if err := ctx.Err(); err != nil {
+		return ev, err
+	}
 
 	// 7. Final timing and cycle.
+	stageDone = stageTimer(obs, "timing")
 	r, err := sta.Analyze(piped, sta.Options{})
 	if err != nil {
 		return ev, err
@@ -251,8 +303,10 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 
 	ev.FO4PerCycle = ev.Cycle.FO4()
 	ev.NominalMHz = m.Process.FrequencyMHz(ev.Cycle)
+	stageDone()
 
 	// 8. Process rating.
+	stageDone = stageTimer(obs, "rate")
 	speeds := m.Fab.Sample(4000, m.Seed+7)
 	switch m.Rating {
 	case RateTested:
@@ -268,6 +322,7 @@ func Evaluate(d Design, m Methodology) (Evaluation, error) {
 	ev.Regs = piped.NumRegs()
 	ev.AreaMM2 = piped.TotalArea() * place.CellAreaUnitMM2
 	ev.PowerW = power.Estimate(piped, m.Process, power.DefaultOptions(ev.ShippedMHz)).TotalW()
+	stageDone()
 	return ev, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -86,76 +87,121 @@ const (
 	StepProcess    = "process"
 )
 
+// Rung is one knob flip of the section 3 ladder: a name, the paper's
+// estimate for it, and the methodology mutation it applies on top of the
+// previous rung. Apply must only replace fields (including pointer
+// fields, with freshly built values) — never mutate through existing
+// pointers — so that cumulative Methodology snapshots stay independent
+// and safe to evaluate concurrently.
+type Rung struct {
+	Name      string
+	PaperMult float64
+	Apply     func(*Methodology)
+}
+
+// Rungs returns the section 3 decomposition in ladder order. Both the
+// serial FactorLadder and the concurrent driver in internal/jobs consume
+// this one table, which is what keeps their results rung-for-rung
+// identical.
+func Rungs() []Rung {
+	return []Rung{
+		// x4.00: heavy pipelining / few logic levels between registers.
+		{Name: StepPipelining, PaperMult: 4.00, Apply: func(m *Methodology) {
+			m.Stages = 5
+			m.Cut = pipeline.BalancedDelay
+		}},
+		// x1.25: good floorplanning and placement (plus proper wire
+		// driving).
+		{Name: StepFloorplan, PaperMult: 1.25, Apply: func(m *Methodology) {
+			m.Floorplan = place.Careful
+			m.Repeaters = true
+		}},
+		// x1.25: clever transistor/wire sizing and good circuit design —
+		// rich continuous-sizable library, TILOS on the placed design,
+		// custom latches and clock distribution.
+		{Name: StepSizing, PaperMult: 1.25, Apply: func(m *Methodology) {
+			m.Library = cell.Custom()
+			m.Seq = cell.CustomPulseLatch(2)
+			m.Clocking = sta.CustomClocking()
+			m.Borrow = true
+			m.RefineCut = true
+			m.Sizing = SizeContinuous
+		}},
+		// x1.50: dynamic logic on critical paths.
+		{Name: StepDomino, PaperMult: 1.50, Apply: func(m *Methodology) {
+			m.DominoFrac = 0.35
+		}},
+		// x1.90: process variation and accessibility — best fab, fast
+		// bin, leading-edge effective channel length.
+		{Name: StepProcess, PaperMult: 1.90, Apply: func(m *Methodology) {
+			m.Process = units.Custom025
+			m.Fab = procvar.MatureProcess()
+			m.Rating = RateFastBin
+		}},
+	}
+}
+
+// LadderMethodologies expands the rung table into concrete methodologies:
+// the typical-ASIC baseline plus one cumulative snapshot per rung, all
+// carrying the given seed. The snapshots are value copies; Evaluate may
+// run on any subset of them concurrently.
+func LadderMethodologies(seed int64) (baseline Methodology, rungs []Methodology) {
+	m := TypicalASIC2000()
+	m.Seed = seed
+	baseline = m
+	table := Rungs()
+	rungs = make([]Methodology, 0, len(table))
+	for _, r := range table {
+		r.Apply(&m)
+		rungs = append(rungs, m)
+	}
+	return baseline, rungs
+}
+
+// AssembleLadder computes the per-rung multipliers from the baseline and
+// per-rung evaluations (in Rungs() order). It is the single place ladder
+// arithmetic lives, shared by the serial and concurrent drivers.
+func AssembleLadder(design string, base Evaluation, evals []Evaluation) Ladder {
+	l := Ladder{Design: design, Baseline: base}
+	prev := base
+	for i, r := range Rungs() {
+		if i >= len(evals) {
+			break
+		}
+		mult := 0.0
+		if prev.ShippedMHz > 0 {
+			mult = evals[i].ShippedMHz / prev.ShippedMHz
+		}
+		l.Steps = append(l.Steps, Factor{Name: r.Name, PaperMult: r.PaperMult, Mult: mult, Eval: evals[i]})
+		prev = evals[i]
+	}
+	return l
+}
+
 // FactorLadder measures the section 3 decomposition on the design: starts
 // from the typical-ASIC methodology and flips, cumulatively, pipelining,
 // floorplanning, sizing/circuit design, dynamic logic, and process
 // access/rating, re-running the full flow at every rung.
 func FactorLadder(d Design, seed int64) (Ladder, error) {
-	m := TypicalASIC2000()
-	m.Seed = seed
-	base, err := Evaluate(d, m)
+	return FactorLadderCtx(context.Background(), d, seed)
+}
+
+// FactorLadderCtx is FactorLadder with cooperative cancellation between
+// (and, via EvaluateCtx, inside) rung evaluations.
+func FactorLadderCtx(ctx context.Context, d Design, seed int64) (Ladder, error) {
+	baseM, rungMs := LadderMethodologies(seed)
+	base, err := EvaluateCtx(ctx, d, baseM)
 	if err != nil {
 		return Ladder{}, fmt.Errorf("core: ladder baseline: %w", err)
 	}
-	l := Ladder{Design: d.Name, Baseline: base}
-	prev := base
-
-	step := func(name string, paper float64, mutate func(*Methodology)) error {
-		mutate(&m)
-		ev, err := Evaluate(d, m)
+	evals := make([]Evaluation, 0, len(rungMs))
+	for i, m := range rungMs {
+		ev, err := EvaluateCtx(ctx, d, m)
 		if err != nil {
-			return fmt.Errorf("core: ladder step %s: %w", name, err)
+			return AssembleLadder(d.Name, base, evals),
+				fmt.Errorf("core: ladder step %s: %w", Rungs()[i].Name, err)
 		}
-		mult := 0.0
-		if prev.ShippedMHz > 0 {
-			mult = ev.ShippedMHz / prev.ShippedMHz
-		}
-		l.Steps = append(l.Steps, Factor{Name: name, PaperMult: paper, Mult: mult, Eval: ev})
-		prev = ev
-		return nil
+		evals = append(evals, ev)
 	}
-
-	// x4.00: heavy pipelining / few logic levels between registers.
-	if err := step(StepPipelining, 4.00, func(m *Methodology) {
-		m.Stages = 5
-		m.Cut = pipeline.BalancedDelay
-	}); err != nil {
-		return l, err
-	}
-	// x1.25: good floorplanning and placement (plus proper wire driving).
-	if err := step(StepFloorplan, 1.25, func(m *Methodology) {
-		m.Floorplan = place.Careful
-		m.Repeaters = true
-	}); err != nil {
-		return l, err
-	}
-	// x1.25: clever transistor/wire sizing and good circuit design —
-	// rich continuous-sizable library, TILOS on the placed design,
-	// custom latches and clock distribution.
-	if err := step(StepSizing, 1.25, func(m *Methodology) {
-		m.Library = cell.Custom()
-		m.Seq = cell.CustomPulseLatch(2)
-		m.Clocking = sta.CustomClocking()
-		m.Borrow = true
-		m.RefineCut = true
-		m.Sizing = SizeContinuous
-	}); err != nil {
-		return l, err
-	}
-	// x1.50: dynamic logic on critical paths.
-	if err := step(StepDomino, 1.50, func(m *Methodology) {
-		m.DominoFrac = 0.35
-	}); err != nil {
-		return l, err
-	}
-	// x1.90: process variation and accessibility — best fab, fast bin,
-	// leading-edge effective channel length.
-	if err := step(StepProcess, 1.90, func(m *Methodology) {
-		m.Process = units.Custom025
-		m.Fab = procvar.MatureProcess()
-		m.Rating = RateFastBin
-	}); err != nil {
-		return l, err
-	}
-	return l, nil
+	return AssembleLadder(d.Name, base, evals), nil
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// StageObserver receives the wall-clock duration of each completed flow
+// stage inside EvaluateCtx. Observers must be safe for concurrent use:
+// one observer is typically shared by every job in a worker pool.
+type StageObserver func(stage string, elapsed time.Duration)
+
+type stageObserverKey struct{}
+
+// WithStageObserver returns a context that makes EvaluateCtx report
+// per-stage latencies to obs. internal/jobs uses this to feed the
+// service's per-stage histograms without core depending on any metrics
+// machinery.
+func WithStageObserver(ctx context.Context, obs StageObserver) context.Context {
+	if obs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageObserverKey{}, obs)
+}
+
+// stageObserver extracts the observer, or nil.
+func stageObserver(ctx context.Context) StageObserver {
+	obs, _ := ctx.Value(stageObserverKey{}).(StageObserver)
+	return obs
+}
+
+// stageTimer starts timing one named stage; the returned func reports it.
+func stageTimer(obs StageObserver, stage string) func() {
+	if obs == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { obs(stage, time.Since(start)) }
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -19,25 +20,43 @@ type DepthPoint struct {
 // penalties (section 4.1). The returned points share the methodology's
 // every other knob.
 func DepthSweep(d Design, m Methodology, maxStages int, cpi func(stages int) float64) ([]DepthPoint, error) {
+	return DepthSweepCtx(context.Background(), d, m, maxStages, cpi)
+}
+
+// DepthSweepCtx is DepthSweep with cooperative cancellation between (and,
+// via EvaluateCtx, inside) per-depth evaluations.
+func DepthSweepCtx(ctx context.Context, d Design, m Methodology, maxStages int, cpi func(stages int) float64) ([]DepthPoint, error) {
 	if maxStages < 1 {
 		return nil, fmt.Errorf("core: sweep needs maxStages >= 1")
 	}
-	points := make([]DepthPoint, 0, maxStages)
-	var base float64
+	evals := make([]Evaluation, 0, maxStages)
 	for s := 1; s <= maxStages; s++ {
 		mm := m
 		mm.Stages = s
-		ev, err := Evaluate(d, mm)
+		ev, err := EvaluateCtx(ctx, d, mm)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at %d stages: %w", s, err)
 		}
+		evals = append(evals, ev)
+	}
+	return ScoreSweep(evals, cpi), nil
+}
+
+// ScoreSweep turns per-depth evaluations (stages 1..len(evals), in order)
+// into scored sweep points, normalizing hazard-discounted throughput to
+// the 1-stage point. Shared by the serial and concurrent sweep drivers.
+func ScoreSweep(evals []Evaluation, cpi func(stages int) float64) []DepthPoint {
+	points := make([]DepthPoint, 0, len(evals))
+	var base float64
+	for i, ev := range evals {
+		s := i + 1
 		perf := ev.ShippedMHz / cpi(s)
 		if s == 1 {
 			base = perf
 		}
 		points = append(points, DepthPoint{Stages: s, Eval: ev, ThroughputRel: perf / base})
 	}
-	return points, nil
+	return points
 }
 
 // BestDepth returns the sweep point with the highest throughput.

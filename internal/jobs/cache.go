@@ -1,0 +1,87 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed LRU result cache: keys are canonical spec
+// hashes, so two jobs that describe the same flow evaluation — however
+// phrased — share one entry and the second is never recomputed. Safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache creates a cache holding up to capacity results. A capacity
+// <= 0 disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*Result, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores the result under key, evicting the least recently used
+// entry when full. The cache takes shared ownership: callers must not
+// mutate res afterwards.
+func (c *Cache) Put(key string, res *Result) {
+	if c == nil || c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Cap reports the cache capacity.
+func (c *Cache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}

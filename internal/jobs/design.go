@@ -1,0 +1,87 @@
+package jobs
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// designBuilder maps a canonical DesignSpec onto the internal/circuits
+// generators. Each Build closure constructs a fresh netlist from the
+// methodology's library, exactly as synthesis to that library would.
+func designBuilder(d DesignSpec) (core.Design, error) {
+	w, depth := d.Width, d.Depth
+	wrap := func(name string, build func(lib *cell.Library) (*netlist.Netlist, error)) core.Design {
+		return core.Design{Name: name, Build: build}
+	}
+	switch d.Name {
+	case "datapath":
+		return core.DatapathDesign(w, depth), nil
+	case "chain":
+		return wrap(fmt.Sprintf("chain%dx%d", w, depth), func(lib *cell.Library) (*netlist.Netlist, error) {
+			return circuits.DatapathChain(lib, w, depth)
+		}), nil
+	case "alu":
+		return core.ALUDesign(w), nil
+	case "cla":
+		return wrap(fmt.Sprintf("cla%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			a, err := circuits.CarryLookahead(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return a.N, nil
+		}), nil
+	case "rca":
+		return wrap(fmt.Sprintf("rca%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			a, err := circuits.RippleCarry(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return a.N, nil
+		}), nil
+	case "csel":
+		return wrap(fmt.Sprintf("csel%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			a, err := circuits.CarrySelect(lib, w, 4)
+			if err != nil {
+				return nil, err
+			}
+			return a.N, nil
+		}), nil
+	case "ks":
+		return wrap(fmt.Sprintf("ks%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			a, err := circuits.KoggeStone(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return a.N, nil
+		}), nil
+	case "mult":
+		return wrap(fmt.Sprintf("mult%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			m, err := circuits.ArrayMultiplier(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return m.N, nil
+		}), nil
+	case "wallace":
+		return wrap(fmt.Sprintf("wallace%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			m, err := circuits.WallaceMultiplier(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return m.N, nil
+		}), nil
+	case "shifter":
+		return wrap(fmt.Sprintf("shifter%d", w), func(lib *cell.Library) (*netlist.Netlist, error) {
+			s, err := circuits.BarrelShifter(lib, w)
+			if err != nil {
+				return nil, err
+			}
+			return s.N, nil
+		}), nil
+	}
+	return core.Design{}, fmt.Errorf("jobs: unknown design %q", d.Name)
+}

@@ -1,0 +1,328 @@
+// Package jobs is the evaluation-service job engine: canonical,
+// deterministically-hashable job specifications (a methodology, a named
+// workload, and parameters), a bounded worker pool with per-job timeouts,
+// panic recovery and context cancellation, a content-addressed LRU result
+// cache so identical flow evaluations are never recomputed, and
+// concurrent drivers that run factor-ladder rungs and depth-sweep points
+// in parallel while producing results identical to the serial paths in
+// internal/core.
+//
+// A Spec is pure data: every library, sequential cell, and fab model is
+// named, not pointed to, and is rebuilt fresh inside the job that needs
+// it. That is what makes specs safe to hash, ship over HTTP, and execute
+// on any worker.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Kind is the type of evaluation a job performs.
+type Kind string
+
+// Job kinds the service executes. KindProcvar appears only in CLI -json
+// envelopes (cmd/procmc); the service rejects it.
+const (
+	KindEvaluate Kind = "evaluate"
+	KindLadder   Kind = "ladder"
+	KindSweep    Kind = "sweep"
+	KindProcvar  Kind = "procvar"
+)
+
+// Spec is a canonical job description. Two specs that canonicalize
+// equal have the same Hash and therefore share one cache entry.
+type Spec struct {
+	Kind   Kind       `json:"kind"`
+	Design DesignSpec `json:"design"`
+
+	// Methodology applies to evaluate and sweep jobs; ladder jobs fix
+	// their own methodology sequence (the section 3 rungs).
+	Methodology MethSpec `json:"methodology"`
+
+	// MaxStages is the deepest pipeline of a sweep job (default 8).
+	MaxStages int `json:"max_stages,omitempty"`
+	// Workload names the sweep's hazard/CPI model: dsp, integer, bus,
+	// or flat (CPI 1). Default integer.
+	Workload string `json:"workload,omitempty"`
+
+	// Seed drives every stochastic step (placement, Monte Carlo).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DesignSpec names a workload generator from internal/circuits.
+type DesignSpec struct {
+	// Name is one of: datapath, chain, alu, cla, rca, csel, ks, mult,
+	// wallace, shifter.
+	Name string `json:"name"`
+	// Width is the word width (default per design).
+	Width int `json:"width,omitempty"`
+	// Depth is the slice depth of datapath/chain designs (default 4).
+	Depth int `json:"depth,omitempty"`
+}
+
+// MethSpec names a methodology: a base flow plus optional overrides.
+type MethSpec struct {
+	// Base is typical-asic, best-practice-asic, or full-custom.
+	Base string `json:"base"`
+	// Stages overrides the base pipeline depth when > 0.
+	Stages int `json:"stages,omitempty"`
+	// Sizing overrides the sizing discipline: wire-load, post-layout,
+	// or continuous.
+	Sizing string `json:"sizing,omitempty"`
+	// Rating overrides the shipping policy: worst-case, tested, or
+	// fast-bin.
+	Rating string `json:"rating,omitempty"`
+	// DominoFrac overrides the fraction of critical paths converted to
+	// domino; nil keeps the base value.
+	DominoFrac *float64 `json:"domino_frac,omitempty"`
+	// DieSideMM overrides the die side when > 0 (0 derives it from the
+	// design area).
+	DieSideMM float64 `json:"die_side_mm,omitempty"`
+}
+
+// designDefaults gives the default width (and depth where applicable)
+// per design name.
+var designDefaults = map[string]struct{ width, depth int }{
+	"datapath": {16, 4},
+	"chain":    {16, 8},
+	"alu":      {16, 0},
+	"cla":      {32, 0},
+	"rca":      {32, 0},
+	"csel":     {32, 0},
+	"ks":       {32, 0},
+	"mult":     {8, 0},
+	"wallace":  {8, 0},
+	"shifter":  {32, 0},
+}
+
+// methBases maps accepted base names (including short aliases) to the
+// canonical name.
+var methBases = map[string]string{
+	"typical-asic":       "typical-asic",
+	"typical":            "typical-asic",
+	"best-practice-asic": "best-practice-asic",
+	"best-practice":      "best-practice-asic",
+	"full-custom":        "full-custom",
+	"custom":             "full-custom",
+}
+
+// Canon validates the spec and returns its canonical form: names
+// lowercased and de-aliased, defaults filled in, and fields that the
+// kind does not consume zeroed so they cannot split cache entries.
+func (s Spec) Canon() (Spec, error) {
+	c := s
+	c.Kind = Kind(strings.ToLower(strings.TrimSpace(string(s.Kind))))
+	switch c.Kind {
+	case KindEvaluate, KindLadder, KindSweep:
+	default:
+		return c, fmt.Errorf("jobs: unknown kind %q", s.Kind)
+	}
+
+	c.Design.Name = strings.ToLower(strings.TrimSpace(s.Design.Name))
+	def, ok := designDefaults[c.Design.Name]
+	if !ok {
+		return c, fmt.Errorf("jobs: unknown design %q", s.Design.Name)
+	}
+	if c.Design.Width < 0 || c.Design.Depth < 0 {
+		return c, fmt.Errorf("jobs: negative design dimensions")
+	}
+	if c.Design.Width == 0 {
+		c.Design.Width = def.width
+	}
+	if c.Design.Width > 64 {
+		return c, fmt.Errorf("jobs: design width %d exceeds limit 64", c.Design.Width)
+	}
+	if def.depth == 0 {
+		c.Design.Depth = 0
+	} else {
+		if c.Design.Depth == 0 {
+			c.Design.Depth = def.depth
+		}
+		if c.Design.Depth > 16 {
+			return c, fmt.Errorf("jobs: design depth %d exceeds limit 16", c.Design.Depth)
+		}
+	}
+
+	switch c.Kind {
+	case KindEvaluate:
+		c.MaxStages = 0
+		c.Workload = ""
+	case KindLadder:
+		// The ladder owns its methodology sequence.
+		c.Methodology = MethSpec{}
+		c.MaxStages = 0
+		c.Workload = ""
+	case KindSweep:
+		if c.MaxStages == 0 {
+			c.MaxStages = 8
+		}
+		if c.MaxStages < 1 || c.MaxStages > 16 {
+			return c, fmt.Errorf("jobs: max_stages %d out of range [1,16]", c.MaxStages)
+		}
+		c.Workload = strings.ToLower(strings.TrimSpace(c.Workload))
+		if c.Workload == "" {
+			c.Workload = "integer"
+		}
+		if _, err := workloadCPI(c.Workload); err != nil {
+			return c, err
+		}
+	}
+
+	if c.Kind != KindLadder {
+		mc, err := s.Methodology.canon()
+		if err != nil {
+			return c, err
+		}
+		c.Methodology = mc
+	}
+	return c, nil
+}
+
+func (ms MethSpec) canon() (MethSpec, error) {
+	c := ms
+	base := strings.ToLower(strings.TrimSpace(ms.Base))
+	if base == "" {
+		base = "typical-asic"
+	}
+	canonical, ok := methBases[base]
+	if !ok {
+		return c, fmt.Errorf("jobs: unknown methodology base %q", ms.Base)
+	}
+	c.Base = canonical
+	if c.Stages < 0 || c.Stages > 16 {
+		return c, fmt.Errorf("jobs: stages %d out of range [0,16]", c.Stages)
+	}
+	c.Sizing = strings.ToLower(strings.TrimSpace(ms.Sizing))
+	switch c.Sizing {
+	case "", "wire-load", "post-layout", "continuous":
+	default:
+		return c, fmt.Errorf("jobs: unknown sizing %q", ms.Sizing)
+	}
+	c.Rating = strings.ToLower(strings.TrimSpace(ms.Rating))
+	switch c.Rating {
+	case "", "worst-case", "tested", "fast-bin":
+	default:
+		return c, fmt.Errorf("jobs: unknown rating %q", ms.Rating)
+	}
+	if c.DominoFrac != nil && (*c.DominoFrac < 0 || *c.DominoFrac > 1) {
+		return c, fmt.Errorf("jobs: domino_frac %g out of range [0,1]", *c.DominoFrac)
+	}
+	if c.DieSideMM < 0 || c.DieSideMM > 20 {
+		return c, fmt.Errorf("jobs: die_side_mm %g out of range [0,20]", c.DieSideMM)
+	}
+	return c, nil
+}
+
+// Hash returns the content address of the canonical spec: the hex
+// SHA-256 of its canonical JSON encoding. Identical evaluations —
+// however they were phrased — share a hash, which is the cache and job
+// registry key. Hash panics on a non-canonicalizable spec; call Canon
+// first on untrusted input.
+func (s Spec) Hash() string {
+	c, err := s.Canon()
+	if err != nil {
+		panic(fmt.Sprintf("jobs: Hash on invalid spec: %v", err))
+	}
+	// encoding/json emits struct fields in declaration order, so the
+	// encoding of a canonical spec is itself canonical.
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: canonical spec not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildDesign resolves the design spec into a core.Design whose Build
+// constructs a fresh netlist per call (no shared mutable state).
+func (d DesignSpec) BuildDesign() (core.Design, error) {
+	c := d
+	if c.Width == 0 || (c.Depth == 0 && (c.Name == "datapath" || c.Name == "chain")) {
+		// Fill defaults for direct callers that skipped Spec.Canon.
+		if def, ok := designDefaults[c.Name]; ok {
+			if c.Width == 0 {
+				c.Width = def.width
+			}
+			if c.Depth == 0 {
+				c.Depth = def.depth
+			}
+		}
+	}
+	b, err := designBuilder(c)
+	if err != nil {
+		return core.Design{}, err
+	}
+	return b, nil
+}
+
+// Resolve builds the concrete methodology the spec names, stamping the
+// job seed into it. Libraries and sequential cells are constructed fresh
+// so concurrent jobs never share anything mutable.
+func (ms MethSpec) Resolve(seed int64) (core.Methodology, error) {
+	c, err := ms.canon()
+	if err != nil {
+		return core.Methodology{}, err
+	}
+	var m core.Methodology
+	switch c.Base {
+	case "typical-asic":
+		m = core.TypicalASIC2000()
+	case "best-practice-asic":
+		m = core.BestPracticeASIC()
+	case "full-custom":
+		m = core.FullCustom()
+	}
+	if c.Stages > 0 {
+		m.Stages = c.Stages
+	}
+	switch c.Sizing {
+	case "wire-load":
+		m.Sizing = core.SizeDrives
+	case "post-layout":
+		m.Sizing = core.SizePostLayout
+	case "continuous":
+		m.Sizing = core.SizeContinuous
+	}
+	switch c.Rating {
+	case "worst-case":
+		m.Rating = core.RateWorstCase
+	case "tested":
+		m.Rating = core.RateTested
+	case "fast-bin":
+		m.Rating = core.RateFastBin
+	}
+	if c.DominoFrac != nil {
+		m.DominoFrac = *c.DominoFrac
+		if m.DominoFrac > 0 && !m.Library.HasDomino() {
+			return m, fmt.Errorf("jobs: methodology %s has no domino cells for domino_frac %g",
+				c.Base, m.DominoFrac)
+		}
+	}
+	if c.DieSideMM > 0 {
+		m.DieSideMM = c.DieSideMM
+	}
+	m.Seed = seed
+	return m, nil
+}
+
+// workloadCPI maps a workload name to its CPI-vs-depth model.
+func workloadCPI(name string) (func(stages int) float64, error) {
+	switch name {
+	case "dsp":
+		return pipeline.DSPWorkload().CPI, nil
+	case "integer":
+		return pipeline.IntegerWorkload().CPI, nil
+	case "bus":
+		return pipeline.BusInterfaceWorkload().CPI, nil
+	case "flat":
+		return func(int) float64 { return 1 }, nil
+	}
+	return nil, fmt.Errorf("jobs: unknown workload %q", name)
+}

@@ -1,0 +1,123 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCanonFillsDefaultsAndNormalizes(t *testing.T) {
+	s := Spec{
+		Kind:        "Evaluate",
+		Design:      DesignSpec{Name: " Datapath "},
+		Methodology: MethSpec{Base: "typical"},
+	}
+	c, err := s.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != KindEvaluate {
+		t.Errorf("kind = %q", c.Kind)
+	}
+	if c.Design.Name != "datapath" || c.Design.Width != 16 || c.Design.Depth != 4 {
+		t.Errorf("design = %+v", c.Design)
+	}
+	if c.Methodology.Base != "typical-asic" {
+		t.Errorf("base = %q", c.Methodology.Base)
+	}
+}
+
+func TestHashIdentifiesEquivalentSpecs(t *testing.T) {
+	a := Spec{Kind: "evaluate", Design: DesignSpec{Name: "datapath"}, Methodology: MethSpec{Base: "typical"}}
+	b := Spec{Kind: "EVALUATE", Design: DesignSpec{Name: "datapath", Width: 16, Depth: 4},
+		Methodology: MethSpec{Base: "typical-asic"}}
+	if a.Hash() != b.Hash() {
+		t.Errorf("equivalent specs hash differently:\n%s\n%s", a.Hash(), b.Hash())
+	}
+	c := b
+	c.Seed = 7
+	if c.Hash() == b.Hash() {
+		t.Error("different seeds must hash differently")
+	}
+	d := b
+	d.Kind = KindLadder
+	if d.Hash() == b.Hash() {
+		t.Error("different kinds must hash differently")
+	}
+}
+
+func TestCanonZeroesIrrelevantFields(t *testing.T) {
+	// An evaluate job's hash must not depend on sweep-only fields.
+	a := Spec{Kind: KindEvaluate, Design: DesignSpec{Name: "cla"}, MaxStages: 9, Workload: "dsp"}
+	b := Spec{Kind: KindEvaluate, Design: DesignSpec{Name: "cla"}}
+	if a.Hash() != b.Hash() {
+		t.Error("evaluate hash depends on sweep fields")
+	}
+	// A ladder job's hash must not depend on the methodology.
+	la := Spec{Kind: KindLadder, Design: DesignSpec{Name: "cla"}, Methodology: MethSpec{Base: "custom"}}
+	lb := Spec{Kind: KindLadder, Design: DesignSpec{Name: "cla"}}
+	if la.Hash() != lb.Hash() {
+		t.Error("ladder hash depends on methodology")
+	}
+}
+
+func TestCanonRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{Kind: "nope", Design: DesignSpec{Name: "cla"}},
+		{Kind: KindEvaluate, Design: DesignSpec{Name: "teapot"}},
+		{Kind: KindEvaluate, Design: DesignSpec{Name: "cla", Width: 1000}},
+		{Kind: KindEvaluate, Design: DesignSpec{Name: "cla"}, Methodology: MethSpec{Base: "alien"}},
+		{Kind: KindEvaluate, Design: DesignSpec{Name: "cla"}, Methodology: MethSpec{Sizing: "psychic"}},
+		{Kind: KindSweep, Design: DesignSpec{Name: "cla"}, MaxStages: 99},
+		{Kind: KindSweep, Design: DesignSpec{Name: "cla"}, Workload: "crypto"},
+		{Kind: KindProcvar, Design: DesignSpec{Name: "cla"}},
+	}
+	for _, s := range cases {
+		if _, err := s.Canon(); err == nil {
+			t.Errorf("Canon accepted %+v", s)
+		}
+	}
+}
+
+func TestResolveAppliesOverrides(t *testing.T) {
+	frac := 0.5
+	ms := MethSpec{Base: "best-practice", Stages: 7, Sizing: "continuous", Rating: "fast-bin", DominoFrac: &frac}
+	m, err := ms.Resolve(3)
+	if err == nil {
+		// best-practice-asic has no domino cells, so domino_frac>0 must
+		// be rejected rather than failing deep inside the flow.
+		t.Fatal("expected domino_frac rejection on a domino-less library")
+	}
+	ms.DominoFrac = nil
+	m, err = ms.Resolve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stages != 7 || m.Sizing != core.SizeContinuous || m.Seed != 3 {
+		t.Errorf("overrides not applied: %+v", m)
+	}
+	mc, err := MethSpec{Base: "custom", DominoFrac: &frac}.Resolve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.DominoFrac != 0.5 {
+		t.Errorf("domino frac = %g", mc.DominoFrac)
+	}
+}
+
+func TestDesignBuilderCoversRegistry(t *testing.T) {
+	for name := range designDefaults {
+		s := Spec{Kind: KindEvaluate, Design: DesignSpec{Name: name}}
+		c, err := s.Canon()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := c.Design.BuildDesign()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name == "" || d.Build == nil {
+			t.Errorf("%s: incomplete design %+v", name, d)
+		}
+	}
+}

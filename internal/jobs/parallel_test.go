@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelLadderMatchesSerial is the determinism acceptance test: the
+// concurrent ladder driver must reproduce the serial core.FactorLadder
+// rung for rung — same names, same multipliers, same shipped clocks —
+// because both consume core.Rungs and core.AssembleLadder.
+func TestParallelLadderMatchesSerial(t *testing.T) {
+	d, err := DesignSpec{Name: "datapath", Width: 8, Depth: 2}.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	serial, err := core.FactorLadder(d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelLadder(context.Background(), d, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Design != serial.Design {
+		t.Errorf("design %q != %q", par.Design, serial.Design)
+	}
+	if par.Baseline.ShippedMHz != serial.Baseline.ShippedMHz {
+		t.Errorf("baseline %.6f != %.6f", par.Baseline.ShippedMHz, serial.Baseline.ShippedMHz)
+	}
+	if len(par.Steps) != len(serial.Steps) {
+		t.Fatalf("step count %d != %d", len(par.Steps), len(serial.Steps))
+	}
+	for i := range serial.Steps {
+		s, p := serial.Steps[i], par.Steps[i]
+		if p.Name != s.Name {
+			t.Errorf("rung %d name %q != %q", i, p.Name, s.Name)
+		}
+		if p.Mult != s.Mult {
+			t.Errorf("rung %s mult %.9f != serial %.9f", s.Name, p.Mult, s.Mult)
+		}
+		if p.Eval.ShippedMHz != s.Eval.ShippedMHz {
+			t.Errorf("rung %s shipped %.6f != serial %.6f", s.Name, p.Eval.ShippedMHz, s.Eval.ShippedMHz)
+		}
+	}
+	if par.Total() != serial.Total() {
+		t.Errorf("total %.9f != %.9f", par.Total(), serial.Total())
+	}
+}
+
+// TestParallelSweepMatchesSerial checks the concurrent depth sweep against
+// core.DepthSweep point for point.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	d, err := DesignSpec{Name: "datapath", Width: 8, Depth: 2}.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MethSpec{Base: "best-practice"}.Resolve(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpi, err := workloadCPI("integer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxStages = 6
+	serial, err := core.DepthSweep(d, m, maxStages, cpi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelSweep(context.Background(), d, m, maxStages, cpi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("point count %d != %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i].Stages != serial[i].Stages {
+			t.Errorf("point %d stages %d != %d", i, par[i].Stages, serial[i].Stages)
+		}
+		if par[i].Eval.ShippedMHz != serial[i].Eval.ShippedMHz {
+			t.Errorf("stage %d shipped %.6f != %.6f", serial[i].Stages, par[i].Eval.ShippedMHz, serial[i].Eval.ShippedMHz)
+		}
+		if par[i].ThroughputRel != serial[i].ThroughputRel {
+			t.Errorf("stage %d throughput %.9f != %.9f", serial[i].Stages, par[i].ThroughputRel, serial[i].ThroughputRel)
+		}
+	}
+}
+
+// TestForEachLimitedReportsRealError checks the helper prefers a genuine
+// failure over the cancellations it caused.
+func TestForEachLimitedReportsRealError(t *testing.T) {
+	err := forEachLimited(context.Background(), 4, 16, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return errFake
+		}
+		return nil
+	})
+	if err != errFake {
+		t.Errorf("err = %v, want errFake", err)
+	}
+}
+
+// TestForEachLimitedHonorsCancel checks an already-cancelled context short
+// circuits without running work.
+func TestForEachLimitedHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := forEachLimited(ctx, 2, 8, func(ctx context.Context, i int) error {
+		ran = true
+		return nil
+	})
+	if err == nil {
+		t.Error("cancelled context reported success")
+	}
+	_ = ran // workers may observe cancellation before or after a first item
+}
+
+var errFake = errFakeType{}
+
+type errFakeType struct{}
+
+func (errFakeType) Error() string { return "fake failure" }

@@ -1,0 +1,323 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrently running jobs (default GOMAXPROCS).
+	Workers int
+	// Parallelism bounds the concurrent flow evaluations inside one
+	// ladder or sweep job (default Workers). The total goroutine load
+	// is therefore at most Workers*Parallelism evaluations.
+	Parallelism int
+	// CacheEntries sizes the content-addressed result cache
+	// (default 512; 0 keeps the default, negative disables caching).
+	CacheEntries int
+	// JobTimeout caps one job's wall clock (default 2 minutes).
+	JobTimeout time.Duration
+	// RegistryLimit bounds retained finished jobs for GET /v1/jobs/{id}
+	// (default 1024); the oldest finished jobs are evicted first.
+	RegistryLimit int
+	// Metrics receives counters and latencies; nil allocates a private
+	// set (retrievable via Pool.Metrics).
+	Metrics *Metrics
+}
+
+// Pool is the job engine: a bounded worker pool over Run with a
+// content-addressed cache, in-flight deduplication, per-job timeouts,
+// and panic recovery. Do is synchronous — the caller's goroutine carries
+// the job through a worker slot — so shutting down the HTTP server that
+// fronts the pool drains it for free.
+type Pool struct {
+	opt     Options
+	slots   chan struct{}
+	cache   *Cache
+	metrics *Metrics
+
+	// runFn replaces Run in tests (nil means Run).
+	runFn func(ctx context.Context, c Spec, parallelism int) (*Result, error)
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // FIFO of finished job ids, for registry eviction
+	inflight map[string]*Job
+}
+
+// Job tracks one submission through the pool.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	result   *Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// JobStatus is the JSON view of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID         string  `json:"id"`
+	Kind       Kind    `json:"kind"`
+	State      State   `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	CreatedAt  string  `json:"created_at"`
+	StartedAt  string  `json:"started_at,omitempty"`
+	FinishedAt string  `json:"finished_at,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+	Result     *Result `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Kind:      j.Spec.Kind,
+		State:     j.state,
+		Error:     j.err,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		st.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// Wait blocks until the job finishes or ctx is done, returning the
+// result or the job's (or context's) error.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != "" {
+		return nil, errors.New(j.err)
+	}
+	return j.result, nil
+}
+
+// NewPool builds a pool from opt, applying defaults.
+func NewPool(opt Options) *Pool {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = opt.Workers
+	}
+	switch {
+	case opt.CacheEntries == 0:
+		opt.CacheEntries = 512
+	case opt.CacheEntries < 0:
+		opt.CacheEntries = 0
+	}
+	if opt.JobTimeout <= 0 {
+		opt.JobTimeout = 2 * time.Minute
+	}
+	if opt.RegistryLimit <= 0 {
+		opt.RegistryLimit = 1024
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = NewMetrics()
+	}
+	return &Pool{
+		opt:      opt,
+		slots:    make(chan struct{}, opt.Workers),
+		cache:    NewCache(opt.CacheEntries),
+		metrics:  opt.Metrics,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+}
+
+// Metrics returns the pool's metrics set.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Cache returns the pool's result cache.
+func (p *Pool) Cache() *Cache { return p.cache }
+
+// Workers reports the worker-slot count.
+func (p *Pool) Workers() int { return p.opt.Workers }
+
+// Lookup returns the tracked job with the given id (a canonical spec
+// hash), if the registry still holds it.
+func (p *Pool) Lookup(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// Do executes the spec through the pool and returns its result: from the
+// cache when an identical evaluation already ran, by joining an
+// identical in-flight job when one is running, and otherwise by carrying
+// the job through a worker slot with the pool's timeout and panic
+// recovery. Do blocks; cancel ctx to give up waiting (the underlying
+// computation stops at the next flow-stage boundary).
+func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
+	c, err := s.Canon()
+	if err != nil {
+		return nil, err
+	}
+	id := c.Hash()
+
+	if res, ok := p.cache.Get(id); ok {
+		p.metrics.CacheHits.Add(1)
+		hit := res.shallowCopy()
+		hit.Cached = true
+		return hit, nil
+	}
+	p.metrics.CacheMisses.Add(1)
+
+	p.mu.Lock()
+	if j, ok := p.inflight[id]; ok {
+		p.mu.Unlock()
+		return j.Wait(ctx)
+	}
+	j := &Job{
+		ID:      id,
+		Spec:    c,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	p.inflight[id] = j
+	p.registerLocked(j)
+	p.mu.Unlock()
+
+	// The submitting goroutine is the worker: acquire a slot.
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.finish(j, nil, ctx.Err())
+		return nil, ctx.Err()
+	}
+	defer func() { <-p.slots }()
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	p.metrics.JobsStarted.Add(1)
+
+	runCtx, cancel := context.WithTimeout(ctx, p.opt.JobTimeout)
+	defer cancel()
+	runCtx = core.WithStageObserver(runCtx, p.metrics.StageObserver())
+
+	res, err := p.safeRun(runCtx, c)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			p.metrics.JobsTimedOut.Add(1)
+			err = fmt.Errorf("jobs: job %s timed out after %v: %w", id[:12], p.opt.JobTimeout, err)
+		}
+		p.metrics.JobsFailed.Add(1)
+		p.finish(j, nil, err)
+		return nil, err
+	}
+	p.metrics.JobsCompleted.Add(1)
+	p.metrics.Observe("job_"+string(c.Kind), time.Duration(res.ElapsedMS*float64(time.Millisecond)))
+	p.cache.Put(id, res)
+	p.finish(j, res, nil)
+	return res, nil
+}
+
+// safeRun is Run behind a panic fence: a panicking flow evaluation fails
+// its own job instead of taking down the service.
+func (p *Pool) safeRun(ctx context.Context, c Spec) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.metrics.JobsPanicked.Add(1)
+			err = fmt.Errorf("jobs: job panicked: %v\n%s", r, debug.Stack())
+			res = nil
+		}
+	}()
+	run := p.runFn
+	if run == nil {
+		run = Run
+	}
+	return run(ctx, c, p.opt.Parallelism)
+}
+
+// finish publishes the job's outcome and releases the in-flight slot.
+func (p *Pool) finish(j *Job, res *Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+
+	p.mu.Lock()
+	delete(p.inflight, j.ID)
+	p.finished = append(p.finished, j.ID)
+	p.evictLocked()
+	p.mu.Unlock()
+}
+
+// registerLocked adds the job to the registry. Caller holds p.mu.
+func (p *Pool) registerLocked(j *Job) {
+	p.jobs[j.ID] = j
+}
+
+// evictLocked trims the finished-job registry to the configured limit.
+// Caller holds p.mu.
+func (p *Pool) evictLocked() {
+	for len(p.finished) > p.opt.RegistryLimit {
+		id := p.finished[0]
+		p.finished = p.finished[1:]
+		// Only drop the registry entry if a newer job has not reused
+		// the id (a re-run after cache eviction).
+		if j, ok := p.jobs[id]; ok {
+			j.mu.Lock()
+			terminal := j.state == StateDone || j.state == StateFailed
+			j.mu.Unlock()
+			if terminal {
+				if _, running := p.inflight[id]; !running {
+					delete(p.jobs, id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// smallEval is a cheap evaluate spec for pool plumbing tests.
+func smallEval(seed int64) Spec {
+	return Spec{
+		Kind:        KindEvaluate,
+		Design:      DesignSpec{Name: "datapath", Width: 8, Depth: 2},
+		Methodology: MethSpec{Base: "typical"},
+		Seed:        seed,
+	}
+}
+
+func TestPoolCachesIdenticalSpecs(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	ctx := context.Background()
+
+	r1, err := p.Do(ctx, smallEval(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first run reported cached")
+	}
+	r2, err := p.Do(ctx, smallEval(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("identical rerun was not a cache hit")
+	}
+	if r1.Evaluation.ShippedMHz != r2.Evaluation.ShippedMHz {
+		t.Error("cache returned a different evaluation")
+	}
+	if hits := p.Metrics().CacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits = %d", hits)
+	}
+	if done := p.Metrics().JobsCompleted.Load(); done != 1 {
+		t.Errorf("jobs completed = %d, want 1", done)
+	}
+}
+
+func TestPoolDeduplicatesInflight(t *testing.T) {
+	p := NewPool(Options{Workers: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs int
+	var mu sync.Mutex
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		close(started)
+		<-release
+		return &Result{ID: c.Hash(), Kind: c.Kind, Spec: c}, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0], errs[0] = p.Do(context.Background(), smallEval(1)) }()
+	<-started
+	wg.Add(1)
+	go func() { defer wg.Done(); results[1], errs[1] = p.Do(context.Background(), smallEval(1)) }()
+	// Give the joiner a moment to attach to the in-flight job.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("do %d: %v", i, errs[i])
+		}
+		if results[i] == nil {
+			t.Fatalf("do %d returned nil", i)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("identical in-flight specs ran %d times, want 1", runs)
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	p.runFn = func(context.Context, Spec, int) (*Result, error) {
+		panic("boom")
+	}
+	_, err := p.Do(context.Background(), smallEval(1))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+	if n := p.Metrics().JobsPanicked.Load(); n != 1 {
+		t.Errorf("panics = %d", n)
+	}
+	// The pool must still work afterwards.
+	p.runFn = nil
+	if _, err := p.Do(context.Background(), smallEval(2)); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}
+
+func TestPoolTimesOutSlowJobs(t *testing.T) {
+	p := NewPool(Options{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	_, err := p.Do(context.Background(), smallEval(1))
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := p.Metrics().JobsTimedOut.Load(); n != 1 {
+		t.Errorf("timeouts = %d", n)
+	}
+	j, ok := p.Lookup(smallEval(1).Hash())
+	if !ok {
+		t.Fatal("timed-out job missing from registry")
+	}
+	if st := j.Status(); st.State != StateFailed || st.Error == "" {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestPoolRegistryTracksJobs(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	res, err := p.Do(context.Background(), smallEval(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := p.Lookup(res.ID)
+	if !ok {
+		t.Fatal("job not in registry")
+	}
+	st := j.Status()
+	if st.State != StateDone || st.Result == nil || st.Kind != KindEvaluate {
+		t.Errorf("status = %+v", st)
+	}
+	if st.ElapsedMS <= 0 {
+		t.Errorf("elapsed = %v", st.ElapsedMS)
+	}
+}
+
+func TestPoolRejectsInvalidSpec(t *testing.T) {
+	p := NewPool(Options{Workers: 1})
+	if _, err := p.Do(context.Background(), Spec{Kind: "bogus"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if n := p.Metrics().JobsStarted.Load(); n != 0 {
+		t.Errorf("invalid spec started a job: %d", n)
+	}
+}
+
+func TestPoolRegistryEviction(t *testing.T) {
+	p := NewPool(Options{Workers: 1, RegistryLimit: 2, CacheEntries: -1})
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		return &Result{ID: c.Hash(), Kind: c.Kind, Spec: c}, nil
+	}
+	ids := make([]string, 4)
+	for i := range ids {
+		res, err := p.Do(context.Background(), smallEval(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = res.ID
+	}
+	if _, ok := p.Lookup(ids[0]); ok {
+		t.Error("oldest job should have been evicted")
+	}
+	if _, ok := p.Lookup(ids[3]); !ok {
+		t.Error("newest job missing")
+	}
+}

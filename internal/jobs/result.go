@@ -1,0 +1,40 @@
+package jobs
+
+import (
+	"repro/internal/core"
+)
+
+// Result is the one envelope every evaluation produces, whether it ran
+// through the HTTP service or a CLI's -json flag — which is what makes
+// the two diffable. Exactly one payload field is set, matching Kind.
+// Results are immutable once published: the cache and concurrent readers
+// share them.
+type Result struct {
+	// ID is the content address (Spec.Hash) of the canonical spec.
+	ID   string `json:"id"`
+	Kind Kind   `json:"kind"`
+	// Spec is the canonical spec that produced the payload.
+	Spec Spec `json:"spec"`
+
+	// Cached reports that this response was served from the result
+	// cache rather than recomputed.
+	Cached bool `json:"cached,omitempty"`
+	// ElapsedMS is the wall-clock compute time of the original run.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	Evaluation *core.Evaluation  `json:"evaluation,omitempty"`
+	Ladder     *core.Ladder      `json:"ladder,omitempty"`
+	Sweep      []core.DepthPoint `json:"sweep,omitempty"`
+
+	// Tables carries named scalar results for CLI-only kinds (e.g.
+	// procvar Monte Carlo summaries) that have no structured payload.
+	Tables map[string]float64 `json:"tables,omitempty"`
+}
+
+// shallowCopy returns a copy of r suitable for mutating envelope fields
+// (Cached) without touching the shared cached value. Payloads stay
+// shared and must be treated as immutable.
+func (r *Result) shallowCopy() *Result {
+	cp := *r
+	return &cp
+}

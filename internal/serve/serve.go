@@ -1,0 +1,179 @@
+// Package serve exposes the internal/jobs engine as a small JSON HTTP
+// API (the gapd service): submit evaluate / ladder / sweep jobs, inspect
+// tracked jobs, and scrape service metrics. Only the standard library is
+// used; routing relies on Go 1.22 net/http method-and-path patterns.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Options configures the HTTP handler.
+type Options struct {
+	// Pool executes the jobs (required).
+	Pool *jobs.Pool
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout caps one request's job wait (default 5 minutes;
+	// the pool's own JobTimeout still applies underneath).
+	RequestTimeout time.Duration
+}
+
+// handler carries the resolved options.
+type handler struct {
+	pool           *jobs.Pool
+	maxBodyBytes   int64
+	requestTimeout time.Duration
+}
+
+// NewHandler builds the gapd route table:
+//
+//	POST /v1/evaluate  run one flow evaluation
+//	POST /v1/ladder    run the section 3 factor ladder (rungs in parallel)
+//	POST /v1/sweep     run a pipeline-depth sweep (depths in parallel)
+//	GET  /v1/jobs/{id} job status by canonical spec hash
+//	GET  /healthz      liveness
+//	GET  /metrics      counters, cache traffic, latency histograms (JSON)
+func NewHandler(opt Options) http.Handler {
+	if opt.Pool == nil {
+		panic("serve: Options.Pool is required")
+	}
+	h := &handler{
+		pool:           opt.Pool,
+		maxBodyBytes:   opt.MaxBodyBytes,
+		requestTimeout: opt.RequestTimeout,
+	}
+	if h.maxBodyBytes <= 0 {
+		h.maxBodyBytes = 1 << 20
+	}
+	if h.requestTimeout <= 0 {
+		h.requestTimeout = 5 * time.Minute
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", h.submit(jobs.KindEvaluate))
+	mux.HandleFunc("POST /v1/ladder", h.submit(jobs.KindLadder))
+	mux.HandleFunc("POST /v1/sweep", h.submit(jobs.KindSweep))
+	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+// submit returns the handler for one job-kind endpoint. The body is a
+// jobs.Spec; its kind field may be omitted (the endpoint implies it) but
+// must match the endpoint when present.
+func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		spec, err := h.decodeSpec(w, r, kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), h.requestTimeout)
+		defer cancel()
+		res, err := h.pool.Do(ctx, spec)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// decodeSpec parses and validates the request body into a canonical spec
+// of the endpoint's kind.
+func (h *handler) decodeSpec(w http.ResponseWriter, r *http.Request, kind jobs.Kind) (jobs.Spec, error) {
+	var spec jobs.Spec
+	body := http.MaxBytesReader(w, r.Body, h.maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return spec, fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		}
+		return spec, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return spec, errors.New("request body has trailing data")
+	}
+	if spec.Kind != "" && !strings.EqualFold(string(spec.Kind), string(kind)) {
+		return spec, fmt.Errorf("spec kind %q does not match endpoint %q", spec.Kind, kind)
+	}
+	spec.Kind = kind
+	c, err := spec.Canon()
+	if err != nil {
+		return spec, err
+	}
+	return c, nil
+}
+
+// jobStatus serves GET /v1/jobs/{id}.
+func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if len(id) != 64 || strings.Trim(id, "0123456789abcdef") != "" {
+		writeError(w, http.StatusBadRequest, errors.New("id must be 64 lowercase hex characters"))
+		return
+	}
+	j, ok := h.pool.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// healthz serves GET /healthz.
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": h.pool.Workers(),
+	})
+}
+
+// metrics serves GET /metrics as expvar-style JSON.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	snap := h.pool.Metrics().Snapshot()
+	snap["cache_entries"] = h.pool.Cache().Len()
+	snap["cache_capacity"] = h.pool.Cache().Cap()
+	snap["workers"] = h.pool.Workers()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// statusFor maps pool errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already written; a mid-stream encode failure can
+	// only truncate the body.
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

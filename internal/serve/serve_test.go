@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *jobs.Pool) {
+	t.Helper()
+	pool := jobs.NewPool(jobs.Options{Workers: 4})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool}))
+	t.Cleanup(srv.Close)
+	return srv, pool
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestEvaluateEndToEnd is the service acceptance test: POST /v1/evaluate
+// must return exactly the clock rate a direct core.Evaluate call
+// produces, and the repeated identical request must be served from the
+// cache with the hit visible in GET /metrics.
+func TestEvaluateEndToEnd(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const body = `{"design":{"name":"datapath","width":8,"depth":2},"methodology":{"base":"typical-asic"},"seed":3}`
+
+	resp, raw := postJSON(t, srv.URL+"/v1/evaluate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.Evaluation == nil {
+		t.Fatalf("first response: cached=%v eval=%v", res.Cached, res.Evaluation)
+	}
+
+	// Reference: the same evaluation straight through internal/core.
+	d, err := jobs.DesignSpec{Name: "datapath", Width: 8, Depth: 2}.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jobs.MethSpec{Base: "typical-asic"}.Resolve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Evaluate(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluation.ShippedMHz != want.ShippedMHz {
+		t.Errorf("service shipped %.6f MHz != direct %.6f MHz",
+			res.Evaluation.ShippedMHz, want.ShippedMHz)
+	}
+
+	// The identical request again: must be a cache hit, same numbers.
+	resp2, raw2 := postJSON(t, srv.URL+"/v1/evaluate", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp2.StatusCode, raw2)
+	}
+	var res2 jobs.Result
+	if err := json.Unmarshal(raw2, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("repeat request was not served from the cache")
+	}
+	if res2.Evaluation.ShippedMHz != res.Evaluation.ShippedMHz {
+		t.Error("cache served a different evaluation")
+	}
+	if res2.ID != res.ID {
+		t.Errorf("ids differ: %s vs %s", res2.ID, res.ID)
+	}
+
+	// The hit must be visible in /metrics.
+	var metrics struct {
+		Jobs struct {
+			Started   int64 `json:"started"`
+			Completed int64 `json:"completed"`
+		} `json:"jobs"`
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		LatencyMS map[string]json.RawMessage `json:"latency_ms"`
+	}
+	getJSON(t, srv.URL+"/metrics", &metrics)
+	if metrics.Cache.Hits != 1 || metrics.Cache.Misses != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1/1", metrics.Cache.Hits, metrics.Cache.Misses)
+	}
+	if metrics.Jobs.Completed != 1 {
+		t.Errorf("jobs completed = %d, want 1", metrics.Jobs.Completed)
+	}
+	if _, ok := metrics.LatencyMS["job_evaluate"]; !ok {
+		t.Error("latency_ms missing job_evaluate histogram")
+	}
+	if _, ok := metrics.LatencyMS["stage_timing"]; !ok {
+		t.Error("latency_ms missing per-stage histograms")
+	}
+}
+
+func TestLadderAndSweepEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, raw := postJSON(t, srv.URL+"/v1/ladder",
+		`{"design":{"name":"datapath","width":8,"depth":2},"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ladder status %d: %s", resp.StatusCode, raw)
+	}
+	var lad jobs.Result
+	if err := json.Unmarshal(raw, &lad); err != nil {
+		t.Fatal(err)
+	}
+	if lad.Kind != jobs.KindLadder || lad.Ladder == nil || len(lad.Ladder.Steps) != 5 {
+		t.Fatalf("bad ladder result: %+v", lad)
+	}
+
+	resp, raw = postJSON(t, srv.URL+"/v1/sweep",
+		`{"design":{"name":"datapath","width":8,"depth":2},"max_stages":4,"workload":"integer","seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, raw)
+	}
+	var sw jobs.Result
+	if err := json.Unmarshal(raw, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Kind != jobs.KindSweep || len(sw.Sweep) != 4 {
+		t.Fatalf("bad sweep result: %+v", sw)
+	}
+	if sw.Sweep[0].ThroughputRel != 1 {
+		t.Errorf("sweep not normalized to 1 stage: %g", sw.Sweep[0].ThroughputRel)
+	}
+}
+
+func TestJobStatusEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	_, raw := postJSON(t, srv.URL+"/v1/evaluate",
+		`{"design":{"name":"datapath","width":8,"depth":2}}`)
+	var res jobs.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	var st jobs.JobStatus
+	resp := getJSON(t, srv.URL+"/v1/jobs/"+res.ID, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if st.State != jobs.StateDone || st.ID != res.ID || st.Result == nil {
+		t.Errorf("job status = %+v", st)
+	}
+
+	// Unknown but well-formed id -> 404.
+	missing := strings.Repeat("0", 64)
+	var e map[string]string
+	if resp := getJSON(t, srv.URL+"/v1/jobs/"+missing, &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job status = %d", resp.StatusCode)
+	}
+	// Malformed id -> 400.
+	if resp := getJSON(t, srv.URL+"/v1/jobs/nope", &e); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"bad json", "/v1/evaluate", `{`, http.StatusBadRequest},
+		{"unknown field", "/v1/evaluate", `{"design":{"name":"cla"},"frobnicate":1}`, http.StatusBadRequest},
+		{"unknown design", "/v1/evaluate", `{"design":{"name":"teapot"}}`, http.StatusBadRequest},
+		{"kind mismatch", "/v1/evaluate", `{"kind":"sweep","design":{"name":"cla"}}`, http.StatusBadRequest},
+		{"width too big", "/v1/evaluate", `{"design":{"name":"cla","width":1000}}`, http.StatusBadRequest},
+		{"procvar rejected", "/v1/sweep", `{"kind":"procvar","design":{"name":"cla"}}`, http.StatusBadRequest},
+		// Spec errors only detectable at resolve time (inside the pool)
+		// must still surface as 400, not 500.
+		{"domino without domino cells", "/v1/evaluate",
+			`{"design":{"name":"cla"},"methodology":{"base":"best-practice","domino_frac":0.5}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, raw := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.wantStatus, raw)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %q", tc.name, raw)
+		}
+	}
+
+	// Method not allowed comes from the ServeMux patterns.
+	resp, err := http.Get(srv.URL + "/v1/evaluate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/evaluate status = %d", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	pool := jobs.NewPool(jobs.Options{Workers: 1})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool, MaxBodyBytes: 128}))
+	defer srv.Close()
+	big := `{"design":{"name":"datapath"},"workload":"` + strings.Repeat("x", 256) + `"}`
+	resp, raw := postJSON(t, srv.URL+"/v1/sweep", big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d (%s)", resp.StatusCode, raw)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, pool := newTestServer(t)
+	var h map[string]any
+	resp := getJSON(t, srv.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, h)
+	}
+	if int(h["workers"].(float64)) != pool.Workers() {
+		t.Errorf("workers = %v", h["workers"])
+	}
+}
