@@ -1,12 +1,14 @@
 # Developer entry points. `make tier1` is the gate every change must
-# pass: formatting, vet, a full build, and the test suite under the race
-# detector (the concurrency proof for the gapd job engine).
+# pass: formatting, vet, a full build, the test suite under the race
+# detector (the concurrency proof for the gapd job engine), and the
+# chaos suite (the failure proof: deterministic fault injection at every
+# pool/stage seam, journal kill-and-restart recovery, overload shedding).
 
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench gapd
+.PHONY: tier1 fmt vet build test race bench chaos fuzz gapd
 
-tier1: fmt vet build race
+tier1: fmt vet build race chaos
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -28,6 +30,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The chaos suite under the race detector: every fault schedule is a
+# pure function of the fixed seed matrix {1, 7, 42} baked into the
+# tests, so failures reproduce exactly. -count=1 defeats test caching —
+# a chaos proof from a previous build proves nothing about this one.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestKillAndRestart|TestWatchdog|TestBreaker|TestOverload|TestPerClient|TestHealthzDegrades' \
+		./internal/jobs/ ./internal/serve/
+
+# Short fuzz passes over the two hardened trust boundaries: the
+# structural-Verilog reader and job-spec canonicalization. CI-sized;
+# raise -fuzztime for a real hunt.
+fuzz:
+	$(GO) test ./internal/netlist/ -run '^$$' -fuzz FuzzReadVerilog -fuzztime 30s
+	$(GO) test ./internal/jobs/ -run '^$$' -fuzz FuzzJobSpecCanonical -fuzztime 30s
 
 gapd:
 	$(GO) run ./cmd/gapd

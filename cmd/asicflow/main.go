@@ -114,7 +114,7 @@ func emitJSON(circuit, libName string, stages int, dieMM float64, seed int64) {
 	if !ok {
 		fail(fmt.Errorf("unknown library %q", libName))
 	}
-	res, err := jobs.Run(context.Background(), jobs.Spec{
+	res, err := jobs.RunService(context.Background(), jobs.Spec{
 		Kind:        jobs.KindEvaluate,
 		Design:      design,
 		Methodology: jobs.MethSpec{Base: base, Stages: stages, DieSideMM: dieMM},

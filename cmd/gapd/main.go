@@ -7,8 +7,14 @@
 // Usage:
 //
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
+//	     [-journal DIR] [-drain-timeout 30s] [-max-queue N] [-max-per-client N]
 //
-// The server drains in-flight jobs and exits cleanly on SIGINT/SIGTERM.
+// With -journal, every accepted job is written ahead to an fsynced JSONL
+// log in DIR; on boot the journal is replayed — completed results re-warm
+// the cache, jobs interrupted by a crash are re-executed — before the
+// server starts listening. The server drains in-flight jobs and exits
+// cleanly on SIGINT/SIGTERM, syncing the journal and logging the count of
+// jobs still in flight when the drain deadline expires.
 package main
 
 import (
@@ -35,18 +41,59 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job wall-clock limit")
 	reqTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request wait limit")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	journalDir := flag.String("journal", "", "crash-safe job journal directory (empty disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain limit for in-flight jobs")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond workers before shedding 429s (0 = 4x workers, negative disables)")
+	maxPerClient := flag.Int("max-per-client", 0, "concurrent submissions per client (0 = 2x workers, negative disables)")
+	maxAttempts := flag.Int("max-attempts", 0, "attempts per job incl. retries (0 = 3)")
 	flag.Parse()
+
+	var journal *jobs.Journal
+	if *journalDir != "" {
+		j, err := jobs.OpenJournal(*journalDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+			os.Exit(1)
+		}
+		journal = j
+		defer journal.Close()
+	}
 
 	pool := jobs.NewPool(jobs.Options{
 		Workers:      *workers,
 		Parallelism:  *parallel,
 		CacheEntries: *cache,
 		JobTimeout:   *timeout,
+		MaxAttempts:  *maxAttempts,
+		Journal:      journal,
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Replay the journal before listening: completed results re-warm the
+	// cache, interrupted jobs re-execute, and the journal compacts to
+	// the surviving state — so a kill-and-restart converges to the same
+	// results the uninterrupted run would have served.
+	if journal != nil {
+		stats, err := jobs.RecoverFromJournal(ctx, pool, *journalDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: journal recovery: %v\n", err)
+			os.Exit(1)
+		}
+		if stats.WarmedCache+stats.Resubmitted+stats.SkippedTerminal > 0 || stats.Truncated {
+			log.Printf("gapd: journal replay: %d results re-warmed, %d interrupted jobs re-run (%d failed again), %d terminal failures skipped, truncated=%v",
+				stats.WarmedCache, stats.Resubmitted, stats.FailedReplays,
+				stats.SkippedTerminal, stats.Truncated)
+		}
+	}
+
 	handler := serve.NewHandler(serve.Options{
 		Pool:           pool,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
+		MaxQueueDepth:  *maxQueue,
+		MaxPerClient:   *maxPerClient,
 	})
 
 	srv := &http.Server{
@@ -56,13 +103,10 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("gapd: listening on %s (%d workers, cache %d entries, job timeout %v)",
-			*addr, pool.Workers(), pool.Cache().Cap(), *timeout)
+		log.Printf("gapd: listening on %s (%d workers, cache %d entries, job timeout %v, journal %q)",
+			*addr, pool.Workers(), pool.Cache().Cap(), *timeout, *journalDir)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -74,15 +118,19 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("gapd: shutting down")
+		log.Printf("gapd: shutting down (drain limit %v)", *drainTimeout)
 		// Shutdown waits for in-flight requests; since jobs run on the
-		// request goroutine, this drains the worker pool too.
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// request goroutine, this drains the worker pool too. Jobs still
+		// running at the deadline keep their accept-only journal records,
+		// so the next boot re-executes exactly those.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "gapd: shutdown: %v\n", err)
-			os.Exit(1)
+			log.Printf("gapd: drain expired: %v", err)
 		}
 	}
-	log.Printf("gapd: bye")
+	if err := journal.Sync(); err != nil {
+		log.Printf("gapd: journal sync: %v", err)
+	}
+	log.Printf("gapd: bye (%d jobs in flight, %d queued)", pool.InFlight(), pool.QueueDepth())
 }

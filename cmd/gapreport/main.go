@@ -31,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	if *asJSON {
-		res, err := jobs.Run(context.Background(), jobs.Spec{
+		res, err := jobs.RunService(context.Background(), jobs.Spec{
 			Kind:   jobs.KindLadder,
 			Design: jobs.DesignSpec{Name: "datapath", Width: *width, Depth: *depth},
 			Seed:   *seed,

@@ -38,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	if *asJSON {
-		res, err := jobs.Run(context.Background(), jobs.Spec{
+		res, err := jobs.RunService(context.Background(), jobs.Spec{
 			Kind:        jobs.KindSweep,
 			Design:      jobs.DesignSpec{Name: "datapath", Width: *width, Depth: *depth},
 			Methodology: jobs.MethSpec{Base: "best-practice"},

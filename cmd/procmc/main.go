@@ -122,9 +122,13 @@ func emitJSON(lines []struct {
 	}
 
 	res := jobs.Result{
-		Kind:   jobs.KindProcvar,
-		Spec:   jobs.Spec{Kind: jobs.KindProcvar, Seed: seed},
-		Tables: tables,
+		Kind:     jobs.KindProcvar,
+		Spec:     jobs.Spec{Kind: jobs.KindProcvar, Seed: seed},
+		Tables:   tables,
+		Attempts: 1,
+		// procvar runs in-process (no pool), so its service counters are
+		// structurally present but zero — consumers get a stable envelope.
+		Service: &jobs.ServiceCounters{},
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

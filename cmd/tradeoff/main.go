@@ -37,7 +37,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tradeoff: unknown flow %q\n", *flow)
 			os.Exit(1)
 		}
-		res, err := jobs.Run(context.Background(), jobs.Spec{
+		res, err := jobs.RunService(context.Background(), jobs.Spec{
 			Kind:        jobs.KindSweep,
 			Design:      jobs.DesignSpec{Name: "datapath", Width: 16, Depth: 4},
 			Methodology: jobs.MethSpec{Base: base},

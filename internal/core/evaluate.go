@@ -110,7 +110,10 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 
 	// 1. Generate, sweep (constant folding + DCE on the generator's
 	// tie-offs), and technology-map the logic.
-	stageDone := stageTimer(obs, "synthesize")
+	stageDone, err := stageEnter(ctx, obs, "synthesize")
+	if err != nil {
+		return ev, err
+	}
 	raw, err := d.Build(m.Library)
 	if err != nil {
 		return ev, err
@@ -130,7 +133,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	}
 
 	// 2. Pre-layout sizing against the wire-load model.
-	stageDone = stageTimer(obs, "presize")
+	if stageDone, err = stageEnter(ctx, obs, "presize"); err != nil {
+		return ev, err
+	}
 	wm := wire.NewModel(m.Process)
 	blockArea := comb.TotalArea() * place.CellAreaUnitMM2
 	wl := &wire.LoadModel{M: wm, BlockAreaMM2: maxf(blockArea, 0.25)}
@@ -155,7 +160,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	// block-level utilization (blocks plus routing/whitespace spread
 	// over ~40x their cell area), so wire lengths stay proportionate to
 	// the design instead of to an arbitrary chip.
-	stageDone = stageTimer(obs, "floorplan")
+	if stageDone, err = stageEnter(ctx, obs, "floorplan"); err != nil {
+		return ev, err
+	}
 	side := m.DieSideMM
 	if side <= 0 {
 		side = clampf(sqrtf(comb.TotalArea()*place.CellAreaUnitMM2*40), 0.8, 10)
@@ -184,7 +191,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	// 4. Pipeline on the wire-annotated timing (the balanced cut now
 	// accounts for inter-block wire delay), then re-place and
 	// re-annotate the pipelined netlist.
-	stageDone = stageTimer(obs, "pipeline")
+	if stageDone, err = stageEnter(ctx, obs, "pipeline"); err != nil {
+		return ev, err
+	}
 	piped, err := pipeline.Pipeline(comb, pipeline.Options{
 		Stages: m.Stages, Seq: m.Seq, Method: m.Cut, Refine: m.RefineCut,
 	})
@@ -202,7 +211,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	// against the extracted parasitics (the standard ECO resize);
 	// better flows add post-layout buffering of the now-visible long
 	// nets, and custom flows run continuous sensitivity sizing.
-	stageDone = stageTimer(obs, "postsize")
+	if stageDone, err = stageEnter(ctx, obs, "postsize"); err != nil {
+		return ev, err
+	}
 	if err := synth.SelectDrives(piped, m.Library, nil); err != nil {
 		return ev, err
 	}
@@ -231,7 +242,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	}
 
 	// 6. Dynamic logic on critical paths.
-	stageDone = stageTimer(obs, "domino")
+	if stageDone, err = stageEnter(ctx, obs, "domino"); err != nil {
+		return ev, err
+	}
 	if m.DominoFrac > 0 {
 		opt := dynlogic.DefaultOptions()
 		opt.Fraction = m.DominoFrac
@@ -248,7 +261,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	}
 
 	// 7. Final timing and cycle.
-	stageDone = stageTimer(obs, "timing")
+	if stageDone, err = stageEnter(ctx, obs, "timing"); err != nil {
+		return ev, err
+	}
 	r, err := sta.Analyze(piped, sta.Options{})
 	if err != nil {
 		return ev, err
@@ -306,7 +321,9 @@ func EvaluateCtx(ctx context.Context, d Design, m Methodology) (Evaluation, erro
 	stageDone()
 
 	// 8. Process rating.
-	stageDone = stageTimer(obs, "rate")
+	if stageDone, err = stageEnter(ctx, obs, "rate"); err != nil {
+		return ev, err
+	}
 	speeds := m.Fab.Sample(4000, m.Seed+7)
 	switch m.Rating {
 	case RateTested:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 )
 
@@ -36,4 +37,39 @@ func stageTimer(obs StageObserver, stage string) func() {
 	}
 	start := time.Now()
 	return func() { obs(stage, time.Since(start)) }
+}
+
+// StageHook runs at the entry of each flow stage inside EvaluateCtx and
+// may veto it by returning an error, which aborts the evaluation. It is
+// the seam chaos testing hangs fault injection on (internal/faultinject):
+// errors, panics, and latency injected here land exactly where a real
+// tool failure would. Hooks must be safe for concurrent use.
+type StageHook func(ctx context.Context, stage string) error
+
+type stageHookKey struct{}
+
+// WithStageHook returns a context that makes EvaluateCtx call hook at
+// every stage entry, before any stage work runs.
+func WithStageHook(ctx context.Context, hook StageHook) context.Context {
+	if hook == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageHookKey{}, hook)
+}
+
+// stageHook extracts the hook, or nil.
+func stageHook(ctx context.Context) StageHook {
+	hook, _ := ctx.Value(stageHookKey{}).(StageHook)
+	return hook
+}
+
+// stageEnter runs the context's stage hook (if any) and starts the
+// stage timer. A hook error aborts the stage before it does any work.
+func stageEnter(ctx context.Context, obs StageObserver, stage string) (func(), error) {
+	if hook := stageHook(ctx); hook != nil {
+		if err := hook(ctx, stage); err != nil {
+			return nil, fmt.Errorf("core: stage %s: %w", stage, err)
+		}
+	}
+	return stageTimer(obs, stage), nil
 }

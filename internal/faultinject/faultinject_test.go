@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: the fault schedule is a pure function of
+// (seed, key) — the property every chaos test's reproducibility rests on.
+func TestDecideDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, ErrorRate: 0.2, PanicRate: 0.1, LatencyRate: 0.1, CancelRate: 0.1}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job%03d/a0/stage", i)
+		if got, want := a.Decide(key), b.Decide(key); got != want {
+			t.Fatalf("key %s: %v vs %v across injectors", key, got, want)
+		}
+		if got, want := a.Decide(key), a.Decide(key); got != want {
+			t.Fatalf("key %s: %v then %v on repeat", key, got, want)
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := New(Plan{Seed: 43, ErrorRate: 0.2, PanicRate: 0.1, LatencyRate: 0.1, CancelRate: 0.1})
+	same := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job%03d/a0/stage", i)
+		if a.Decide(key) == c.Decide(key) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("seed 42 and 43 drew identical schedules over 500 keys")
+	}
+}
+
+// TestDecideRates: over many keys the empirical fault mix approximates
+// the plan's rates (loose bounds; the draw is a hash, not a PRNG
+// stream, so exactness is not expected).
+func TestDecideRates(t *testing.T) {
+	in := New(Plan{Seed: 7, ErrorRate: 0.25, PanicRate: 0.25})
+	counts := map[Kind]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[in.Decide(fmt.Sprintf("k%d", i))]++
+	}
+	for kind, want := range map[Kind]float64{Error: 0.25, Panic: 0.25, None: 0.5} {
+		frac := float64(counts[kind]) / n
+		if frac < want-0.05 || frac > want+0.05 {
+			t.Errorf("%v fraction %.3f, want ~%.2f", kind, frac, want)
+		}
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	in := New(Plan{Seed: 1, ErrorRate: 1, Match: "evaluate"})
+	if got := in.Decide("pool/ladder/abc/a0"); got != None {
+		t.Errorf("non-matching key drew %v", got)
+	}
+	if got := in.Decide("pool/evaluate/abc/a0"); got != Error {
+		t.Errorf("matching key drew %v", got)
+	}
+}
+
+func TestFireError(t *testing.T) {
+	in := New(Plan{Seed: 1, ErrorRate: 1})
+	err := in.Fire(context.Background(), "site")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if in.Errors.Load() != 1 {
+		t.Errorf("Errors = %d", in.Errors.Load())
+	}
+}
+
+func TestFirePanicCarriesValue(t *testing.T) {
+	in := New(Plan{Seed: 1, PanicRate: 1})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Key != "site" {
+			t.Errorf("recovered %v, want PanicValue{site}", r)
+		}
+	}()
+	_ = in.Fire(context.Background(), "site")
+	t.Fatal("Fire did not panic")
+}
+
+func TestFireCancelReportsCanceled(t *testing.T) {
+	in := New(Plan{Seed: 1, CancelRate: 1})
+	err := in.Fire(context.Background(), "site")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFireLatencyHonoursContext: a Latency fault is a slow dependency,
+// not a wedged one — cancelling the context cuts the sleep short.
+func TestFireLatencyHonoursContext(t *testing.T) {
+	in := New(Plan{Seed: 1, LatencyRate: 1, Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	start := time.Now()
+	err := in.Fire(ctx, "site")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Latency fault ignored cancellation")
+	}
+}
+
+// TestFireStallIgnoresContext: a Stall fault really wedges — it sleeps
+// through cancellation, which is what the pool watchdog exists for.
+func TestFireStallIgnoresContext(t *testing.T) {
+	in := New(Plan{Seed: 1, StallRate: 1, Latency: 50 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := in.Fire(ctx, "site"); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("Stall fault returned before its latency elapsed")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if got := in.Decide("anything"); got != None {
+		t.Errorf("nil injector drew %v", got)
+	}
+}
+
+func TestAttemptKeyRoundTrip(t *testing.T) {
+	ctx := WithAttemptKey(context.Background(), "abc/a3")
+	if got := AttemptKey(ctx); got != "abc/a3" {
+		t.Errorf("AttemptKey = %q", got)
+	}
+	if got := AttemptKey(context.Background()); got != "" {
+		t.Errorf("AttemptKey on bare ctx = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is a circuit breaker's position.
+type breakerState string
+
+const (
+	breakerClosed   breakerState = "closed"
+	breakerOpen     breakerState = "open"
+	breakerHalfOpen breakerState = "half-open"
+)
+
+// breaker is a per-job-kind circuit breaker: after Threshold consecutive
+// non-spec failures it opens and rejects submissions of that kind for
+// Cooldown, then half-opens to let one probe job through. The probe's
+// outcome closes or re-opens it. Spec errors never count — a client
+// posting garbage must not take the kind down for everyone else.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: breakerClosed}
+}
+
+// Allow reports whether a job may run now. In half-open state only one
+// probe is admitted at a time.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Record reports a finished job's outcome. Returns true when this
+// outcome tripped the breaker open (for metrics).
+func (b *breaker) Record(ok bool, now time.Time) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return false
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	default:
+		b.failures++
+		if b.state == breakerClosed && b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// State snapshots the breaker's position.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

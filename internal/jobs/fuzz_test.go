@@ -1,0 +1,78 @@
+package jobs
+
+// Fuzz target for spec canonicalization — the trust boundary every gapd
+// submission, journal replay, and CLI flag set passes through. Whatever
+// JSON arrives, Canon must either reject it with an error or produce a
+// fixed point: canonicalizing a canonical spec changes nothing, and the
+// content hash (the job identity, the cache key, and the journal key)
+// is stable across the round trip through JSON — the property journal
+// recovery relies on to match replayed records to resubmitted jobs.
+//
+// Run with: go test ./internal/jobs/ -run=^$ -fuzz=FuzzJobSpecCanonical
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func FuzzJobSpecCanonical(f *testing.F) {
+	// Seeds: the spec shapes the service and CLIs actually submit, plus
+	// boundary and garbage cases.
+	for _, s := range []string{
+		`{"kind":"evaluate","design":{"name":"datapath","width":8,"depth":2},"methodology":{"base":"typical"},"seed":3}`,
+		`{"kind":"ladder","design":{"name":"datapath","width":16,"depth":4},"seed":1}`,
+		`{"kind":"sweep","design":{"name":"datapath"},"methodology":{"base":"best-practice"},"max_stages":6,"workload":"integer"}`,
+		`{"kind":"evaluate","design":{"name":"cla"}}`,
+		`{"kind":"EVALUATE","design":{"name":" DataPath "},"methodology":{"base":" Typical-ASIC "}}`,
+		`{"kind":"evaluate","design":{"name":"datapath","width":64,"depth":16}}`,
+		`{"kind":"evaluate","design":{"name":"datapath","width":-1}}`,
+		`{"kind":"evaluate","design":{"name":"datapath"},"methodology":{"base":"best-practice","domino_frac":0.5}}`,
+		`{"kind":"evaluate","design":{"name":"datapath"},"methodology":{"stages":-3,"skew_frac":2.5}}`,
+		`{"kind":"sweep","design":{"name":"datapath"},"max_stages":-1,"workload":"nope"}`,
+		`{"kind":"procvar"}`,
+		`{"seed":9223372036854775807}`,
+		`{}`,
+		`null`,
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		var s Spec
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			return
+		}
+		c, err := s.Canon()
+		if err != nil {
+			return // rejection is fine; panicking is the bug
+		}
+
+		// Canon is a fixed point: canonicalizing again changes nothing.
+		c2, err := c.Canon()
+		if err != nil {
+			t.Fatalf("canonical spec rejected on second pass: %v\nspec: %+v", err, c)
+		}
+		h, h2 := c.Hash(), c2.Hash()
+		if h != h2 {
+			t.Fatalf("hash not stable under re-canonicalization: %s vs %s", h, h2)
+		}
+		if len(h) != 64 || strings.Trim(h, "0123456789abcdef") != "" {
+			t.Fatalf("hash %q is not 64 lowercase hex chars", h)
+		}
+
+		// The identity survives the JSON round trip the journal and the
+		// HTTP API put every spec through.
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("canonical spec failed to marshal: %v", err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("canonical spec failed to unmarshal: %v", err)
+		}
+		if back.Hash() != h {
+			t.Fatalf("hash changed across JSON round trip: %s vs %s", back.Hash(), h)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// journalFile is the segment name inside the journal directory.
+const journalFile = "journal.jsonl"
+
+// JournalRecord is one line of the append-only job journal: a write-ahead
+// log of accepted and finished jobs. "accept" records carry the full
+// canonical spec and are fsynced before the job runs, so a crash between
+// accept and done leaves enough on disk to re-run the job; "done"
+// records carry the full result, so replay re-warms the cache without
+// recomputing anything; "fail" records close out jobs whose failure was
+// terminal (spec errors, exhausted retries) so replay does not chase
+// them forever.
+type JournalRecord struct {
+	Op     string  `json:"op"` // accept | done | fail
+	ID     string  `json:"id"`
+	Spec   *Spec   `json:"spec,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Class  Class   `json:"class,omitempty"`
+	T      string  `json:"t,omitempty"` // RFC3339Nano append time
+}
+
+// Journal is the crash-safe job log. All methods are safe for concurrent
+// use; a write failure marks the journal unhealthy (visible to /healthz)
+// but never blocks job execution — losing durability degrades the
+// service, it does not stop it.
+type Journal struct {
+	dir  string
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	healthy atomic.Bool
+}
+
+// OpenJournal opens (creating if needed) the journal in dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: journal open: %w", err)
+	}
+	j := &Journal{dir: dir, path: path, f: f}
+	j.healthy.Store(true)
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Healthy reports whether the last journal write succeeded. The HTTP
+// layer degrades /healthz to 503 when this goes false.
+func (j *Journal) Healthy() bool {
+	if j == nil {
+		return true
+	}
+	return j.healthy.Load()
+}
+
+// Accept journals a job acceptance and fsyncs: after Accept returns nil
+// the job survives a process kill.
+func (j *Journal) Accept(id string, spec Spec) error {
+	return j.append(JournalRecord{Op: "accept", ID: id, Spec: &spec}, true)
+}
+
+// Done journals a completed job with its full result, fsynced, so a
+// restart can re-warm the cache entry instead of recomputing.
+func (j *Journal) Done(id string, res *Result) error {
+	return j.append(JournalRecord{Op: "done", ID: id, Result: res}, true)
+}
+
+// Fail journals a terminal failure so replay does not resubmit a job
+// that can never succeed (spec errors) or already burned its retries.
+func (j *Journal) Fail(id string, msg string, class Class) error {
+	return j.append(JournalRecord{Op: "fail", ID: id, Error: msg, Class: class}, true)
+}
+
+// append writes one record line; sync forces it to disk.
+func (j *Journal) append(rec JournalRecord, sync bool) error {
+	if j == nil {
+		return nil
+	}
+	rec.T = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.healthy.Store(false)
+		return fmt.Errorf("jobs: journal marshal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.healthy.Store(false)
+		return errors.New("jobs: journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.healthy.Store(false)
+		return fmt.Errorf("jobs: journal write: %w", err)
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.healthy.Store(false)
+			return fmt.Errorf("jobs: journal sync: %w", err)
+		}
+	}
+	j.healthy.Store(true)
+	return nil
+}
+
+// Sync flushes the journal to disk.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Appends after Close fail and mark
+// the journal unhealthy.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Replayed is what a journal replay recovered.
+type Replayed struct {
+	// Pending are accepted jobs with no terminal record — work a crash
+	// interrupted, in acceptance order.
+	Pending []Spec
+	// Completed are finished results, newest record winning, in
+	// completion order; replaying them re-warms the cache.
+	Completed []*Result
+	// Failed counts jobs whose terminal record was a failure.
+	Failed int
+	// Truncated reports that the final line was a partial write (the
+	// crash landed mid-append) and was ignored.
+	Truncated bool
+}
+
+// ReplayJournal reads dir's journal and classifies every job it
+// mentions. It tolerates a truncated final line — the signature of a
+// crash during append — and an absent journal (nothing to recover).
+func ReplayJournal(dir string) (Replayed, error) {
+	var rep Replayed
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		return rep, fmt.Errorf("jobs: journal replay: %w", err)
+	}
+	defer f.Close()
+
+	type entry struct {
+		spec     *Spec
+		result   *Result
+		failed   bool
+		order    int
+		terminal bool
+	}
+	byID := map[string]*entry{}
+	var order []string
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn line can only be the last one the process wrote;
+			// anything after it would have failed the same way, so stop
+			// here and report the truncation.
+			rep.Truncated = true
+			break
+		}
+		e, ok := byID[rec.ID]
+		if !ok {
+			e = &entry{order: len(order)}
+			byID[rec.ID] = e
+			order = append(order, rec.ID)
+		}
+		switch rec.Op {
+		case "accept":
+			e.spec = rec.Spec
+		case "done":
+			e.result = rec.Result
+			e.failed = false
+			e.terminal = true
+		case "fail":
+			e.failed = true
+			e.terminal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			rep.Truncated = true
+		} else if !errors.Is(err, io.EOF) {
+			return rep, fmt.Errorf("jobs: journal replay: %w", err)
+		}
+	}
+
+	for _, id := range order {
+		e := byID[id]
+		switch {
+		case e.terminal && e.failed:
+			rep.Failed++
+		case e.terminal && e.result != nil:
+			rep.Completed = append(rep.Completed, e.result)
+		case e.spec != nil:
+			rep.Pending = append(rep.Pending, *e.spec)
+		}
+	}
+	return rep, nil
+}
+
+// Compact atomically rewrites the journal to hold only done records for
+// the given results (the warm-cache state worth keeping), dropping the
+// acceptance/failure history. Called after a successful replay so the
+// journal does not grow without bound across restarts.
+func (j *Journal) Compact(completed []*Result) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(j.dir, journalFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobs: journal compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+	w := bufio.NewWriter(tmp)
+	for _, res := range completed {
+		line, err := json.Marshal(JournalRecord{Op: "done", ID: res.ID, Result: res, T: now})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("jobs: journal compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: journal compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: journal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("jobs: journal compact: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		j.healthy.Store(false)
+		return fmt.Errorf("jobs: journal reopen: %w", err)
+	}
+	j.f = f
+	j.healthy.Store(true)
+	return nil
+}
+
+// RecoverStats summarizes a boot-time journal recovery.
+type RecoverStats struct {
+	// WarmedCache counts completed results replayed into the cache.
+	WarmedCache int
+	// Resubmitted counts pending jobs re-run through the pool.
+	Resubmitted int
+	// FailedReplays counts resubmitted jobs that failed again.
+	FailedReplays int
+	// SkippedTerminal counts journal jobs with terminal failure records
+	// (not re-run).
+	SkippedTerminal int
+	// Truncated reports a torn final journal line was discarded.
+	Truncated bool
+}
+
+// RecoverFromJournal replays dir's journal into the pool: completed
+// results re-warm the result cache (no recomputation), pending jobs —
+// accepted before a crash but never finished — are re-executed through
+// the pool, and the journal is compacted to the surviving state.
+// Results recovered this way are exact: the cache entry a replay warms
+// is byte-for-byte the entry the original run produced, and re-executed
+// jobs recompute from the same canonical spec.
+func RecoverFromJournal(ctx context.Context, p *Pool, dir string) (RecoverStats, error) {
+	var stats RecoverStats
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		return stats, err
+	}
+	stats.Truncated = rep.Truncated
+	stats.SkippedTerminal = rep.Failed
+	for _, res := range rep.Completed {
+		p.Cache().Put(res.ID, res)
+		p.metrics.JournalReplayedDone.Add(1)
+		stats.WarmedCache++
+	}
+	for _, spec := range rep.Pending {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		p.metrics.JournalReplayedPending.Add(1)
+		stats.Resubmitted++
+		if _, err := p.Do(ctx, spec); err != nil {
+			stats.FailedReplays++
+		}
+	}
+	// Compact the journal to the surviving state: the replayed results
+	// plus whatever the resubmissions just completed, dropping the
+	// pre-crash accept/fail history so the file does not grow without
+	// bound across restarts.
+	if j := p.opt.Journal; j != nil && j.Dir() == dir {
+		keep := append([]*Result(nil), rep.Completed...)
+		for _, spec := range rep.Pending {
+			if res, ok := p.Cache().Get(spec.Hash()); ok {
+				keep = append(keep, res)
+			}
+		}
+		if err := j.Compact(keep); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

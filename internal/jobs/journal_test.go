@@ -1,0 +1,203 @@
+package jobs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA, _ := smallEval(1).Canon()
+	specB, _ := smallEval(2).Canon()
+	specC, _ := smallEval(3).Canon()
+	resA := &Result{ID: specA.Hash(), Kind: specA.Kind, Spec: specA}
+
+	if err := j.Accept(specA.Hash(), specA); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept(specB.Hash(), specB); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept(specC.Hash(), specC); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(specA.Hash(), resA); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Fail(specC.Hash(), "spec rot", ClassSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0].ID != specA.Hash() {
+		t.Errorf("completed = %+v", rep.Completed)
+	}
+	if len(rep.Pending) != 1 || rep.Pending[0].Hash() != specB.Hash() {
+		t.Errorf("pending = %+v", rep.Pending)
+	}
+	if rep.Failed != 1 {
+		t.Errorf("failed = %d", rep.Failed)
+	}
+	if rep.Truncated {
+		t.Error("clean journal reported truncation")
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial final line;
+// replay must keep everything before it and report the truncation
+// instead of failing.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := smallEval(1).Canon()
+	if err := j.Accept(spec.Hash(), spec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"abc","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("torn tail not reported")
+	}
+	if len(rep.Pending) != 1 {
+		t.Errorf("pending = %d, want the record before the torn line", len(rep.Pending))
+	}
+}
+
+func TestJournalMissingDirIsEmpty(t *testing.T) {
+	rep, err := ReplayJournal(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending)+len(rep.Completed)+rep.Failed != 0 {
+		t.Errorf("replay of absent journal = %+v", rep)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	specA, _ := smallEval(1).Canon()
+	specB, _ := smallEval(2).Canon()
+	resA := &Result{ID: specA.Hash(), Kind: specA.Kind, Spec: specA}
+	j.Accept(specA.Hash(), specA)
+	j.Accept(specB.Hash(), specB)
+	j.Done(specA.Hash(), resA)
+	j.Fail(specB.Hash(), "gone", ClassFatal)
+
+	if err := j.Compact([]*Result{resA}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 1 || len(rep.Pending) != 0 || rep.Failed != 0 {
+		t.Errorf("after compact: %+v", rep)
+	}
+
+	// The compacted journal must still accept appends.
+	specC, _ := smallEval(3).Canon()
+	if err := j.Accept(specC.Hash(), specC); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = ReplayJournal(dir)
+	if len(rep.Pending) != 1 {
+		t.Errorf("append after compact lost: %+v", rep)
+	}
+}
+
+// TestJournalUnwritableDegrades: a journal whose file has been closed
+// under it reports unhealthy (the /healthz degradation signal) but the
+// pool keeps executing jobs.
+func TestJournalUnwritableDegrades(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Healthy() {
+		t.Fatal("fresh journal unhealthy")
+	}
+	j.Close()
+	spec, _ := smallEval(1).Canon()
+	if err := j.Accept(spec.Hash(), spec); err == nil {
+		t.Fatal("append to closed journal succeeded")
+	}
+	if j.Healthy() {
+		t.Error("failed append left journal healthy")
+	}
+
+	p := NewPool(Options{Workers: 1, Journal: j})
+	res, err := p.Do(context.Background(), smallEval(1))
+	if err != nil || res == nil {
+		t.Fatalf("pool stopped serving on journal failure: %v", err)
+	}
+	if p.Metrics().JournalErrors.Load() == 0 {
+		t.Error("journal errors not counted")
+	}
+}
+
+// TestPoolJournalsLifecycle: accepted and completed jobs land in the
+// journal with enough to recover: the accept's canonical spec and the
+// done's full result.
+func TestPoolJournalsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	p := NewPool(Options{Workers: 1, Journal: j})
+	res, err := p.Do(context.Background(), smallEval(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0].ID != res.ID {
+		t.Fatalf("journal completed = %+v", rep.Completed)
+	}
+	if rep.Completed[0].Evaluation == nil ||
+		rep.Completed[0].Evaluation.ShippedMHz != res.Evaluation.ShippedMHz {
+		t.Error("journal result payload does not match the served result")
+	}
+	if p.Metrics().JournalAccepted.Load() != 1 || p.Metrics().JournalCompleted.Load() != 1 {
+		t.Errorf("journal counters: accepted=%d completed=%d",
+			p.Metrics().JournalAccepted.Load(), p.Metrics().JournalCompleted.Load())
+	}
+}

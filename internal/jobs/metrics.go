@@ -22,6 +22,22 @@ type Metrics struct {
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
 
+	// Fault-handling counters (retry/backoff, watchdog, admission
+	// control, circuit breaker, journal).
+	JobsRetried   atomic.Int64 // transient failures given another attempt
+	JobsShed      atomic.Int64 // submissions rejected by load shedding (429)
+	JobsAbandoned atomic.Int64 // attempts the watchdog reclaimed from wedged workers
+
+	BreakerTrips         atomic.Int64 // breaker transitions to open
+	BreakerShortCircuits atomic.Int64 // submissions rejected by an open breaker
+
+	JournalAccepted        atomic.Int64 // accept records fsynced
+	JournalCompleted       atomic.Int64 // done records written
+	JournalFailed          atomic.Int64 // terminal fail records written
+	JournalErrors          atomic.Int64 // journal writes that failed (degraded durability)
+	JournalReplayedDone    atomic.Int64 // completed results re-warmed from the journal
+	JournalReplayedPending atomic.Int64 // pending jobs re-executed from the journal
+
 	mu    sync.Mutex
 	hists map[string]*Histogram
 }
@@ -67,10 +83,25 @@ func (m *Metrics) Snapshot() map[string]any {
 		"failed":    m.JobsFailed.Load(),
 		"timed_out": m.JobsTimedOut.Load(),
 		"panicked":  m.JobsPanicked.Load(),
+		"retried":   m.JobsRetried.Load(),
+		"shed":      m.JobsShed.Load(),
+		"abandoned": m.JobsAbandoned.Load(),
 	}
 	cache := map[string]any{
 		"hits":   m.CacheHits.Load(),
 		"misses": m.CacheMisses.Load(),
+	}
+	breaker := map[string]any{
+		"trips":          m.BreakerTrips.Load(),
+		"short_circuits": m.BreakerShortCircuits.Load(),
+	}
+	journal := map[string]any{
+		"accepted":         m.JournalAccepted.Load(),
+		"completed":        m.JournalCompleted.Load(),
+		"failed":           m.JournalFailed.Load(),
+		"errors":           m.JournalErrors.Load(),
+		"replayed_done":    m.JournalReplayedDone.Load(),
+		"replayed_pending": m.JournalReplayedPending.Load(),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.hists))
@@ -86,7 +117,24 @@ func (m *Metrics) Snapshot() map[string]any {
 	return map[string]any{
 		"jobs":       jobs,
 		"cache":      cache,
+		"breaker":    breaker,
+		"journal":    journal,
 		"latency_ms": lat,
+	}
+}
+
+// ServiceCounters snapshots the fault-handling counters into the form
+// job-result envelopes carry (Result.Service), so a -json CLI run and a
+// gapd HTTP response expose the same keys.
+func (m *Metrics) ServiceCounters() *ServiceCounters {
+	if m == nil {
+		return &ServiceCounters{}
+	}
+	return &ServiceCounters{
+		Retries:         m.JobsRetried.Load(),
+		Shed:            m.JobsShed.Load(),
+		BreakerTrips:    m.BreakerTrips.Load(),
+		JournalReplayed: m.JournalReplayedDone.Load() + m.JournalReplayedPending.Load(),
 	}
 }
 

@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // State is a job's lifecycle position.
@@ -34,7 +36,7 @@ type Options struct {
 	// CacheEntries sizes the content-addressed result cache
 	// (default 512; 0 keeps the default, negative disables caching).
 	CacheEntries int
-	// JobTimeout caps one job's wall clock (default 2 minutes).
+	// JobTimeout caps one attempt's wall clock (default 2 minutes).
 	JobTimeout time.Duration
 	// RegistryLimit bounds retained finished jobs for GET /v1/jobs/{id}
 	// (default 1024); the oldest finished jobs are evicted first.
@@ -42,6 +44,36 @@ type Options struct {
 	// Metrics receives counters and latencies; nil allocates a private
 	// set (retrievable via Pool.Metrics).
 	Metrics *Metrics
+
+	// MaxAttempts bounds runs of one job including retries of transient
+	// failures (default 3; 1 disables retries).
+	MaxAttempts int
+	// RetryBase/RetryMax/RetryJitter shape the exponential backoff
+	// between attempts (defaults 50ms / 2s / 0.25; a negative jitter
+	// disables it). The backoff is served inside the job's worker
+	// slot, so MaxAttempts*RetryMax bounds how long a slot can be held
+	// by a failing job.
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+	RetryJitter float64
+	// WatchdogGrace is how long past JobTimeout the watchdog waits for
+	// a wedged attempt to honour cancellation before abandoning its
+	// goroutine and failing the attempt (default 2s).
+	WatchdogGrace time.Duration
+	// BreakerThreshold is the consecutive non-spec failures of one job
+	// kind that trip its circuit breaker (default 5; negative
+	// disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects jobs
+	// before half-opening for a probe (default 10s).
+	BreakerCooldown time.Duration
+	// Journal, when set, write-ahead-logs accepted jobs (fsync before
+	// run) and their outcomes, so a restart can recover pending work
+	// and warm cache keys via RecoverFromJournal.
+	Journal *Journal
+	// Injector, when set, injects deterministic faults at the pool and
+	// flow-stage seams (chaos testing).
+	Injector *faultinject.Injector
 }
 
 // Pool is the job engine: a bounded worker pool over Run with a
@@ -54,6 +86,15 @@ type Pool struct {
 	slots   chan struct{}
 	cache   *Cache
 	metrics *Metrics
+	backoff *Backoff
+
+	// breakers holds one circuit breaker per executable job kind; nil
+	// when breakers are disabled.
+	breakers map[Kind]*breaker
+
+	// queued counts submissions waiting for a worker slot — the
+	// admission-control signal the HTTP layer sheds on.
+	queued atomic.Int64
 
 	// runFn replaces Run in tests (nil means Run).
 	runFn func(ctx context.Context, c Spec, parallelism int) (*Result, error)
@@ -153,14 +194,38 @@ func NewPool(opt Options) *Pool {
 	if opt.Metrics == nil {
 		opt.Metrics = NewMetrics()
 	}
-	return &Pool{
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 3
+	}
+	if opt.WatchdogGrace <= 0 {
+		opt.WatchdogGrace = 2 * time.Second
+	}
+	switch {
+	case opt.BreakerThreshold == 0:
+		opt.BreakerThreshold = 5
+	case opt.BreakerThreshold < 0:
+		opt.BreakerThreshold = 0 // disabled
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = 10 * time.Second
+	}
+	p := &Pool{
 		opt:      opt,
 		slots:    make(chan struct{}, opt.Workers),
 		cache:    NewCache(opt.CacheEntries),
 		metrics:  opt.Metrics,
+		backoff:  NewBackoff(opt.RetryBase, opt.RetryMax, opt.RetryJitter, 1),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	if opt.BreakerThreshold > 0 {
+		p.breakers = map[Kind]*breaker{
+			KindEvaluate: newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+			KindLadder:   newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+			KindSweep:    newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		}
+	}
+	return p
 }
 
 // Metrics returns the pool's metrics set.
@@ -184,13 +249,21 @@ func (p *Pool) Lookup(id string) (*Job, bool) {
 // Do executes the spec through the pool and returns its result: from the
 // cache when an identical evaluation already ran, by joining an
 // identical in-flight job when one is running, and otherwise by carrying
-// the job through a worker slot with the pool's timeout and panic
-// recovery. Do blocks; cancel ctx to give up waiting (the underlying
-// computation stops at the next flow-stage boundary).
+// the job through a worker slot with the pool's per-attempt timeout and
+// watchdog, panic recovery, and bounded retries of transient failures.
+// Do blocks; cancel ctx to give up waiting (the underlying computation
+// stops at the next flow-stage boundary).
+//
+// Failure handling: errors are classified (Classify) into transient /
+// spec / canceled / fatal. Transient failures retry with exponential
+// backoff up to Options.MaxAttempts; non-spec failures feed the job
+// kind's circuit breaker, and an open breaker rejects submissions with
+// ErrBreakerOpen before any work runs. The cache only ever stores fully
+// successful results — a failed job leaves no cache entry.
 func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	c, err := s.Canon()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
 	}
 	id := c.Hash()
 
@@ -198,9 +271,17 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 		p.metrics.CacheHits.Add(1)
 		hit := res.shallowCopy()
 		hit.Cached = true
+		hit.Service = p.metrics.ServiceCounters()
 		return hit, nil
 	}
 	p.metrics.CacheMisses.Add(1)
+
+	// An open breaker rejects the kind before any state is created.
+	br := p.breakerFor(c.Kind)
+	if br != nil && !br.Allow(time.Now()) {
+		p.metrics.BreakerShortCircuits.Add(1)
+		return nil, fmt.Errorf("%w (kind %s)", ErrBreakerOpen, c.Kind)
+	}
 
 	p.mu.Lock()
 	if j, ok := p.inflight[id]; ok {
@@ -218,10 +299,18 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	p.registerLocked(j)
 	p.mu.Unlock()
 
+	// Write-ahead: once accepted (fsynced), the job survives a process
+	// kill and a restart will recover it from the journal.
+	p.journalAccept(id, c)
+
 	// The submitting goroutine is the worker: acquire a slot.
+	p.queued.Add(1)
 	select {
 	case p.slots <- struct{}{}:
+		p.queued.Add(-1)
 	case <-ctx.Done():
+		p.queued.Add(-1)
+		p.journalFail(id, ctx.Err(), ClassCanceled)
 		p.finish(j, nil, ctx.Err())
 		return nil, ctx.Err()
 	}
@@ -233,43 +322,224 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	j.mu.Unlock()
 	p.metrics.JobsStarted.Add(1)
 
-	runCtx, cancel := context.WithTimeout(ctx, p.opt.JobTimeout)
-	defer cancel()
-	runCtx = core.WithStageObserver(runCtx, p.metrics.StageObserver())
+	for attempt := 0; ; attempt++ {
+		res, err := p.runAttempt(ctx, c, id, attempt)
+		if err == nil {
+			if br != nil {
+				br.Record(true, time.Now())
+			}
+			res.Attempts = attempt + 1
+			res.Service = p.metrics.ServiceCounters()
+			p.metrics.JobsCompleted.Add(1)
+			p.metrics.Observe("job_"+string(c.Kind), time.Duration(res.ElapsedMS*float64(time.Millisecond)))
+			p.cache.Put(id, res)
+			p.journalDone(id, res)
+			p.finish(j, res, nil)
+			return res, nil
+		}
 
-	res, err := p.safeRun(runCtx, c)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(err, context.DeadlineExceeded) {
 			p.metrics.JobsTimedOut.Add(1)
 			err = fmt.Errorf("jobs: job %s timed out after %v: %w", id[:12], p.opt.JobTimeout, err)
 		}
+		class := Classify(ctx, err)
+		if class.Retryable() && attempt+1 < p.opt.MaxAttempts && ctx.Err() == nil {
+			p.metrics.JobsRetried.Add(1)
+			if serr := p.backoff.Sleep(ctx, attempt); serr == nil {
+				continue
+			}
+			// The caller hung up mid-backoff.
+			err = fmt.Errorf("jobs: job %s canceled during retry backoff: %w", id[:12], ctx.Err())
+			class = ClassCanceled
+		}
+		// Only the job's terminal outcome feeds the breaker — a job
+		// that retried its way to success is a success, and spec
+		// errors, caller cancellations, and simulated process kills are
+		// not failures of the kind.
+		if br != nil && (class == ClassTransient || class == ClassFatal) && !errors.Is(err, ErrKilled) {
+			if br.Record(false, time.Now()) {
+				p.metrics.BreakerTrips.Add(1)
+			}
+		}
 		p.metrics.JobsFailed.Add(1)
+		err = fmt.Errorf("jobs: job %s failed (%s, attempt %d/%d): %w",
+			id[:12], class, attempt+1, p.opt.MaxAttempts, err)
+		if !errors.Is(err, ErrKilled) {
+			// A simulated kill must leave no terminal record — that is
+			// exactly the crash signature the journal replay recovers.
+			p.journalFail(id, err, class)
+		}
 		p.finish(j, nil, err)
 		return nil, err
 	}
-	p.metrics.JobsCompleted.Add(1)
-	p.metrics.Observe("job_"+string(c.Kind), time.Duration(res.ElapsedMS*float64(time.Millisecond)))
-	p.cache.Put(id, res)
-	p.finish(j, res, nil)
-	return res, nil
+}
+
+// runAttempt executes one attempt of the job with the pool's timeout,
+// watchdog, panic fence, and fault-injection seams. The pool seam's
+// fault site is keyed "pool/<kind>/<hash12>/a<attempt>"; stage seams
+// append "/<stage>" via the injected stage hook, so every (job,
+// attempt, stage) draws an independent, deterministic fault.
+func (p *Pool) runAttempt(ctx context.Context, c Spec, id string, attempt int) (*Result, error) {
+	attemptKey := fmt.Sprintf("%s/%s/a%d", c.Kind, id[:12], attempt)
+	poolKey := ""
+	if in := p.opt.Injector; in != nil {
+		poolKey = "pool/" + attemptKey
+		if in.Decide(poolKey) == faultinject.Kill {
+			in.Kills.Add(1)
+			return nil, fmt.Errorf("%w (injected at %s)", ErrKilled, poolKey)
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, p.opt.JobTimeout)
+	defer cancel()
+	runCtx = core.WithStageObserver(runCtx, p.metrics.StageObserver())
+	if in := p.opt.Injector; in != nil {
+		runCtx = faultinject.WithAttemptKey(runCtx, attemptKey)
+		runCtx = core.WithStageHook(runCtx, in.StageHook())
+	}
+
+	// The attempt runs on its own goroutine so the watchdog can reclaim
+	// the worker slot from an evaluation that ignores its deadline. A
+	// cooperative attempt returns through outcome; a wedged one is
+	// abandoned (its goroutine parks until whatever wedged it lets go —
+	// the panic fence still contains it) and the attempt fails with
+	// ErrWatchdog, which is transient and therefore requeued while
+	// retry budget remains.
+	type outcome struct {
+		res *Result
+		err error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		res, err := p.safeRun(runCtx, poolKey, c)
+		out <- outcome{res, err}
+	}()
+
+	wd := time.NewTimer(p.opt.JobTimeout + p.opt.WatchdogGrace)
+	defer wd.Stop()
+	select {
+	case o := <-out:
+		return o.res, o.err
+	case <-wd.C:
+		p.metrics.JobsAbandoned.Add(1)
+		return nil, fmt.Errorf("%w: job %s attempt %d ignored its %v deadline for %v",
+			ErrWatchdog, id[:12], attempt+1, p.opt.JobTimeout, p.opt.WatchdogGrace)
+	}
 }
 
 // safeRun is Run behind a panic fence: a panicking flow evaluation fails
-// its own job instead of taking down the service.
-func (p *Pool) safeRun(ctx context.Context, c Spec) (res *Result, err error) {
+// its own attempt with a typed, retryable error instead of taking down
+// the service. The pool-level fault seam fires here — inside the fence
+// and under the watchdog — so injected panics are contained and injected
+// stalls are reclaimed like any other wedged attempt.
+func (p *Pool) safeRun(ctx context.Context, poolKey string, c Spec) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.metrics.JobsPanicked.Add(1)
-			err = fmt.Errorf("jobs: job panicked: %v\n%s", r, debug.Stack())
+			err = fmt.Errorf("%w: %v\n%s", ErrPanicked, r, debug.Stack())
 			res = nil
 		}
 	}()
+	if in := p.opt.Injector; in != nil && poolKey != "" {
+		if err := in.Fire(ctx, poolKey); err != nil {
+			return nil, err
+		}
+	}
 	run := p.runFn
 	if run == nil {
 		run = Run
 	}
 	return run(ctx, c, p.opt.Parallelism)
+}
+
+// breakerFor returns the kind's circuit breaker, or nil when disabled.
+func (p *Pool) breakerFor(kind Kind) *breaker {
+	if p.breakers == nil {
+		return nil
+	}
+	return p.breakers[kind]
+}
+
+// BreakerOpen reports whether any job kind's breaker is currently open
+// (the /healthz degradation signal), and which kinds.
+func (p *Pool) BreakerOpen() (open bool, kinds []Kind) {
+	for _, kind := range []Kind{KindEvaluate, KindLadder, KindSweep} {
+		if b := p.breakerFor(kind); b != nil && b.State() == breakerOpen {
+			open = true
+			kinds = append(kinds, kind)
+		}
+	}
+	return open, kinds
+}
+
+// BreakerStates snapshots every breaker's state for /metrics.
+func (p *Pool) BreakerStates() map[string]string {
+	states := map[string]string{}
+	for _, kind := range []Kind{KindEvaluate, KindLadder, KindSweep} {
+		if b := p.breakerFor(kind); b != nil {
+			states[string(kind)] = string(b.State())
+		}
+	}
+	return states
+}
+
+// QueueDepth reports submissions waiting for a worker slot — the load
+// signal admission control sheds on.
+func (p *Pool) QueueDepth() int { return int(p.queued.Load()) }
+
+// InFlight reports jobs accepted but not yet finished (queued or
+// running).
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inflight)
+}
+
+// Journal returns the pool's journal, or nil.
+func (p *Pool) Journal() *Journal { return p.opt.Journal }
+
+// journalAccept write-ahead-logs an accepted job; a failed write counts
+// as a journal error and degrades health, but never blocks the job.
+func (p *Pool) journalAccept(id string, c Spec) {
+	j := p.opt.Journal
+	if j == nil {
+		return
+	}
+	if err := j.Accept(id, c); err != nil {
+		p.metrics.JournalErrors.Add(1)
+		return
+	}
+	p.metrics.JournalAccepted.Add(1)
+}
+
+// journalDone records a completed job with its result.
+func (p *Pool) journalDone(id string, res *Result) {
+	j := p.opt.Journal
+	if j == nil {
+		return
+	}
+	if err := j.Done(id, res); err != nil {
+		p.metrics.JournalErrors.Add(1)
+		return
+	}
+	p.metrics.JournalCompleted.Add(1)
+}
+
+// journalFail closes out a terminally failed job.
+func (p *Pool) journalFail(id string, err error, class Class) {
+	j := p.opt.Journal
+	if j == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	if jerr := j.Fail(id, msg, class); jerr != nil {
+		p.metrics.JournalErrors.Add(1)
+		return
+	}
+	p.metrics.JournalFailed.Add(1)
 }
 
 // finish publishes the job's outcome and releases the in-flight slot.

@@ -3,7 +3,6 @@ package jobs
 import (
 	"context"
 	"errors"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -90,13 +89,13 @@ func TestPoolDeduplicatesInflight(t *testing.T) {
 }
 
 func TestPoolRecoversPanics(t *testing.T) {
-	p := NewPool(Options{Workers: 1})
+	p := NewPool(Options{Workers: 1, MaxAttempts: 1})
 	p.runFn = func(context.Context, Spec, int) (*Result, error) {
 		panic("boom")
 	}
 	_, err := p.Do(context.Background(), smallEval(1))
-	if err == nil || !strings.Contains(err.Error(), "panicked") {
-		t.Fatalf("err = %v", err)
+	if err == nil || !errors.Is(err, ErrPanicked) {
+		t.Fatalf("err = %v, want ErrPanicked", err)
 	}
 	if n := p.Metrics().JobsPanicked.Load(); n != 1 {
 		t.Errorf("panics = %d", n)
@@ -109,7 +108,7 @@ func TestPoolRecoversPanics(t *testing.T) {
 }
 
 func TestPoolTimesOutSlowJobs(t *testing.T) {
-	p := NewPool(Options{Workers: 1, JobTimeout: 30 * time.Millisecond})
+	p := NewPool(Options{Workers: 1, JobTimeout: 30 * time.Millisecond, MaxAttempts: 1})
 	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()

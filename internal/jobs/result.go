@@ -21,6 +21,12 @@ type Result struct {
 	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the wall-clock compute time of the original run.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Attempts counts pool attempts behind this result (1 = the first
+	// try succeeded; >1 means transient failures were retried).
+	Attempts int `json:"attempts,omitempty"`
+	// Service snapshots the service's fault-handling counters when the
+	// envelope was produced (see ServiceCounters).
+	Service *ServiceCounters `json:"service,omitempty"`
 
 	Evaluation *core.Evaluation  `json:"evaluation,omitempty"`
 	Ladder     *core.Ladder      `json:"ladder,omitempty"`
@@ -31,10 +37,37 @@ type Result struct {
 	Tables map[string]float64 `json:"tables,omitempty"`
 }
 
+// ServiceCounters is the fault-handling slice of the service metrics
+// every result envelope carries: the same retry/shed/breaker/journal
+// numbers GET /metrics reports, at the moment the envelope was built.
+// CLI -json runs carry it too (all zeros for a clean direct run), so
+// envelopes from either path stay diffable key-for-key.
+type ServiceCounters struct {
+	Retries         int64 `json:"retries"`
+	Shed            int64 `json:"shed"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	JournalReplayed int64 `json:"journal_replayed"`
+}
+
 // shallowCopy returns a copy of r suitable for mutating envelope fields
 // (Cached) without touching the shared cached value. Payloads stay
 // shared and must be treated as immutable.
 func (r *Result) shallowCopy() *Result {
 	cp := *r
 	return &cp
+}
+
+// Normalized returns a copy with the run-dependent envelope fields
+// (Cached, ElapsedMS, Attempts, Service) zeroed, leaving only the
+// deterministic content: spec, id, and payload. Two runs of the same
+// spec — serial or parallel, fresh or recovered from a journal — must
+// produce byte-identical JSON for their normalized results; the chaos
+// and recovery suites assert exactly that.
+func (r *Result) Normalized() *Result {
+	cp := r.shallowCopy()
+	cp.Cached = false
+	cp.ElapsedMS = 0
+	cp.Attempts = 0
+	cp.Service = nil
+	return cp
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -14,6 +15,16 @@ import (
 // opposed to the flow computation), so callers — the HTTP layer in
 // particular — can report them as client errors.
 var ErrSpec = errors.New("invalid job spec")
+
+// RunService executes one spec through a single-shot pool, so CLI
+// callers get the same retry/backoff, watchdog, and panic-fence
+// behaviour as the gapd daemon, and the returned envelope carries the
+// attempt count and service counters (retries, sheds, breaker trips,
+// journal replays) that gapd's own responses report.
+func RunService(ctx context.Context, s Spec, parallelism int) (*Result, error) {
+	p := NewPool(Options{Workers: 1, Parallelism: parallelism})
+	return p.Do(ctx, s)
+}
 
 // Run executes one canonical spec and fills the matching payload.
 // parallelism bounds the concurrent flow evaluations inside ladder and
@@ -136,6 +147,19 @@ func forEachLimited(ctx context.Context, workers, n int, fn func(ctx context.Con
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Each unit runs behind its own panic fence: a panic in one rung or
+	// sweep-point evaluation (a bug, or injected chaos) fails that unit
+	// with a typed, retryable error instead of crashing the process —
+	// the inner goroutines here are outside the pool's own recover.
+	runUnit := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: %v\n%s", ErrPanicked, r, debug.Stack())
+			}
+		}()
+		return fn(ctx, i)
+	}
+
 	errs := make([]error, n)
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -148,7 +172,7 @@ func forEachLimited(ctx context.Context, workers, n int, fn func(ctx context.Con
 					errs[i] = err
 					continue
 				}
-				if errs[i] = fn(ctx, i); errs[i] != nil {
+				if errs[i] = runUnit(i); errs[i] != nil {
 					cancel()
 				}
 			}

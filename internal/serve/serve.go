@@ -9,8 +9,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
@@ -25,13 +29,36 @@ type Options struct {
 	// RequestTimeout caps one request's job wait (default 5 minutes;
 	// the pool's own JobTimeout still applies underneath).
 	RequestTimeout time.Duration
+	// MaxQueueDepth bounds submissions admitted beyond the worker count;
+	// requests past it are shed with 429 and a Retry-After hint instead
+	// of growing the queue without bound. Default 4x the pool's workers;
+	// negative disables shedding.
+	MaxQueueDepth int
+	// MaxPerClient caps concurrent submissions per client (keyed by
+	// remote host), so one aggressive client cannot monopolize the
+	// admission budget. Default 2x the pool's workers; negative disables.
+	MaxPerClient int
+	// RetryAfter is the backoff hint sent with shed responses (default
+	// 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
 }
 
-// handler carries the resolved options.
+// handler carries the resolved options and the admission state.
 type handler struct {
 	pool           *jobs.Pool
 	maxBodyBytes   int64
 	requestTimeout time.Duration
+	maxPending     int // workers + MaxQueueDepth; -1 disables
+	maxPerClient   int
+	retryAfter     time.Duration
+
+	// pending counts admitted-but-unfinished submissions, which strictly
+	// bounds the pool-facing queue: a request sheds before entering the
+	// pool, never after.
+	pending atomic.Int64
+
+	mu        sync.Mutex
+	perClient map[string]int
 }
 
 // NewHandler builds the gapd route table:
@@ -50,12 +77,29 @@ func NewHandler(opt Options) http.Handler {
 		pool:           opt.Pool,
 		maxBodyBytes:   opt.MaxBodyBytes,
 		requestTimeout: opt.RequestTimeout,
+		maxPerClient:   opt.MaxPerClient,
+		retryAfter:     opt.RetryAfter,
+		perClient:      map[string]int{},
 	}
 	if h.maxBodyBytes <= 0 {
 		h.maxBodyBytes = 1 << 20
 	}
 	if h.requestTimeout <= 0 {
 		h.requestTimeout = 5 * time.Minute
+	}
+	switch {
+	case opt.MaxQueueDepth < 0:
+		h.maxPending = -1
+	case opt.MaxQueueDepth == 0:
+		h.maxPending = opt.Pool.Workers() * 5 // workers + 4x queue
+	default:
+		h.maxPending = opt.Pool.Workers() + opt.MaxQueueDepth
+	}
+	if h.maxPerClient == 0 {
+		h.maxPerClient = opt.Pool.Workers() * 2
+	}
+	if h.retryAfter <= 0 {
+		h.retryAfter = time.Second
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", h.submit(jobs.KindEvaluate))
@@ -69,9 +113,21 @@ func NewHandler(opt Options) http.Handler {
 
 // submit returns the handler for one job-kind endpoint. The body is a
 // jobs.Spec; its kind field may be omitted (the endpoint implies it) but
-// must match the endpoint when present.
+// must match the endpoint when present. Admission control runs before
+// the pool sees the request: overload beyond the queue budget and
+// clients beyond their concurrency cap are shed with 429 + Retry-After,
+// keeping the pool-facing queue bounded.
 func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := h.admit(r)
+		if err != nil {
+			h.pool.Metrics().JobsShed.Add(1)
+			h.setRetryAfter(w)
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		defer release()
+
 		spec, err := h.decodeSpec(w, r, kind)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -81,11 +137,70 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 		defer cancel()
 		res, err := h.pool.Do(ctx, spec)
 		if err != nil {
+			if errors.Is(err, jobs.ErrBreakerOpen) {
+				h.setRetryAfter(w)
+			}
 			writeError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// admit applies the two admission gates — global pending budget and
+// per-client concurrency — and returns the release that undoes both.
+func (h *handler) admit(r *http.Request) (release func(), err error) {
+	if h.maxPending >= 0 {
+		if n := h.pending.Add(1); n > int64(h.maxPending) {
+			h.pending.Add(-1)
+			return nil, fmt.Errorf("overloaded: %d submissions pending (budget %d)",
+				n-1, h.maxPending)
+		}
+	} else {
+		h.pending.Add(1)
+	}
+	client := clientKey(r)
+	if h.maxPerClient >= 0 {
+		h.mu.Lock()
+		if h.perClient[client] >= h.maxPerClient {
+			n := h.perClient[client]
+			h.mu.Unlock()
+			h.pending.Add(-1)
+			return nil, fmt.Errorf("client %s has %d submissions in flight (cap %d)",
+				client, n, h.maxPerClient)
+		}
+		h.perClient[client]++
+		h.mu.Unlock()
+	}
+	return func() {
+		h.pending.Add(-1)
+		if h.maxPerClient >= 0 {
+			h.mu.Lock()
+			if h.perClient[client]--; h.perClient[client] <= 0 {
+				delete(h.perClient, client)
+			}
+			h.mu.Unlock()
+		}
+	}, nil
+}
+
+// clientKey identifies the client for per-client caps: the remote host,
+// or the whole RemoteAddr when it has no port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// setRetryAfter attaches the shed backoff hint, rounded up to whole
+// seconds as the header requires.
+func (h *handler) setRetryAfter(w http.ResponseWriter) {
+	secs := int((h.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // decodeSpec parses and validates the request body into a canonical spec
@@ -131,12 +246,29 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
-// healthz serves GET /healthz.
+// healthz serves GET /healthz. It degrades to 503 when the service can
+// accept work but should not be trusted with it: a circuit breaker is
+// open (a job kind is failing hard) or the journal is unwritable (jobs
+// would run without crash safety).
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": h.pool.Workers(),
-	})
+	body := map[string]any{
+		"status":          "ok",
+		"workers":         h.pool.Workers(),
+		"queue_depth":     h.pool.QueueDepth(),
+		"inflight":        h.pool.InFlight(),
+		"journal_healthy": h.pool.Journal().Healthy(),
+	}
+	status := http.StatusOK
+	if open, kinds := h.pool.BreakerOpen(); open {
+		body["status"] = "degraded"
+		body["breaker_open"] = kinds
+		status = http.StatusServiceUnavailable
+	}
+	if !h.pool.Journal().Healthy() {
+		body["status"] = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 // metrics serves GET /metrics as expvar-style JSON.
@@ -145,6 +277,10 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["cache_entries"] = h.pool.Cache().Len()
 	snap["cache_capacity"] = h.pool.Cache().Cap()
 	snap["workers"] = h.pool.Workers()
+	snap["queue_depth"] = h.pool.QueueDepth()
+	snap["inflight"] = h.pool.InFlight()
+	snap["pending_requests"] = h.pending.Load()
+	snap["breakers"] = h.pool.BreakerStates()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -153,6 +289,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, jobs.ErrSpec):
 		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -3,12 +3,16 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 )
 
@@ -253,5 +257,269 @@ func TestHealthz(t *testing.T) {
 	}
 	if int(h["workers"].(float64)) != pool.Workers() {
 		t.Errorf("workers = %v", h["workers"])
+	}
+	if h["journal_healthy"] != true {
+		t.Errorf("journal_healthy = %v", h["journal_healthy"])
+	}
+}
+
+// stallServer builds a server whose every job attempt stalls for d
+// before completing (a deterministic way to hold workers busy), with the
+// given admission limits.
+func stallServer(t *testing.T, workers int, d time.Duration, opt Options) *httptest.Server {
+	t.Helper()
+	in := faultinject.New(faultinject.Plan{
+		Seed: 1, StallRate: 1, Latency: d, Match: "pool/",
+	})
+	opt.Pool = jobs.NewPool(jobs.Options{
+		Workers: workers, MaxAttempts: 1, BreakerThreshold: -1, Injector: in,
+	})
+	srv := httptest.NewServer(NewHandler(opt))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOverloadShedsWithRetryAfter is the overload acceptance test: at 4x
+// the admission budget, excess submissions are shed with 429 and a
+// Retry-After hint, the pool-facing queue stays bounded by the budget,
+// and the sheds are counted in /metrics.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	// Budget: 1 worker + queue depth 2 = 3 pending; offer 12 (4x).
+	srv := stallServer(t, 1, 300*time.Millisecond, Options{MaxQueueDepth: 2})
+
+	const offered = 12
+	codes := make([]int, offered)
+	retryAfter := make([]string, offered)
+	var wg sync.WaitGroup
+	for i := 0; i < offered; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(
+				`{"design":{"name":"datapath","width":8,"depth":2},"seed":%d}`, i)
+			resp, err := http.Post(srv.URL+"/v1/evaluate", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Error("429 without Retry-After header")
+			}
+		default:
+			t.Errorf("request %d: status %d", i, code)
+		}
+	}
+	// Every offered request resolved one way or the other (none lost),
+	// and the queue stayed bounded: at most budget-many ran.
+	if ok+shed != offered {
+		t.Errorf("ok %d + shed %d != offered %d", ok, shed, offered)
+	}
+	if ok > 3 {
+		t.Errorf("%d requests admitted, budget is 3", ok)
+	}
+	if shed < offered-3 {
+		t.Errorf("shed %d, want >= %d", shed, offered-3)
+	}
+
+	var metrics struct {
+		Jobs struct {
+			Shed int64 `json:"shed"`
+		} `json:"jobs"`
+		QueueDepth      int64          `json:"queue_depth"`
+		PendingRequests int64          `json:"pending_requests"`
+		Breakers        map[string]any `json:"breakers"`
+	}
+	getJSON(t, srv.URL+"/metrics", &metrics)
+	if metrics.Jobs.Shed != int64(shed) {
+		t.Errorf("metrics shed = %d, want %d", metrics.Jobs.Shed, shed)
+	}
+	if metrics.PendingRequests != 0 || metrics.QueueDepth != 0 {
+		t.Errorf("admission state leaked: pending=%d queued=%d",
+			metrics.PendingRequests, metrics.QueueDepth)
+	}
+	if metrics.Breakers == nil {
+		t.Error("metrics missing breaker states")
+	}
+}
+
+// TestPerClientCap: one client may not hold more than its cap of
+// concurrent submissions even when the global budget has room.
+func TestPerClientCap(t *testing.T) {
+	srv := stallServer(t, 4, 300*time.Millisecond,
+		Options{MaxQueueDepth: 64, MaxPerClient: 1})
+
+	const offered = 4
+	codes := make([]int, offered)
+	var wg sync.WaitGroup
+	for i := 0; i < offered; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(
+				`{"design":{"name":"datapath","width":8,"depth":2},"seed":%d}`, i)
+			resp, err := http.Post(srv.URL+"/v1/evaluate", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for _, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		}
+	}
+	// All requests share the test client's address, so exactly one may
+	// be in flight at a time; the stall guarantees overlap.
+	if ok > 1 || shed < offered-1 {
+		t.Errorf("ok=%d shed=%d with per-client cap 1", ok, shed)
+	}
+}
+
+// TestHealthzDegradesWhenBreakerOpen: a tripped breaker turns /healthz
+// into 503 "degraded" naming the open kind, and open-breaker rejections
+// carry Retry-After.
+func TestHealthzDegradesWhenBreakerOpen(t *testing.T) {
+	in := faultinject.New(faultinject.Plan{Seed: 1, ErrorRate: 1, Match: "pool/"})
+	pool := jobs.NewPool(jobs.Options{
+		Workers: 1, MaxAttempts: 1, BreakerThreshold: 2, Injector: in,
+	})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool}))
+	defer srv.Close()
+
+	// Two failing jobs trip the evaluate breaker.
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(
+			`{"design":{"name":"datapath","width":8,"depth":2},"seed":%d}`, i)
+		resp, _ := postJSON(t, srv.URL+"/v1/evaluate", body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failing job status = %d", resp.StatusCode)
+		}
+	}
+
+	var h map[string]any
+	resp := getJSON(t, srv.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusServiceUnavailable || h["status"] != "degraded" {
+		t.Fatalf("healthz with open breaker = %d %v", resp.StatusCode, h)
+	}
+	if open, ok := h["breaker_open"].([]any); !ok || len(open) != 1 || open[0] != "evaluate" {
+		t.Errorf("breaker_open = %v", h["breaker_open"])
+	}
+
+	// Submissions of the broken kind short-circuit with 503 + Retry-After.
+	resp2, err := http.Post(srv.URL+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"design":{"name":"datapath","width":8,"depth":2},"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("open-breaker submit = %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("open-breaker rejection missing Retry-After")
+	}
+}
+
+// TestHealthzDegradesWhenJournalUnwritable: losing journal durability
+// flips /healthz to 503 while jobs keep being served.
+func TestHealthzDegradesWhenJournalUnwritable(t *testing.T) {
+	j, err := jobs.OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.NewPool(jobs.Options{Workers: 1, Journal: j})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool}))
+	defer srv.Close()
+	j.Close() // durability lost out from under the service
+
+	resp, raw := postJSON(t, srv.URL+"/v1/evaluate",
+		`{"design":{"name":"datapath","width":8,"depth":2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job failed on journal loss: %d %s", resp.StatusCode, raw)
+	}
+
+	var h map[string]any
+	hresp := getJSON(t, srv.URL+"/healthz", &h)
+	if hresp.StatusCode != http.StatusServiceUnavailable || h["status"] != "degraded" {
+		t.Errorf("healthz = %d %v", hresp.StatusCode, h)
+	}
+	if h["journal_healthy"] != false {
+		t.Errorf("journal_healthy = %v", h["journal_healthy"])
+	}
+
+	var metrics struct {
+		Journal struct {
+			Errors int64 `json:"errors"`
+		} `json:"journal"`
+	}
+	getJSON(t, srv.URL+"/metrics", &metrics)
+	if metrics.Journal.Errors == 0 {
+		t.Error("journal errors not surfaced in /metrics")
+	}
+}
+
+// TestMetricsExposesRobustnessCounters: the retry/shed/breaker/journal
+// counter families are all present in /metrics even at zero.
+func TestMetricsExposesRobustnessCounters(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var snap map[string]any
+	getJSON(t, srv.URL+"/metrics", &snap)
+	jobsBlock, ok := snap["jobs"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics jobs block: %v", snap["jobs"])
+	}
+	for _, key := range []string{"retried", "shed", "abandoned"} {
+		if _, ok := jobsBlock[key]; !ok {
+			t.Errorf("jobs.%s missing from /metrics", key)
+		}
+	}
+	breaker, ok := snap["breaker"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics breaker block: %v", snap["breaker"])
+	}
+	for _, key := range []string{"trips", "short_circuits"} {
+		if _, ok := breaker[key]; !ok {
+			t.Errorf("breaker.%s missing from /metrics", key)
+		}
+	}
+	journal, ok := snap["journal"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics journal block: %v", snap["journal"])
+	}
+	for _, key := range []string{"accepted", "completed", "failed", "errors",
+		"replayed_done", "replayed_pending"} {
+		if _, ok := journal[key]; !ok {
+			t.Errorf("journal.%s missing from /metrics", key)
+		}
+	}
+	for _, key := range []string{"queue_depth", "inflight", "pending_requests", "breakers"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("%s missing from /metrics", key)
+		}
 	}
 }
