@@ -81,10 +81,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gapd: journal recovery: %v\n", err)
 			os.Exit(1)
 		}
-		if stats.WarmedCache+stats.Resubmitted+stats.SkippedTerminal > 0 || stats.Truncated {
-			log.Printf("gapd: journal replay: %d results re-warmed, %d interrupted jobs re-run (%d failed again), %d terminal failures skipped, truncated=%v",
+		if stats.WarmedCache+stats.Resubmitted+stats.SkippedTerminal+stats.ReplaysExhausted > 0 || stats.Truncated {
+			log.Printf("gapd: journal replay: %d results re-warmed, %d interrupted jobs re-run (%d failed again), %d terminal failures skipped, %d poison jobs failed terminally, truncated=%v",
 				stats.WarmedCache, stats.Resubmitted, stats.FailedReplays,
-				stats.SkippedTerminal, stats.Truncated)
+				stats.SkippedTerminal, stats.ReplaysExhausted, stats.Truncated)
 		}
 	}
 

@@ -35,28 +35,44 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 }
 
 // Allow reports whether a job may run now. In half-open state only one
-// probe is admitted at a time.
-func (b *breaker) Allow(now time.Time) bool {
+// probe is admitted at a time; probe is true when this call took the
+// probe slot, and the caller must then end the probe with Record (an
+// outcome) or Release (no outcome — the job joined an in-flight twin,
+// the caller hung up, or the failure was not the kind's fault). A probe
+// left dangling would pin the breaker half-open and reject the kind
+// forever.
+func (b *breaker) Allow(now time.Time) (allowed, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if now.Sub(b.openedAt) < b.cooldown {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	case breakerHalfOpen:
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
-	return true
+	return true, false
+}
+
+// Release ends a half-open probe that finished without a recordable
+// outcome, freeing the probe slot so the next submission can probe
+// instead of being rejected until restart.
+func (b *breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
 }
 
 // Record reports a finished job's outcome. Returns true when this

@@ -1,0 +1,126 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBreakerReleaseFreesProbe: a half-open probe that ends without a
+// recordable outcome must free the probe slot via Release, so the next
+// submission can probe instead of being rejected until restart.
+func TestBreakerReleaseFreesProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	now := time.Now()
+	if tripped := b.Record(false, now); !tripped {
+		t.Fatal("threshold-1 failure did not trip the breaker")
+	}
+	if ok, _ := b.Allow(now); ok {
+		t.Fatal("open breaker inside cooldown allowed a job")
+	}
+	later := now.Add(20 * time.Millisecond)
+	ok, probe := b.Allow(later)
+	if !ok || !probe {
+		t.Fatalf("Allow after cooldown = (%v, %v), want a half-open probe", ok, probe)
+	}
+	if ok, _ := b.Allow(later); ok {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	// The probe ends with no outcome (join / cancel / spec error):
+	// Release must hand the slot to the next submission.
+	b.Release()
+	ok, probe = b.Allow(later)
+	if !ok || !probe {
+		t.Fatalf("Allow after Release = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.Record(true, later)
+	if b.State() != breakerClosed {
+		t.Errorf("state after successful probe = %s", b.State())
+	}
+}
+
+// TestBreakerProbeReleasedWithoutOutcome is the pool-level regression
+// for the probe leak: a half-open probe whose failure is not the kind's
+// fault (here a spec error, which the breaker never records) must not
+// pin the breaker half-open — the next submission probes and a healthy
+// backend closes the breaker.
+func TestBreakerProbeReleasedWithoutOutcome(t *testing.T) {
+	p := NewPool(Options{
+		Workers: 2, MaxAttempts: 1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	})
+	mode := "fail" // Do calls below are sequential; no locking needed
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		switch mode {
+		case "fail":
+			return nil, fmt.Errorf("%w: backend down", ErrTransient)
+		case "spec":
+			return nil, fmt.Errorf("%w: malformed netlist", ErrSpec)
+		}
+		return &Result{ID: c.Hash(), Kind: c.Kind, Spec: c}, nil
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.Do(context.Background(), smallEval(int64(i))); err == nil {
+			t.Fatal("expected failure while tripping the breaker")
+		}
+	}
+	if open, _ := p.BreakerOpen(); !open {
+		t.Fatal("breaker did not trip")
+	}
+
+	// After the cooldown the half-open probe runs but ends in a spec
+	// error — no breaker outcome is recorded.
+	time.Sleep(30 * time.Millisecond)
+	mode = "spec"
+	if _, err := p.Do(context.Background(), smallEval(10)); !errors.Is(err, ErrSpec) {
+		t.Fatalf("probe err = %v, want ErrSpec", err)
+	}
+
+	// Before the fix the probe slot leaked here and every further
+	// submission of the kind got ErrBreakerOpen until restart.
+	mode = "ok"
+	if _, err := p.Do(context.Background(), smallEval(11)); err != nil {
+		t.Fatalf("submission after unrecorded probe rejected: %v", err)
+	}
+	if open, _ := p.BreakerOpen(); open {
+		t.Error("breaker still open after successful follow-up probe")
+	}
+}
+
+// TestCallerDeadlineDoesNotTripBreaker: a client deadline shorter than
+// JobTimeout means the caller hung up — classified canceled, so it must
+// not count as a timeout or feed the kind's breaker.
+func TestCallerDeadlineDoesNotTripBreaker(t *testing.T) {
+	p := NewPool(Options{
+		Workers: 1, MaxAttempts: 3,
+		JobTimeout:       time.Second,
+		BreakerThreshold: 1,
+		RetryBase:        time.Millisecond, RetryMax: time.Millisecond,
+	})
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		<-ctx.Done() // slow but healthy: honours cancellation
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := p.Do(ctx, smallEval(1))
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if class := Classify(ctx, err); class != ClassCanceled {
+		t.Errorf("class = %s, want canceled (the caller's deadline, not the attempt's)", class)
+	}
+	if open, kinds := p.BreakerOpen(); open {
+		t.Errorf("an impatient client tripped the breaker: %v", kinds)
+	}
+	if got := p.Metrics().BreakerTrips.Load(); got != 0 {
+		t.Errorf("breaker trips = %d, want 0", got)
+	}
+	if got := p.Metrics().JobsTimedOut.Load(); got != 0 {
+		t.Errorf("timeouts = %d, want 0 (the job did not exceed JobTimeout)", got)
+	}
+}

@@ -55,7 +55,9 @@ const (
 // Classify buckets err. ctx is the job's outer context: an injected
 // context.Canceled while the caller is still waiting is a cancellation
 // storm (transient), whereas context.Canceled with ctx dead is the
-// caller hanging up (canceled).
+// caller hanging up (canceled). The same split applies to deadlines —
+// DeadlineExceeded with the caller's own deadline expired is the caller
+// hanging up, not an attempt timeout.
 func Classify(ctx context.Context, err error) Class {
 	switch {
 	case err == nil:
@@ -67,8 +69,15 @@ func Classify(ctx context.Context, err error) Class {
 	case errors.Is(err, ErrTransient),
 		errors.Is(err, ErrPanicked),
 		errors.Is(err, ErrWatchdog),
-		errors.Is(err, faultinject.ErrInjected),
-		errors.Is(err, context.DeadlineExceeded):
+		errors.Is(err, faultinject.ErrInjected):
+		return ClassTransient
+	case errors.Is(err, context.DeadlineExceeded):
+		// The attempt deadline (JobTimeout) is the pool's own and worth
+		// a retry; the caller's outer deadline means the caller gave up
+		// — an impatient client must not feed the kind's breaker.
+		if ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ClassCanceled
+		}
 		return ClassTransient
 	case errors.Is(err, context.Canceled):
 		if ctx != nil && ctx.Err() == nil {

@@ -157,11 +157,24 @@ func (j *Journal) Close() error {
 	return err
 }
 
+// MaxReplayGenerations bounds boot-time re-executions of one pending
+// job. Every replay re-journals the job's accept record, so the accept
+// count is a crash-generation marker: a job whose accept count keeps
+// growing without a terminal record is taking the process down on every
+// boot (OOM, runtime fatal — outside the panic fence). Rather than
+// crash-loop the daemon forever, recovery journals such a job as a
+// terminal failure and moves on.
+const MaxReplayGenerations = 3
+
 // Replayed is what a journal replay recovered.
 type Replayed struct {
 	// Pending are accepted jobs with no terminal record — work a crash
 	// interrupted, in acceptance order.
 	Pending []Spec
+	// PendingAccepts holds, parallel to Pending, how many accept records
+	// the journal carries for each pending job — one per boot that tried
+	// it, so accepts-1 is the number of replays already attempted.
+	PendingAccepts []int
 	// Completed are finished results, newest record winning, in
 	// completion order; replaying them re-warms the cache.
 	Completed []*Result
@@ -192,6 +205,7 @@ func ReplayJournal(dir string) (Replayed, error) {
 		failed   bool
 		order    int
 		terminal bool
+		accepts  int
 	}
 	byID := map[string]*entry{}
 	var order []string
@@ -220,6 +234,7 @@ func ReplayJournal(dir string) (Replayed, error) {
 		switch rec.Op {
 		case "accept":
 			e.spec = rec.Spec
+			e.accepts++
 		case "done":
 			e.result = rec.Result
 			e.failed = false
@@ -246,6 +261,7 @@ func ReplayJournal(dir string) (Replayed, error) {
 			rep.Completed = append(rep.Completed, e.result)
 		case e.spec != nil:
 			rep.Pending = append(rep.Pending, *e.spec)
+			rep.PendingAccepts = append(rep.PendingAccepts, e.accepts)
 		}
 	}
 	return rep, nil
@@ -316,6 +332,11 @@ type RecoverStats struct {
 	// SkippedTerminal counts journal jobs with terminal failure records
 	// (not re-run).
 	SkippedTerminal int
+	// ReplaysExhausted counts pending jobs skipped because they had
+	// already been replayed MaxReplayGenerations times — the poison-job
+	// signature of a boot-time crash loop. They are journaled as
+	// terminal failures, not re-run.
+	ReplaysExhausted int
 	// Truncated reports a torn final journal line was discarded.
 	Truncated bool
 }
@@ -340,9 +361,21 @@ func RecoverFromJournal(ctx context.Context, p *Pool, dir string) (RecoverStats,
 		p.metrics.JournalReplayedDone.Add(1)
 		stats.WarmedCache++
 	}
-	for _, spec := range rep.Pending {
+	for i, spec := range rep.Pending {
 		if err := ctx.Err(); err != nil {
 			return stats, err
+		}
+		// A pending job whose accept count already shows
+		// MaxReplayGenerations replays is crash-looping the boot path:
+		// journal it terminal (fsynced before any re-run, so the verdict
+		// survives yet another crash) and skip it.
+		if rep.PendingAccepts[i]-1 >= MaxReplayGenerations {
+			p.metrics.JournalReplaysExhausted.Add(1)
+			stats.ReplaysExhausted++
+			p.journalFail(spec.Hash(), fmt.Errorf(
+				"jobs: replay budget exhausted after %d generations (poison job)",
+				rep.PendingAccepts[i]-1), ClassFatal)
+			continue
 		}
 		p.metrics.JournalReplayedPending.Add(1)
 		stats.Resubmitted++

@@ -170,6 +170,103 @@ func TestJournalUnwritableDegrades(t *testing.T) {
 	}
 }
 
+// TestRecoveryFailsPoisonJobsTerminally: a pending job whose accept
+// count shows it has already been replayed MaxReplayGenerations times is
+// the crash-loop signature (it hard-kills the process on every boot, so
+// no terminal record ever lands). Recovery must fail it terminally and
+// move on instead of re-executing it forever.
+func TestRecoveryFailsPoisonJobsTerminally(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison, _ := smallEval(1).Canon()
+	healthy, _ := smallEval(2).Canon()
+	// One accept per boot generation: the original plus
+	// MaxReplayGenerations replays, none of which reached a terminal
+	// record.
+	for i := 0; i <= MaxReplayGenerations; i++ {
+		if err := j.Accept(poison.Hash(), poison); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A job one generation younger must still be replayed.
+	for i := 0; i < MaxReplayGenerations; i++ {
+		if err := j.Accept(healthy.Hash(), healthy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	p := NewPool(Options{Workers: 1, Journal: j2})
+	ran := map[string]int{}
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		ran[c.Hash()]++
+		return &Result{ID: c.Hash(), Kind: c.Kind, Spec: c}, nil
+	}
+	stats, err := RecoverFromJournal(context.Background(), p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReplaysExhausted != 1 {
+		t.Errorf("replays exhausted = %d, want 1", stats.ReplaysExhausted)
+	}
+	if stats.Resubmitted != 1 {
+		t.Errorf("resubmitted = %d, want only the healthy job", stats.Resubmitted)
+	}
+	if ran[poison.Hash()] != 0 {
+		t.Errorf("poison job re-executed %d times", ran[poison.Hash()])
+	}
+	if ran[healthy.Hash()] != 1 {
+		t.Errorf("healthy job ran %d times, want 1", ran[healthy.Hash()])
+	}
+	if got := p.Metrics().JournalReplaysExhausted.Load(); got != 1 {
+		t.Errorf("replays_exhausted metric = %d", got)
+	}
+
+	// The verdict converges: the next boot sees nothing pending — the
+	// poison job is terminal, the healthy one completed.
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 0 {
+		t.Errorf("post-recovery journal still has %d pending jobs", len(rep.Pending))
+	}
+}
+
+// TestReplayCountsAcceptGenerations: ReplayJournal reports one accept
+// per boot generation for pending jobs, the marker the poison cap keys
+// on.
+func TestReplayCountsAcceptGenerations(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := smallEval(1).Canon()
+	j.Accept(spec.Hash(), spec)
+	j.Accept(spec.Hash(), spec)
+	j.Close()
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 1 || len(rep.PendingAccepts) != 1 {
+		t.Fatalf("pending = %d, accepts = %d", len(rep.Pending), len(rep.PendingAccepts))
+	}
+	if rep.PendingAccepts[0] != 2 {
+		t.Errorf("accept generations = %d, want 2", rep.PendingAccepts[0])
+	}
+}
+
 // TestPoolJournalsLifecycle: accepted and completed jobs land in the
 // journal with enough to recover: the accept's canonical spec and the
 // done's full result.

@@ -31,12 +31,13 @@ type Metrics struct {
 	BreakerTrips         atomic.Int64 // breaker transitions to open
 	BreakerShortCircuits atomic.Int64 // submissions rejected by an open breaker
 
-	JournalAccepted        atomic.Int64 // accept records fsynced
-	JournalCompleted       atomic.Int64 // done records written
-	JournalFailed          atomic.Int64 // terminal fail records written
-	JournalErrors          atomic.Int64 // journal writes that failed (degraded durability)
-	JournalReplayedDone    atomic.Int64 // completed results re-warmed from the journal
-	JournalReplayedPending atomic.Int64 // pending jobs re-executed from the journal
+	JournalAccepted         atomic.Int64 // accept records fsynced
+	JournalCompleted        atomic.Int64 // done records written
+	JournalFailed           atomic.Int64 // terminal fail records written
+	JournalErrors           atomic.Int64 // journal writes that failed (degraded durability)
+	JournalReplayedDone     atomic.Int64 // completed results re-warmed from the journal
+	JournalReplayedPending  atomic.Int64 // pending jobs re-executed from the journal
+	JournalReplaysExhausted atomic.Int64 // poison jobs failed terminally after MaxReplayGenerations
 
 	mu    sync.Mutex
 	hists map[string]*Histogram
@@ -96,12 +97,13 @@ func (m *Metrics) Snapshot() map[string]any {
 		"short_circuits": m.BreakerShortCircuits.Load(),
 	}
 	journal := map[string]any{
-		"accepted":         m.JournalAccepted.Load(),
-		"completed":        m.JournalCompleted.Load(),
-		"failed":           m.JournalFailed.Load(),
-		"errors":           m.JournalErrors.Load(),
-		"replayed_done":    m.JournalReplayedDone.Load(),
-		"replayed_pending": m.JournalReplayedPending.Load(),
+		"accepted":          m.JournalAccepted.Load(),
+		"completed":         m.JournalCompleted.Load(),
+		"failed":            m.JournalFailed.Load(),
+		"errors":            m.JournalErrors.Load(),
+		"replayed_done":     m.JournalReplayedDone.Load(),
+		"replayed_pending":  m.JournalReplayedPending.Load(),
+		"replays_exhausted": m.JournalReplaysExhausted.Load(),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.hists))

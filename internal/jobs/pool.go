@@ -58,7 +58,11 @@ type Options struct {
 	RetryJitter float64
 	// WatchdogGrace is how long past JobTimeout the watchdog waits for
 	// a wedged attempt to honour cancellation before abandoning its
-	// goroutine and failing the attempt (default 2s).
+	// goroutine and failing the attempt (default 2s). Abandoned
+	// goroutines park until the wedge releases; once more than Workers
+	// are parked the pool fails watchdog errors fast instead of
+	// retrying, bounding the goroutine pile-up a persistent stall can
+	// build (see Pool.AbandonedInFlight).
 	WatchdogGrace time.Duration
 	// BreakerThreshold is the consecutive non-spec failures of one job
 	// kind that trip its circuit breaker (default 5; negative
@@ -95,6 +99,13 @@ type Pool struct {
 	// queued counts submissions waiting for a worker slot — the
 	// admission-control signal the HTTP layer sheds on.
 	queued atomic.Int64
+
+	// abandoned counts watchdog-abandoned attempts whose goroutines are
+	// still parked on whatever wedged them. Each holds working memory
+	// beyond the Workers limit, so once more than Workers are parked
+	// the pool stops retrying watchdog failures (fail fast) instead of
+	// stacking concurrent evaluations of a wedged backend without bound.
+	abandoned atomic.Int64
 
 	// runFn replaces Run in tests (nil means Run).
 	runFn func(ctx context.Context, c Spec, parallelism int) (*Result, error)
@@ -276,11 +287,31 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	}
 	p.metrics.CacheMisses.Add(1)
 
-	// An open breaker rejects the kind before any state is created.
+	// An open breaker rejects the kind before any state is created. If
+	// this submission took the half-open probe slot, it must end the
+	// probe on every exit path: record feeds an outcome to the breaker,
+	// and the deferred Release frees a probe that reached an exit with
+	// no recordable outcome (joined an in-flight twin, caller hung up,
+	// spec error, simulated kill) — otherwise the breaker would stay
+	// half-open with the probe slot taken and reject the kind forever.
 	br := p.breakerFor(c.Kind)
-	if br != nil && !br.Allow(time.Now()) {
-		p.metrics.BreakerShortCircuits.Add(1)
-		return nil, fmt.Errorf("%w (kind %s)", ErrBreakerOpen, c.Kind)
+	probe := false
+	if br != nil {
+		allowed, pr := br.Allow(time.Now())
+		if !allowed {
+			p.metrics.BreakerShortCircuits.Add(1)
+			return nil, fmt.Errorf("%w (kind %s)", ErrBreakerOpen, c.Kind)
+		}
+		probe = pr
+		defer func() {
+			if probe {
+				br.Release()
+			}
+		}()
+	}
+	record := func(ok bool) (tripped bool) {
+		probe = false
+		return br.Record(ok, time.Now())
 	}
 
 	p.mu.Lock()
@@ -326,7 +357,7 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 		res, err := p.runAttempt(ctx, c, id, attempt)
 		if err == nil {
 			if br != nil {
-				br.Record(true, time.Now())
+				record(true)
 			}
 			res.Attempts = attempt + 1
 			res.Service = p.metrics.ServiceCounters()
@@ -339,10 +370,24 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 		}
 
 		if errors.Is(err, context.DeadlineExceeded) {
-			p.metrics.JobsTimedOut.Add(1)
-			err = fmt.Errorf("jobs: job %s timed out after %v: %w", id[:12], p.opt.JobTimeout, err)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				// The caller's own deadline expired, not the attempt's:
+				// the caller gave up, the job did not time out.
+				err = fmt.Errorf("jobs: job %s abandoned at the caller's deadline: %w", id[:12], err)
+			} else {
+				p.metrics.JobsTimedOut.Add(1)
+				err = fmt.Errorf("jobs: job %s timed out after %v: %w", id[:12], p.opt.JobTimeout, err)
+			}
 		}
 		class := Classify(ctx, err)
+		if class.Retryable() && errors.Is(err, ErrWatchdog) && p.abandoned.Load() > int64(p.opt.Workers) {
+			// Too many abandoned goroutines are already parked: a retry
+			// would stack yet another concurrent evaluation on a wedged
+			// backend. Fail fast (and let the breaker see it) instead.
+			err = fmt.Errorf("jobs: %d watchdog-abandoned attempts still parked (cap %d), not retrying: %w",
+				p.abandoned.Load(), p.opt.Workers, err)
+			class = ClassFatal
+		}
 		if class.Retryable() && attempt+1 < p.opt.MaxAttempts && ctx.Err() == nil {
 			p.metrics.JobsRetried.Add(1)
 			if serr := p.backoff.Sleep(ctx, attempt); serr == nil {
@@ -357,7 +402,7 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 		// errors, caller cancellations, and simulated process kills are
 		// not failures of the kind.
 		if br != nil && (class == ClassTransient || class == ClassFatal) && !errors.Is(err, ErrKilled) {
-			if br.Record(false, time.Now()) {
+			if record(false) {
 				p.metrics.BreakerTrips.Add(1)
 			}
 		}
@@ -410,9 +455,17 @@ func (p *Pool) runAttempt(ctx context.Context, c Spec, id string, attempt int) (
 		err error
 	}
 	out := make(chan outcome, 1)
+	// settled decides the race between the attempt finishing and the
+	// watchdog firing: whoever wins the CAS owns the outcome. A losing
+	// attempt goroutine was abandoned — it decrements the parked-attempt
+	// gauge the watchdog incremented, once the wedge finally lets go.
+	var settled atomic.Bool
 	go func() {
 		res, err := p.safeRun(runCtx, poolKey, c)
 		out <- outcome{res, err}
+		if !settled.CompareAndSwap(false, true) {
+			p.abandoned.Add(-1)
+		}
 	}()
 
 	wd := time.NewTimer(p.opt.JobTimeout + p.opt.WatchdogGrace)
@@ -421,6 +474,12 @@ func (p *Pool) runAttempt(ctx context.Context, c Spec, id string, attempt int) (
 	case o := <-out:
 		return o.res, o.err
 	case <-wd.C:
+		if !settled.CompareAndSwap(false, true) {
+			// The attempt finished in the same instant the timer fired.
+			o := <-out
+			return o.res, o.err
+		}
+		p.abandoned.Add(1)
 		p.metrics.JobsAbandoned.Add(1)
 		return nil, fmt.Errorf("%w: job %s attempt %d ignored its %v deadline for %v",
 			ErrWatchdog, id[:12], attempt+1, p.opt.JobTimeout, p.opt.WatchdogGrace)
@@ -486,6 +545,13 @@ func (p *Pool) BreakerStates() map[string]string {
 // QueueDepth reports submissions waiting for a worker slot — the load
 // signal admission control sheds on.
 func (p *Pool) QueueDepth() int { return int(p.queued.Load()) }
+
+// AbandonedInFlight reports watchdog-abandoned attempts whose goroutines
+// are still parked on whatever wedged them — an operator alert signal:
+// a persistently nonzero value means evaluations are ignoring
+// cancellation. Once it exceeds Workers the pool stops retrying
+// watchdog failures and fails them fast instead.
+func (p *Pool) AbandonedInFlight() int { return int(p.abandoned.Load()) }
 
 // InFlight reports jobs accepted but not yet finished (queued or
 // running).

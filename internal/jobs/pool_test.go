@@ -178,3 +178,47 @@ func TestPoolRegistryEviction(t *testing.T) {
 		t.Error("newest job missing")
 	}
 }
+
+// TestAbandonedAttemptsBounded: under a persistent wedge, watchdog
+// retries stop once more than Workers abandoned goroutines are parked —
+// the job fails fast instead of stacking concurrent evaluations without
+// bound — and the AbandonedInFlight gauge drains once the wedge lets go.
+func TestAbandonedAttemptsBounded(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(Options{
+		Workers: 1, MaxAttempts: 5,
+		JobTimeout:    10 * time.Millisecond,
+		WatchdogGrace: 10 * time.Millisecond,
+		RetryBase:     time.Millisecond, RetryMax: time.Millisecond,
+	})
+	p.runFn = func(ctx context.Context, c Spec, _ int) (*Result, error) {
+		<-block // wedged: ignores cancellation entirely
+		return nil, errors.New("wedge released")
+	}
+	_, err := p.Do(context.Background(), smallEval(1))
+	if err == nil || !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	// Workers=1 admits one parked goroutine: the first abandon retries,
+	// the second fails fast rather than parking a third.
+	if got := p.Metrics().JobsAbandoned.Load(); got != 2 {
+		t.Errorf("abandoned = %d, want 2 (one retry, then fail-fast)", got)
+	}
+	if got := p.Metrics().JobsRetried.Load(); got != 1 {
+		t.Errorf("retried = %d, want 1", got)
+	}
+	if got := p.AbandonedInFlight(); got != 2 {
+		t.Errorf("abandoned in flight = %d, want 2", got)
+	}
+
+	// Releasing the wedge lets the parked goroutines finish and drain
+	// the gauge back to zero.
+	close(block)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.AbandonedInFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned in flight stuck at %d", p.AbandonedInFlight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

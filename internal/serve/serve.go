@@ -252,11 +252,12 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 // would run without crash safety).
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
-		"status":          "ok",
-		"workers":         h.pool.Workers(),
-		"queue_depth":     h.pool.QueueDepth(),
-		"inflight":        h.pool.InFlight(),
-		"journal_healthy": h.pool.Journal().Healthy(),
+		"status":              "ok",
+		"workers":             h.pool.Workers(),
+		"queue_depth":         h.pool.QueueDepth(),
+		"inflight":            h.pool.InFlight(),
+		"abandoned_in_flight": h.pool.AbandonedInFlight(),
+		"journal_healthy":     h.pool.Journal().Healthy(),
 	}
 	status := http.StatusOK
 	if open, kinds := h.pool.BreakerOpen(); open {
@@ -279,6 +280,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["workers"] = h.pool.Workers()
 	snap["queue_depth"] = h.pool.QueueDepth()
 	snap["inflight"] = h.pool.InFlight()
+	snap["abandoned_in_flight"] = h.pool.AbandonedInFlight()
 	snap["pending_requests"] = h.pending.Load()
 	snap["breakers"] = h.pool.BreakerStates()
 	writeJSON(w, http.StatusOK, snap)

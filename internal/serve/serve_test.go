@@ -512,12 +512,13 @@ func TestMetricsExposesRobustnessCounters(t *testing.T) {
 		t.Fatalf("metrics journal block: %v", snap["journal"])
 	}
 	for _, key := range []string{"accepted", "completed", "failed", "errors",
-		"replayed_done", "replayed_pending"} {
+		"replayed_done", "replayed_pending", "replays_exhausted"} {
 		if _, ok := journal[key]; !ok {
 			t.Errorf("journal.%s missing from /metrics", key)
 		}
 	}
-	for _, key := range []string{"queue_depth", "inflight", "pending_requests", "breakers"} {
+	for _, key := range []string{"queue_depth", "inflight", "abandoned_in_flight",
+		"pending_requests", "breakers"} {
 		if _, ok := snap[key]; !ok {
 			t.Errorf("%s missing from /metrics", key)
 		}
