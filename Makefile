@@ -35,10 +35,13 @@ bench:
 # pure function of the fixed seed matrix {1, 7, 42} baked into the
 # tests, so failures reproduce exactly. -count=1 defeats test caching —
 # a chaos proof from a previous build proves nothing about this one.
+# internal/cluster contributes the sharding chaos tests: a 3-node
+# in-process cluster with the owner killed mid-run (fallback) or running
+# slow (hedged), results byte-identical to the single-node reference.
 chaos:
 	$(GO) test -race -count=1 \
 		-run 'TestChaos|TestKillAndRestart|TestWatchdog|TestBreaker|TestOverload|TestPerClient|TestHealthzDegrades' \
-		./internal/jobs/ ./internal/serve/
+		./internal/jobs/ ./internal/serve/ ./internal/cluster/
 
 # Short fuzz passes over the two hardened trust boundaries: the
 # structural-Verilog reader and job-spec canonicalization. CI-sized;

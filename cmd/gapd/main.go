@@ -8,13 +8,22 @@
 //
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
 //	     [-journal DIR] [-drain-timeout 30s] [-max-queue N] [-max-per-client N]
+//	     [-node-id ID -peers ID=URL,...] [-hedge-after 50ms] [-version]
 //
 // With -journal, every accepted job is written ahead to an fsynced JSONL
 // log in DIR; on boot the journal is replayed — completed results re-warm
 // the cache, jobs interrupted by a crash are re-executed — before the
-// server starts listening. The server drains in-flight jobs and exits
-// cleanly on SIGINT/SIGTERM, syncing the journal and logging the count of
-// jobs still in flight when the drain deadline expires.
+// server starts listening. SIGHUP compacts the journal on demand. The
+// server drains in-flight jobs and exits cleanly on SIGINT/SIGTERM,
+// syncing the journal and logging the count of jobs still in flight when
+// the drain deadline expires.
+//
+// With -peers (a static membership of id=url pairs including this node,
+// named by -node-id), N gapd processes become one sharded service: each
+// spec has one owner by rendezvous hashing over its content address,
+// requests are forwarded to their owners (hedged past -hedge-after), and
+// a dead owner's slice is computed by the next node in order — see
+// internal/cluster.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/serve"
 )
@@ -46,7 +56,25 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond workers before shedding 429s (0 = 4x workers, negative disables)")
 	maxPerClient := flag.Int("max-per-client", 0, "concurrent submissions per client (0 = 2x workers, negative disables)")
 	maxAttempts := flag.Int("max-attempts", 0, "attempts per job incl. retries (0 = 3)")
+	nodeID := flag.String("node-id", "", "this node's id within -peers (required with -peers)")
+	peersFlag := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs incl. this node (empty = single node)")
+	hedgeAfter := flag.Duration("hedge-after", 50*time.Millisecond, "latency threshold before a forwarded request is hedged to the next node in rendezvous order (negative disables)")
+	showVersion := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		v := serve.Version()
+		fmt.Printf("gapd %s (%s, %s)", v.Version, v.Module, v.GoVersion)
+		if v.Revision != "" {
+			dirty := ""
+			if v.Modified {
+				dirty = "+dirty"
+			}
+			fmt.Printf(" rev %s%s", v.Revision, dirty)
+		}
+		fmt.Println()
+		return
+	}
 
 	var journal *jobs.Journal
 	if *journalDir != "" {
@@ -88,8 +116,50 @@ func main() {
 		}
 	}
 
+	// SIGHUP compacts the journal on demand: duplicate accepts and
+	// terminal-failure history collapse while pending work survives.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if journal == nil {
+				log.Printf("gapd: SIGHUP: no journal configured, nothing to compact")
+				continue
+			}
+			st, err := journal.CompactNow()
+			if err != nil {
+				log.Printf("gapd: SIGHUP compaction failed: %v", err)
+				continue
+			}
+			log.Printf("gapd: SIGHUP compaction: %d -> %d bytes (%d done kept, %d pending kept, %d failed dropped)",
+				st.BeforeBytes, st.AfterBytes, st.Completed, st.PendingKept, st.DroppedFailed)
+		}
+	}()
+
+	var clu *cluster.Cluster
+	if *peersFlag != "" {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+			os.Exit(1)
+		}
+		clu, err = cluster.New(cluster.Options{
+			SelfID:         *nodeID,
+			Peers:          peers,
+			HedgeAfter:     *hedgeAfter,
+			RequestTimeout: *reqTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+			os.Exit(1)
+		}
+		clu.Start(ctx)
+		defer clu.Close()
+	}
+
 	handler := serve.NewHandler(serve.Options{
 		Pool:           pool,
+		Cluster:        clu,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
 		MaxQueueDepth:  *maxQueue,
@@ -105,6 +175,10 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
+		if clu != nil {
+			log.Printf("gapd: node %s in a %d-node cluster (hedge after %v)",
+				clu.Self(), len(clu.Ring().Peers()), *hedgeAfter)
+		}
 		log.Printf("gapd: listening on %s (%d workers, cache %d entries, job timeout %v, journal %q)",
 			*addr, pool.Workers(), pool.Cache().Cap(), *timeout, *journalDir)
 		errCh <- srv.ListenAndServe()

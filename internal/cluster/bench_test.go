@@ -1,0 +1,94 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkOwnerLookup measures the routing hot path: one Owner call per
+// request on every node. The acceptance bar is sub-microsecond with zero
+// allocations — cheap enough that sharding adds no measurable CPU to a
+// request (numbers recorded in EXPERIMENTS.md).
+func BenchmarkOwnerLookup(b *testing.B) {
+	for _, peers := range []int{3, 5, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			ps := make([]cluster.Peer, peers)
+			for i := range ps {
+				ps[i] = cluster.Peer{ID: fmt.Sprintf("node-%02d", i), URL: "http://x"}
+			}
+			r := cluster.NewRing(ps, 0)
+			keys := make([]string, 256)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("%064x", i*2654435761)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r.Owner(keys[i%len(keys)]) == "" {
+					b.Fatal("empty owner")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRank measures the full routing decision (owner plus the
+// hedge/fallback order) — the path taken when a request must forward.
+func BenchmarkRank(b *testing.B) {
+	ps := make([]cluster.Peer, 5)
+	for i := range ps {
+		ps[i] = cluster.Peer{ID: fmt.Sprintf("node-%02d", i), URL: "http://x"}
+	}
+	r := cluster.NewRing(ps, 0)
+	key := fmt.Sprintf("%064x", 123456789)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Rank(key)) != 5 {
+			b.Fatal("short rank")
+		}
+	}
+}
+
+// BenchmarkClusterForwarding measures one whole forwarded request — an
+// entry node proxying a cache-warm evaluate to its owner over real HTTP —
+// which bounds the latency tax of landing on the wrong shard.
+func BenchmarkClusterForwarding(b *testing.B) {
+	nodes := startCluster(b, 2, nil)
+	spec := clusterBatch(13)[0]
+	owner := nodes[0]
+	if nodes[0].clu.Ring().Owner(spec.Hash()) != nodes[0].id {
+		owner = nodes[1]
+	}
+	entry := otherThan(nodes, owner)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() {
+		resp, err := http.Post(entry.srv.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // warm the owner's cache so the benchmark isolates forwarding
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	if got := entry.clu.Metrics().Counters()["cluster_forwarded"]; got < int64(b.N) {
+		b.Fatalf("forwarded %d < %d requests", got, b.N)
+	}
+}

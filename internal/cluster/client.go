@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// maxPeerResponse bounds a forwarded response body (a full ladder
+// result is well under 1 MiB; 8 MiB leaves room without letting a
+// misbehaving peer balloon memory).
+const maxPeerResponse = 8 << 20
+
+// PeerError is a failed peer request, carrying the peer, the HTTP
+// status (0 for transport failures), and a wrapped marker from the
+// jobs failure taxonomy so callers can errors.Is their way to a verdict:
+// jobs.ErrSpec means the peer ran the job and the job itself is invalid
+// (relay, do not retry elsewhere — determinism makes the verdict exact
+// on every node); jobs.ErrPeerUnavailable means the peer could not
+// answer (try the next node in rendezvous order, or compute locally).
+type PeerError struct {
+	Peer   string
+	Status int
+	Msg    string
+	err    error
+}
+
+func (e *PeerError) Error() string {
+	if e.Status == 0 {
+		return fmt.Sprintf("cluster: peer %s: %s", e.Peer, e.Msg)
+	}
+	return fmt.Sprintf("cluster: peer %s answered %d: %s", e.Peer, e.Status, e.Msg)
+}
+
+func (e *PeerError) Unwrap() error { return e.err }
+
+// peerUnavailable builds the availability-class PeerError.
+func peerUnavailable(peer string, status int, msg string) *PeerError {
+	return &PeerError{Peer: peer, Status: status, Msg: msg, err: jobs.ErrPeerUnavailable}
+}
+
+// doRequest proxies one spec to one peer and maps the outcome onto the
+// jobs error taxonomy.
+func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byte) (*jobs.Result, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, p.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, err.Error())
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, err.Error())
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, "reading response: "+err.Error())
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := resp.Status
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			// The peer ran the spec and rejected it; every node would —
+			// evaluation is deterministic — so the verdict is terminal.
+			return nil, &PeerError{Peer: p.ID, Status: resp.StatusCode, Msg: msg, err: jobs.ErrSpec}
+		}
+		// 429 (peer shedding), 5xx (peer breaker open, internal error,
+		// peer-side timeout): the peer cannot answer this request now.
+		// Availability beats affinity — the caller moves down the
+		// rendezvous order or computes locally.
+		return nil, peerUnavailable(p.ID, resp.StatusCode, msg)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, peerUnavailable(p.ID, resp.StatusCode, "undecodable response: "+err.Error())
+	}
+	return &res, nil
+}
+
+// Forward proxies the spec to the route's targets with hedged reads:
+// the acting owner is asked first; if it sits unanswered past
+// HedgeAfter, the next node in rendezvous order is raced against it and
+// the first success wins — exact, because evaluation is deterministic
+// and content-addressed, so any node computes byte-identical results.
+// A target that fails with an availability error is replaced by the
+// next one immediately (no hedge wait). Terminal verdicts (the peer ran
+// the job and the spec itself is bad) are returned as-is. When every
+// target is unavailable, the first availability error is returned
+// wrapping jobs.ErrPeerUnavailable — the caller's cue to compute
+// locally.
+func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt Route) (*jobs.Result, error) {
+	if len(rt.Targets) == 0 {
+		return nil, peerUnavailable(rt.Owner, 0, "no usable peer")
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal spec: %w", err)
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // the winner cancels every straggler
+
+	type attempt struct {
+		peer Peer
+		res  *jobs.Result
+		err  error
+	}
+	out := make(chan attempt, len(rt.Targets))
+	next := 0
+	launch := func() {
+		p := rt.Targets[next]
+		next++
+		go func() {
+			res, err := c.doRequest(raceCtx, p, path, body)
+			out <- attempt{p, res, err}
+		}()
+	}
+	launch()
+
+	hedge := time.NewTimer(c.hedgeDelay())
+	defer hedge.Stop()
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case a := <-out:
+			outstanding--
+			if a.err == nil {
+				c.members.reportSuccess(a.peer.ID)
+				return a.res, nil
+			}
+			if errors.Is(a.err, jobs.ErrSpec) {
+				return nil, a.err
+			}
+			if raceCtx.Err() == nil {
+				// A real peer failure, not a canceled straggler.
+				c.members.reportFailure(a.peer.ID, a.err)
+				c.metrics.ForwardErrors.Add(1)
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if next < len(rt.Targets) {
+				launch()
+				outstanding++
+			} else if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedge.C:
+			if next < len(rt.Targets) {
+				c.metrics.Hedged.Add(1)
+				launch()
+				outstanding++
+				hedge.Reset(c.hedgeDelay())
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay returns the hedge threshold, with hedging effectively
+// disabled by a negative HedgeAfter.
+func (c *Cluster) hedgeDelay() time.Duration {
+	if c.hedgeAfter < 0 {
+		return 365 * 24 * time.Hour
+	}
+	return c.hedgeAfter
+}

@@ -1,0 +1,296 @@
+// Package cluster turns N independent gapd processes into one sharded
+// evaluation service. Membership is a static peer list health-probed
+// over /healthz; ownership is rendezvous hashing over the job's
+// content address (a pure function of the peer set and the spec hash,
+// so every node agrees with zero coordination); requests for specs
+// another node owns are forwarded over HTTP with hedged reads (race the
+// owner against the next node in rendezvous order once it runs slow —
+// exact, because evaluation is deterministic and content-addressed);
+// and when the owner is dead the next node in order computes locally,
+// trading warm-cache throughput for availability, never the reverse.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ForwardedHeader marks a request already proxied once by a peer. A
+// receiving node serves such a request locally no matter who owns it —
+// the one-hop loop guard that makes divergent health views safe.
+const ForwardedHeader = "X-Gapd-Forwarded"
+
+// Peer is one static cluster member.
+type Peer struct {
+	// ID names the node (must be unique across the cluster).
+	ID string `json:"id"`
+	// URL is the node's base HTTP address (e.g. http://host:8080).
+	URL string `json:"url"`
+	// Weight scales the node's ownership share via virtual nodes
+	// (default 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// SelfID names this node; it must appear in Peers.
+	SelfID string
+	// Peers is the full static membership, including this node.
+	Peers []Peer
+	// HedgeAfter is how long a forwarded request may sit unanswered
+	// before a hedge is raced against the next node in rendezvous order
+	// (default 50ms; negative disables hedging).
+	HedgeAfter time.Duration
+	// RequestTimeout caps one forwarded request (default 2 minutes).
+	RequestTimeout time.Duration
+	// ProbeInterval spaces the periodic /healthz probes (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout caps one probe (default 1s).
+	ProbeTimeout time.Duration
+	// DeadAfter is the consecutive probe/forward failures that declare
+	// a peer dead (default 3).
+	DeadAfter int
+	// MaxConnsPerPeer bounds the connection pool per peer (default 16).
+	MaxConnsPerPeer int
+	// MaxTargets caps the forward chain per request: the acting owner
+	// plus hedge/fallback candidates in rendezvous order (default 3).
+	MaxTargets int
+	// VNodes is the virtual-node multiplier per unit of peer weight
+	// (default DefaultVNodes).
+	VNodes int
+	// Metrics receives the routing counters; nil allocates a private
+	// set (retrievable via Cluster.Metrics).
+	Metrics *Metrics
+}
+
+// Cluster is one node's view of the sharded service: the ownership
+// ring, the health-tracked membership, and the forwarding client.
+type Cluster struct {
+	self       string
+	hedgeAfter time.Duration
+	maxTargets int
+	peers      map[string]Peer
+	ring       *Ring
+	members    *membership
+	hc         *http.Client
+	reqTimeout time.Duration
+	metrics    *Metrics
+}
+
+// New validates opt and builds the node's cluster view. Call Start to
+// begin health probing and Close to stop it.
+func New(opt Options) (*Cluster, error) {
+	if len(opt.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	byID := make(map[string]Peer, len(opt.Peers))
+	for _, p := range opt.Peers {
+		if p.ID == "" || p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer with empty id or url: %+v", p)
+		}
+		if _, dup := byID[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		p.URL = strings.TrimRight(p.URL, "/")
+		byID[p.ID] = p
+	}
+	if _, ok := byID[opt.SelfID]; !ok {
+		return nil, fmt.Errorf("cluster: self id %q not in peer list", opt.SelfID)
+	}
+	if opt.HedgeAfter == 0 {
+		opt.HedgeAfter = 50 * time.Millisecond
+	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 2 * time.Minute
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = time.Second
+	}
+	if opt.DeadAfter <= 0 {
+		opt.DeadAfter = 3
+	}
+	if opt.MaxConnsPerPeer <= 0 {
+		opt.MaxConnsPerPeer = 16
+	}
+	if opt.MaxTargets <= 0 {
+		opt.MaxTargets = 3
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = NewMetrics()
+	}
+	normalized := make([]Peer, 0, len(byID))
+	for _, p := range opt.Peers {
+		normalized = append(normalized, byID[p.ID])
+	}
+	c := &Cluster{
+		self:       opt.SelfID,
+		hedgeAfter: opt.HedgeAfter,
+		maxTargets: opt.MaxTargets,
+		peers:      byID,
+		ring:       NewRing(normalized, opt.VNodes),
+		members:    newMembership(opt.SelfID, normalized, opt.ProbeInterval, opt.ProbeTimeout, opt.DeadAfter),
+		reqTimeout: opt.RequestTimeout,
+		metrics:    opt.Metrics,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        opt.MaxConnsPerPeer * len(byID),
+				MaxIdleConnsPerHost: opt.MaxConnsPerPeer,
+				MaxConnsPerHost:     opt.MaxConnsPerPeer,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	return c, nil
+}
+
+// ParsePeers parses the -peers flag format: comma-separated id=url
+// pairs, e.g. "a=http://h1:8080,b=http://h2:8080".
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		peers = append(peers, Peer{ID: strings.TrimSpace(id), URL: strings.TrimSpace(url)})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list %q", s)
+	}
+	return peers, nil
+}
+
+// Start begins periodic health probing.
+func (c *Cluster) Start(ctx context.Context) { c.members.start(ctx) }
+
+// Close stops health probing and releases idle connections.
+func (c *Cluster) Close() {
+	c.members.stop()
+	c.hc.CloseIdleConnections()
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// Metrics returns the cluster's routing counters.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Ring returns the ownership ring (for tests and ownership stats).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Route is one routing decision for a spec hash.
+type Route struct {
+	// Owner is the true owner: first in rendezvous order over the full
+	// static peer set, dead or alive.
+	Owner string
+	// Local reports that this node should compute the job itself.
+	Local bool
+	// Fallback reports that the serving node is not the true owner —
+	// the owner was dead at route time, so the cluster trades the warm
+	// cache for availability.
+	Fallback bool
+	// Targets are the forward candidates in rendezvous order (acting
+	// owner first), set only when Local is false.
+	Targets []Peer
+}
+
+// Route decides where the spec with the given content address runs:
+// locally when this node is the first usable peer in rendezvous order,
+// otherwise forwarded along Targets. Dead peers are skipped (degraded
+// ones are not); if every peer looks dead the node serves locally, so
+// the cluster can lose throughput but never availability.
+func (c *Cluster) Route(hash string) Route {
+	rank := c.ring.Rank(hash)
+	rt := Route{Owner: rank[0]}
+	acting := c.self
+	for _, id := range rank {
+		if c.members.usable(id) {
+			acting = id
+			break
+		}
+	}
+	rt.Fallback = acting != rt.Owner
+	if acting == c.self {
+		rt.Local = true
+		return rt
+	}
+	started := false
+	for _, id := range rank {
+		if !started {
+			if id != acting {
+				continue
+			}
+			started = true
+		}
+		if id == c.self || !c.members.usable(id) {
+			continue
+		}
+		rt.Targets = append(rt.Targets, c.peers[id])
+		if len(rt.Targets) == c.maxTargets {
+			break
+		}
+	}
+	return rt
+}
+
+// OwnershipStats summarizes the ring balance for GET /v1/cluster.
+type OwnershipStats struct {
+	Sample int                `json:"sample"`
+	Shares map[string]float64 `json:"shares"`
+}
+
+// Status is the GET /v1/cluster payload: membership with live health,
+// ownership balance, and the routing counters.
+type Status struct {
+	Self         string           `json:"self"`
+	HedgeAfterMS float64          `json:"hedge_after_ms"`
+	Peers        []PeerStatus     `json:"peers"`
+	Ownership    OwnershipStats   `json:"ownership"`
+	Counters     map[string]int64 `json:"counters"`
+}
+
+// Status snapshots the node's cluster view.
+func (c *Cluster) Status() Status {
+	const sample = 1024
+	return Status{
+		Self:         c.self,
+		HedgeAfterMS: float64(c.hedgeAfter) / float64(time.Millisecond),
+		Peers:        c.members.snapshot(),
+		Ownership:    OwnershipStats{Sample: sample, Shares: c.ring.Shares(sample)},
+		Counters:     c.metrics.Counters(),
+	}
+}
+
+// MetricsSnapshot renders the cluster block of GET /metrics: the
+// routing counters plus a per-peer health gauge (up: 1 for alive or
+// degraded, 0 for dead).
+func (c *Cluster) MetricsSnapshot() map[string]any {
+	snap := make(map[string]any, 8)
+	for k, v := range c.metrics.Counters() {
+		snap[k] = v
+	}
+	peers := make(map[string]any, len(c.peers))
+	for _, ps := range c.members.snapshot() {
+		up := 1
+		if ps.Health == HealthDead {
+			up = 0
+		}
+		peers[ps.ID] = map[string]any{
+			"health":               string(ps.Health),
+			"up":                   up,
+			"consecutive_failures": ps.ConsecutiveFails,
+		}
+	}
+	snap["peers"] = peers
+	return snap
+}

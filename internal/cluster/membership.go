@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health is a peer's observed availability.
+type Health string
+
+// Peer health states. Degraded peers are still routed to — a node whose
+// breaker is open or whose journal is unwritable answers cached reads
+// fine — only dead peers are skipped at route time.
+const (
+	HealthAlive    Health = "alive"
+	HealthDegraded Health = "degraded"
+	HealthDead     Health = "dead"
+)
+
+// PeerStatus is the JSON view of one peer's membership state
+// (GET /v1/cluster).
+type PeerStatus struct {
+	ID               string `json:"id"`
+	URL              string `json:"url"`
+	Weight           int    `json:"weight"`
+	Health           Health `json:"health"`
+	ConsecutiveFails int    `json:"consecutive_failures"`
+	LastProbe        string `json:"last_probe,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// peerState is one peer's mutable health record.
+type peerState struct {
+	peer      Peer
+	health    Health
+	fails     int
+	lastProbe time.Time
+	lastErr   string
+}
+
+// membership tracks the static peer list and each peer's health, fed by
+// two signals: periodic /healthz probes, and passive reports from the
+// forwarding client (a failed forward counts like a failed probe, so a
+// crashed peer is declared dead without waiting out probe intervals).
+type membership struct {
+	self      string
+	order     []string // peer ids in config order (for stable snapshots)
+	interval  time.Duration
+	timeout   time.Duration
+	deadAfter int
+	hc        *http.Client
+
+	mu     sync.Mutex
+	states map[string]*peerState
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newMembership(self string, peers []Peer, interval, timeout time.Duration, deadAfter int) *membership {
+	m := &membership{
+		self:      self,
+		interval:  interval,
+		timeout:   timeout,
+		deadAfter: deadAfter,
+		hc:        &http.Client{Timeout: timeout},
+		states:    make(map[string]*peerState, len(peers)),
+	}
+	for _, p := range peers {
+		m.order = append(m.order, p.ID)
+		// Optimistic start: peers are presumed alive until probes or
+		// forward failures say otherwise, so a cold cluster routes
+		// immediately.
+		m.states[p.ID] = &peerState{peer: p, health: HealthAlive}
+	}
+	return m
+}
+
+// start launches the probe loop: one immediate sweep, then one per
+// interval, until ctx is canceled or stop is called.
+func (m *membership) start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	m.cancel = cancel
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		m.probeAll(ctx)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.probeAll(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// stop ends the probe loop and waits for it to exit.
+func (m *membership) stop() {
+	if m.cancel == nil {
+		return
+	}
+	m.cancel()
+	<-m.done
+}
+
+// probeAll probes every non-self peer concurrently.
+func (m *membership) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, id := range m.order {
+		if id == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			m.probe(ctx, id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// probe GETs one peer's /healthz and folds the verdict into its state:
+// 200 is alive, 503 is degraded-but-answering, anything else (including
+// transport errors) counts toward the dead threshold.
+func (m *membership) probe(ctx context.Context, id string) {
+	m.mu.Lock()
+	url := m.states[id].peer.URL
+	m.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		m.record(id, HealthDead, err.Error())
+		return
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		m.record(id, HealthDead, err.Error())
+		return
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		m.record(id, HealthAlive, "")
+	case http.StatusServiceUnavailable:
+		m.record(id, HealthDegraded, "")
+	default:
+		m.record(id, HealthDead, resp.Status)
+	}
+}
+
+// record folds one observation into the peer's state. Failure verdicts
+// (HealthDead) only demote the peer after deadAfter consecutive
+// failures; success verdicts reset the count immediately.
+func (m *membership) record(id string, verdict Health, errMsg string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.states[id]
+	if !ok {
+		return
+	}
+	st.lastProbe = time.Now()
+	st.lastErr = errMsg
+	switch verdict {
+	case HealthAlive, HealthDegraded:
+		st.fails = 0
+		st.health = verdict
+	case HealthDead:
+		st.fails++
+		if st.fails >= m.deadAfter {
+			st.health = HealthDead
+		}
+	}
+}
+
+// reportSuccess is the passive health signal from a successful forward.
+func (m *membership) reportSuccess(id string) { m.record(id, HealthAlive, "") }
+
+// reportFailure is the passive health signal from a failed forward.
+func (m *membership) reportFailure(id string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	m.record(id, HealthDead, msg)
+}
+
+// usable reports whether id may be routed to: self is always usable,
+// other peers until they are declared dead.
+func (m *membership) usable(id string) bool {
+	if id == m.self {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.states[id]
+	return ok && st.health != HealthDead
+}
+
+// health returns the peer's current state (self is always alive).
+func (m *membership) health(id string) Health {
+	if id == m.self {
+		return HealthAlive
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.states[id]; ok {
+		return st.health
+	}
+	return HealthDead
+}
+
+// snapshot renders every peer's state in config order.
+func (m *membership) snapshot() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerStatus, 0, len(m.order))
+	for _, id := range m.order {
+		st := m.states[id]
+		ps := PeerStatus{
+			ID:               id,
+			URL:              st.peer.URL,
+			Weight:           max(st.peer.Weight, 1),
+			Health:           st.health,
+			ConsecutiveFails: st.fails,
+			LastError:        st.lastErr,
+		}
+		if id == m.self {
+			ps.Health = HealthAlive
+			ps.ConsecutiveFails = 0
+			ps.LastError = ""
+		}
+		if !st.lastProbe.IsZero() {
+			ps.LastProbe = st.lastProbe.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, ps)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics counts the cluster routing decisions GET /metrics exposes.
+// All fields are safe for concurrent use.
+type Metrics struct {
+	// Forwarded counts requests proxied to a peer and answered by one.
+	Forwarded atomic.Int64
+	// Local counts requests this node served itself (it owned the spec,
+	// or the request arrived already forwarded).
+	Local atomic.Int64
+	// Hedged counts hedge requests launched because the current target
+	// sat past the latency threshold.
+	Hedged atomic.Int64
+	// Fallback counts requests served away from their true owner — the
+	// owner was dead or unreachable, so the next node in rendezvous
+	// order (possibly this one) computed without the warm cache.
+	Fallback atomic.Int64
+	// ForwardErrors counts individual peer requests that failed with an
+	// availability error (transport failure, 429/5xx).
+	ForwardErrors atomic.Int64
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Counters snapshots the counters under the exact names the /metrics
+// contract documents.
+func (m *Metrics) Counters() map[string]int64 {
+	return map[string]int64{
+		"cluster_forwarded": m.Forwarded.Load(),
+		"cluster_local":     m.Local.Load(),
+		"cluster_hedged":    m.Hedged.Load(),
+		"cluster_fallback":  m.Fallback.Load(),
+		"forward_errors":    m.ForwardErrors.Load(),
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns n deterministic pseudo-random hex keys shaped like
+// spec hashes.
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x%016x%016x",
+			rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+func testPeers(ids ...string) []Peer {
+	peers := make([]Peer, len(ids))
+	for i, id := range ids {
+		peers[i] = Peer{ID: id, URL: "http://" + id}
+	}
+	return peers
+}
+
+// TestOwnershipPureFunction is the coordination-free acceptance test:
+// rings built from any permutation of the same peer set assign every one
+// of 1k keys the same owner and the same full rendezvous order, so N
+// nodes agree without talking to each other.
+func TestOwnershipPureFunction(t *testing.T) {
+	peers := testPeers("a", "b", "c", "d", "e")
+	keys := testKeys(1000)
+	ref := NewRing(peers, 0)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]Peer(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		r := NewRing(shuffled, 0)
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d key %s: owner %q != %q", trial, k[:12], got, want)
+			}
+			got, want := r.Rank(k), ref.Rank(k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d key %s: rank %v != %v", trial, k[:12], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRankIsOwnerFirstAndComplete: Rank[0] agrees with Owner and the
+// rank covers every peer exactly once.
+func TestRankIsOwnerFirstAndComplete(t *testing.T) {
+	r := NewRing(testPeers("a", "b", "c"), 0)
+	for _, k := range testKeys(200) {
+		rank := r.Rank(k)
+		if len(rank) != 3 {
+			t.Fatalf("rank length %d", len(rank))
+		}
+		if rank[0] != r.Owner(k) {
+			t.Fatalf("key %s: rank[0] %q != owner %q", k[:12], rank[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range rank {
+			if seen[id] {
+				t.Fatalf("key %s: duplicate %q in rank", k[:12], id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyRemovedPeer is the minimal-disruption property
+// that keeps caches warm across a peer death: dropping one peer moves
+// exactly the keys that peer owned, and every surviving key keeps its
+// owner.
+func TestRemovalRemapsOnlyRemovedPeer(t *testing.T) {
+	full := NewRing(testPeers("a", "b", "c", "d", "e"), 0)
+	without := NewRing(testPeers("a", "b", "d", "e"), 0) // "c" removed
+	keys := testKeys(1000)
+
+	moved, owned := 0, 0
+	for _, k := range keys {
+		before, after := full.Owner(k), without.Owner(k)
+		if after == "c" {
+			t.Fatalf("key %s assigned to removed peer", k[:12])
+		}
+		if before == "c" {
+			owned++
+			// The orphaned slice must land on the key's next-in-rank
+			// survivor, which is what the fallback path routes to.
+			rank := full.Rank(k)
+			if rank[1] != after {
+				t.Errorf("key %s: remapped to %q, want next-in-rank %q", k[:12], after, rank[1])
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("degenerate key set: removed peer owned nothing")
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed peer changed owner", moved)
+	}
+}
+
+// TestSharesBalancedAndWeighted: equal-weight peers split the key space
+// near-evenly, and a double-weight peer wins about twice the share.
+func TestSharesBalancedAndWeighted(t *testing.T) {
+	even := NewRing(testPeers("a", "b", "c", "d"), 0)
+	for id, share := range even.Shares(4096) {
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("unweighted peer %s share %.3f, want ~0.25", id, share)
+		}
+	}
+
+	peers := testPeers("a", "b", "c")
+	peers[0].Weight = 2 // a holds twice the virtual nodes
+	weighted := NewRing(peers, 0)
+	shares := weighted.Shares(4096)
+	if shares["a"] < 1.4*shares["b"] || shares["a"] < 1.4*shares["c"] {
+		t.Errorf("weight-2 peer share %.3f vs %.3f/%.3f, want ~2x", shares["a"], shares["b"], shares["c"])
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[1].URL != "http://h2:8080" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	for _, bad := range []string{"", "justanid", "=http://h", "a=", ","} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"empty", Options{SelfID: "a"}},
+		{"self missing", Options{SelfID: "x", Peers: testPeers("a", "b")}},
+		{"duplicate id", Options{SelfID: "a", Peers: testPeers("a", "a")}},
+		{"empty url", Options{SelfID: "a", Peers: []Peer{{ID: "a"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opt); err == nil {
+			t.Errorf("%s: New accepted", tc.name)
+		}
+	}
+	c, err := New(Options{SelfID: "a", Peers: testPeers("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Self() != "a" || c.Ring().Len() != 2 {
+		t.Errorf("cluster %q len %d", c.Self(), c.Ring().Len())
+	}
+}

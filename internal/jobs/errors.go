@@ -33,6 +33,12 @@ var (
 	// exactly as if gapd had died mid-job. Recovery tests replay the
 	// journal to pick these up.
 	ErrKilled = errors.New("jobs: worker killed")
+	// ErrPeerUnavailable reports that a cluster peer could not answer a
+	// forwarded request (transport failure, shedding, breaker open, or
+	// peer-side timeout). Transient: the forwarder falls down the
+	// rendezvous order and ultimately computes locally, so the cluster
+	// loses throughput, never availability.
+	ErrPeerUnavailable = errors.New("jobs: peer unavailable")
 )
 
 // Class buckets a job failure for the retry policy and the journal.
@@ -69,6 +75,7 @@ func Classify(ctx context.Context, err error) Class {
 	case errors.Is(err, ErrTransient),
 		errors.Is(err, ErrPanicked),
 		errors.Is(err, ErrWatchdog),
+		errors.Is(err, ErrPeerUnavailable),
 		errors.Is(err, faultinject.ErrInjected):
 		return ClassTransient
 	case errors.Is(err, context.DeadlineExceeded):

@@ -175,6 +175,9 @@ type Replayed struct {
 	// the journal carries for each pending job — one per boot that tried
 	// it, so accepts-1 is the number of replays already attempted.
 	PendingAccepts []int
+	// PendingIDs holds, parallel to Pending, the journaled job IDs
+	// (canonical spec hashes), so callers need not re-derive them.
+	PendingIDs []string
 	// Completed are finished results, newest record winning, in
 	// completion order; replaying them re-warms the cache.
 	Completed []*Result
@@ -262,6 +265,7 @@ func ReplayJournal(dir string) (Replayed, error) {
 		case e.spec != nil:
 			rep.Pending = append(rep.Pending, *e.spec)
 			rep.PendingAccepts = append(rep.PendingAccepts, e.accepts)
+			rep.PendingIDs = append(rep.PendingIDs, id)
 		}
 	}
 	return rep, nil
@@ -277,19 +281,37 @@ func (j *Journal) Compact(completed []*Result) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	lines, err := doneLines(completed, time.Now().UTC().Format(time.RFC3339Nano))
+	if err != nil {
+		return err
+	}
+	return j.rewriteLocked(lines)
+}
+
+// doneLines marshals done records for the completed results.
+func doneLines(completed []*Result, now string) ([][]byte, error) {
+	lines := make([][]byte, 0, len(completed))
+	for _, res := range completed {
+		line, err := json.Marshal(JournalRecord{Op: "done", ID: res.ID, Result: res, T: now})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: journal compact: %w", err)
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
+
+// rewriteLocked atomically replaces the journal with the given record
+// lines (tmp file + fsync + rename) and reopens the append handle.
+// Caller holds j.mu.
+func (j *Journal) rewriteLocked(lines [][]byte) error {
 	tmp, err := os.CreateTemp(j.dir, journalFile+".tmp*")
 	if err != nil {
 		return fmt.Errorf("jobs: journal compact: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	now := time.Now().UTC().Format(time.RFC3339Nano)
 	w := bufio.NewWriter(tmp)
-	for _, res := range completed {
-		line, err := json.Marshal(JournalRecord{Op: "done", ID: res.ID, Result: res, T: now})
-		if err != nil {
-			tmp.Close()
-			return fmt.Errorf("jobs: journal compact: %w", err)
-		}
+	for _, line := range lines {
 		w.Write(line)
 		w.WriteByte('\n')
 	}
@@ -319,6 +341,71 @@ func (j *Journal) Compact(completed []*Result) error {
 	j.f = f
 	j.healthy.Store(true)
 	return nil
+}
+
+// CompactStats summarizes one on-demand compaction.
+type CompactStats struct {
+	// BeforeBytes/AfterBytes are the journal file sizes around the
+	// rewrite.
+	BeforeBytes int64
+	AfterBytes  int64
+	// Completed counts done records kept (one per completed job, the
+	// newest result winning).
+	Completed int
+	// PendingKept counts in-flight jobs whose accept records were
+	// preserved — compacting a live journal must not orphan work a
+	// crash would need to recover.
+	PendingKept int
+	// DroppedFailed counts terminally failed jobs whose history was
+	// discarded.
+	DroppedFailed int
+}
+
+// CompactNow compacts the live journal on demand (the SIGHUP path):
+// duplicate accepts, superseded done records, and terminal-failure
+// history collapse to one done record per completed job, while pending
+// jobs keep their accept records — repeated per replay generation, so
+// the poison-job crash-loop marker survives compaction. Appends are
+// blocked for the duration, giving the rewrite a consistent snapshot.
+func (j *Journal) CompactNow() (CompactStats, error) {
+	if j == nil {
+		return CompactStats{}, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var st CompactStats
+	if fi, err := os.Stat(j.path); err == nil {
+		st.BeforeBytes = fi.Size()
+	}
+	rep, err := ReplayJournal(j.dir)
+	if err != nil {
+		return st, err
+	}
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+	lines, err := doneLines(rep.Completed, now)
+	if err != nil {
+		return st, err
+	}
+	for i := range rep.Pending {
+		spec := rep.Pending[i]
+		line, err := json.Marshal(JournalRecord{Op: "accept", ID: rep.PendingIDs[i], Spec: &spec, T: now})
+		if err != nil {
+			return st, fmt.Errorf("jobs: journal compact: %w", err)
+		}
+		for n := 0; n < rep.PendingAccepts[i]; n++ {
+			lines = append(lines, line)
+		}
+	}
+	st.Completed = len(rep.Completed)
+	st.PendingKept = len(rep.Pending)
+	st.DroppedFailed = rep.Failed
+	if err := j.rewriteLocked(lines); err != nil {
+		return st, err
+	}
+	if fi, err := os.Stat(j.path); err == nil {
+		st.AfterBytes = fi.Size()
+	}
+	return st, nil
 }
 
 // RecoverStats summarizes a boot-time journal recovery.

@@ -139,6 +139,79 @@ func TestJournalCompact(t *testing.T) {
 	}
 }
 
+// TestJournalCompactNow drives the SIGHUP path: on-demand compaction of
+// a live journal must shrink the file, keep one done record per
+// completed job, preserve pending accepts — repeated per replay
+// generation, so the poison-job marker survives — drop terminal-failure
+// history, report accurate stats, and leave the journal appendable.
+func TestJournalCompactNow(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	done, _ := smallEval(1).Canon()
+	pending, _ := smallEval(2).Canon()
+	failed, _ := smallEval(3).Canon()
+	resDone := &Result{ID: done.Hash(), Kind: done.Kind, Spec: done}
+
+	// A noisy history: duplicate accepts for the completed job, two boot
+	// generations for the pending one, and a terminal failure.
+	j.Accept(done.Hash(), done)
+	j.Accept(done.Hash(), done)
+	j.Done(done.Hash(), resDone)
+	j.Accept(pending.Hash(), pending)
+	j.Accept(pending.Hash(), pending)
+	j.Accept(failed.Hash(), failed)
+	j.Fail(failed.Hash(), "rotten", ClassFatal)
+
+	st, err := j.CompactNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.PendingKept != 1 || st.DroppedFailed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BeforeBytes <= st.AfterBytes || st.AfterBytes <= 0 {
+		t.Errorf("compaction did not shrink: %d -> %d bytes", st.BeforeBytes, st.AfterBytes)
+	}
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0].ID != done.Hash() {
+		t.Errorf("completed after compaction = %+v", rep.Completed)
+	}
+	if len(rep.Pending) != 1 || rep.Pending[0].Hash() != pending.Hash() {
+		t.Errorf("pending after compaction = %+v", rep.Pending)
+	}
+	if rep.PendingAccepts[0] != 2 {
+		t.Errorf("pending accept generations = %d, want 2 preserved", rep.PendingAccepts[0])
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failure history survived compaction: %d", rep.Failed)
+	}
+
+	// Still a live journal: appends keep landing after the rewrite.
+	extra, _ := smallEval(4).Canon()
+	if err := j.Accept(extra.Hash(), extra); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = ReplayJournal(dir)
+	if len(rep.Pending) != 2 {
+		t.Errorf("append after CompactNow lost: %+v", rep)
+	}
+
+	// Nil receiver (no -journal configured) is a no-op, matching the
+	// SIGHUP handler's unconditional call shape.
+	var nilJ *Journal
+	if _, err := nilJ.CompactNow(); err != nil {
+		t.Errorf("nil CompactNow: %v", err)
+	}
+}
+
 // TestJournalUnwritableDegrades: a journal whose file has been closed
 // under it reports unhealthy (the /healthz degradation signal) but the
 // pool keeps executing jobs.

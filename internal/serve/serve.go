@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net"
 	"net/http"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 )
 
@@ -24,6 +26,11 @@ import (
 type Options struct {
 	// Pool executes the jobs (required).
 	Pool *jobs.Pool
+	// Cluster, when set, shards the service: specs owned by a peer are
+	// forwarded (with hedged reads), specs owned by this node run
+	// locally, and requests already forwarded once are always served
+	// locally (the loop guard). Nil keeps the single-node behaviour.
+	Cluster *cluster.Cluster
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
 	// RequestTimeout caps one request's job wait (default 5 minutes;
@@ -46,6 +53,7 @@ type Options struct {
 // handler carries the resolved options and the admission state.
 type handler struct {
 	pool           *jobs.Pool
+	cluster        *cluster.Cluster
 	maxBodyBytes   int64
 	requestTimeout time.Duration
 	maxPending     int // workers + MaxQueueDepth; -1 disables
@@ -67,6 +75,8 @@ type handler struct {
 //	POST /v1/ladder    run the section 3 factor ladder (rungs in parallel)
 //	POST /v1/sweep     run a pipeline-depth sweep (depths in parallel)
 //	GET  /v1/jobs/{id} job status by canonical spec hash
+//	GET  /v1/cluster   cluster membership, health, and ownership stats
+//	GET  /v1/version   build info (module, version, Go toolchain, VCS)
 //	GET  /healthz      liveness
 //	GET  /metrics      counters, cache traffic, latency histograms (JSON)
 func NewHandler(opt Options) http.Handler {
@@ -75,6 +85,7 @@ func NewHandler(opt Options) http.Handler {
 	}
 	h := &handler{
 		pool:           opt.Pool,
+		cluster:        opt.Cluster,
 		maxBodyBytes:   opt.MaxBodyBytes,
 		requestTimeout: opt.RequestTimeout,
 		maxPerClient:   opt.MaxPerClient,
@@ -106,6 +117,8 @@ func NewHandler(opt Options) http.Handler {
 	mux.HandleFunc("POST /v1/ladder", h.submit(jobs.KindLadder))
 	mux.HandleFunc("POST /v1/sweep", h.submit(jobs.KindSweep))
 	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+	mux.HandleFunc("GET /v1/cluster", h.clusterStatus)
+	mux.HandleFunc("GET /v1/version", h.version)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -128,13 +141,25 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 		}
 		defer release()
 
-		spec, err := h.decodeSpec(w, r, kind)
+		spec, status, err := h.decodeSpec(w, r, kind)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, status, err)
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), h.requestTimeout)
 		defer cancel()
+
+		// Forward-or-serve: with clustering on, a spec owned by a peer
+		// is proxied to it (hedged); the loop guard serves already-
+		// forwarded requests locally no matter who owns them.
+		if h.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+			if done := h.tryForward(ctx, w, spec, r.URL.Path); done {
+				return
+			}
+		}
+		if h.cluster != nil {
+			h.cluster.Metrics().Local.Add(1)
+		}
 		res, err := h.pool.Do(ctx, spec)
 		if err != nil {
 			if errors.Is(err, jobs.ErrBreakerOpen) {
@@ -145,6 +170,64 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// tryForward routes one decoded spec through the cluster. It reports
+// true when it wrote the response (a peer answered, or relayed a
+// terminal verdict); false means the caller should compute locally —
+// either this node is the acting owner, or every peer was unavailable
+// and availability wins over cache affinity (the degraded-mode
+// fallback).
+func (h *handler) tryForward(ctx context.Context, w http.ResponseWriter, spec jobs.Spec, path string) bool {
+	cl := h.cluster
+	rt := cl.Route(spec.Hash())
+	if rt.Local {
+		if rt.Fallback {
+			cl.Metrics().Fallback.Add(1)
+		}
+		return false
+	}
+	res, err := cl.Forward(ctx, path, spec, rt)
+	switch {
+	case err == nil:
+		cl.Metrics().Forwarded.Add(1)
+		if rt.Fallback {
+			cl.Metrics().Fallback.Add(1)
+		}
+		writeJSON(w, http.StatusOK, res)
+		return true
+	case errors.Is(err, jobs.ErrSpec):
+		// The peer ran the job and the spec is bad on any node
+		// (evaluation is deterministic): relay the verdict.
+		writeError(w, http.StatusBadRequest, err)
+		return true
+	case ctx.Err() != nil:
+		writeError(w, statusFor(ctx.Err()), err)
+		return true
+	default:
+		// Every target unavailable: the next node in rendezvous order
+		// is us now. Compute locally — no warm cache, full availability.
+		cl.Metrics().Fallback.Add(1)
+		return false
+	}
+}
+
+// clusterStatus serves GET /v1/cluster.
+func (h *handler) clusterStatus(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("clustering disabled (no -peers)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, h.cluster.Status())
+}
+
+// version serves GET /v1/version.
+func (h *handler) version(w http.ResponseWriter, r *http.Request) {
+	body := Version().payload()
+	if h.cluster != nil {
+		body["node"] = h.cluster.Self()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // admit applies the two admission gates — global pending budget and
@@ -204,31 +287,45 @@ func (h *handler) setRetryAfter(w http.ResponseWriter) {
 }
 
 // decodeSpec parses and validates the request body into a canonical spec
-// of the endpoint's kind.
-func (h *handler) decodeSpec(w http.ResponseWriter, r *http.Request, kind jobs.Kind) (jobs.Spec, error) {
+// of the endpoint's kind, returning the HTTP status for a rejection:
+// 415 for a non-JSON content type, 413 for a body past the size limit,
+// and 400 for everything malformed inside the body (bad JSON, trailing
+// data, unknown fields, an unknown or mismatched job kind, spec
+// validation failures). Every rejection is written as the JSON error
+// envelope {"error": "..."}.
+func (h *handler) decodeSpec(w http.ResponseWriter, r *http.Request, kind jobs.Kind) (jobs.Spec, int, error) {
 	var spec jobs.Spec
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			return spec, http.StatusUnsupportedMediaType,
+				fmt.Errorf("content type %q not supported; use application/json", ct)
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, h.maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			return spec, fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+			return spec, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
 		}
-		return spec, fmt.Errorf("invalid JSON body: %w", err)
+		return spec, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err)
 	}
 	if dec.More() {
-		return spec, errors.New("request body has trailing data")
+		return spec, http.StatusBadRequest, errors.New("request body has trailing data")
 	}
 	if spec.Kind != "" && !strings.EqualFold(string(spec.Kind), string(kind)) {
-		return spec, fmt.Errorf("spec kind %q does not match endpoint %q", spec.Kind, kind)
+		return spec, http.StatusBadRequest,
+			fmt.Errorf("spec kind %q does not match endpoint %q", spec.Kind, kind)
 	}
 	spec.Kind = kind
 	c, err := spec.Canon()
 	if err != nil {
-		return spec, err
+		return spec, http.StatusBadRequest, err
 	}
-	return c, nil
+	return c, http.StatusOK, nil
 }
 
 // jobStatus serves GET /v1/jobs/{id}.
@@ -283,6 +380,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["abandoned_in_flight"] = h.pool.AbandonedInFlight()
 	snap["pending_requests"] = h.pending.Load()
 	snap["breakers"] = h.pool.BreakerStates()
+	if h.cluster != nil {
+		snap["cluster"] = h.cluster.MetricsSnapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -291,6 +391,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, jobs.ErrSpec):
 		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrPeerUnavailable):
+		return http.StatusBadGateway
 	case errors.Is(err, jobs.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):

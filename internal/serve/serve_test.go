@@ -243,8 +243,93 @@ func TestBodySizeLimit(t *testing.T) {
 	defer srv.Close()
 	big := `{"design":{"name":"datapath"},"workload":"` + strings.Repeat("x", 256) + `"}`
 	resp, raw := postJSON(t, srv.URL+"/v1/sweep", big)
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body status = %d (%s)", resp.StatusCode, raw)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+		t.Errorf("413 body is not the error envelope: %q", raw)
+	}
+}
+
+// TestDecodeErrorEnvelopes pins the documented decode-rejection contract:
+// each malformed-request class maps to its status — 415 for a non-JSON
+// content type, 413 for an oversized body, 400 for anything broken
+// inside the body — and every rejection is the JSON {"error": ...}
+// envelope.
+func TestDecodeErrorEnvelopes(t *testing.T) {
+	pool := jobs.NewPool(jobs.Options{Workers: 1})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool, MaxBodyBytes: 256}))
+	defer srv.Close()
+
+	valid := `{"design":{"name":"datapath","width":8,"depth":2}}`
+	cases := []struct {
+		name, path, contentType, body string
+		wantStatus                    int
+	}{
+		{"wrong content type", "/v1/evaluate", "text/plain", valid, http.StatusUnsupportedMediaType},
+		{"unparsable content type", "/v1/evaluate", "application/;;", valid, http.StatusUnsupportedMediaType},
+		{"json with params accepted", "/v1/evaluate", "application/json; charset=utf-8", valid, http.StatusOK},
+		{"no content type accepted", "/v1/evaluate", "", valid, http.StatusOK},
+		{"oversized body", "/v1/evaluate", "application/json",
+			`{"design":{"name":"datapath"},"workload":"` + strings.Repeat("x", 512) + `"}`,
+			http.StatusRequestEntityTooLarge},
+		{"malformed json", "/v1/evaluate", "application/json", `{"design":`, http.StatusBadRequest},
+		{"trailing data", "/v1/evaluate", "application/json", valid + `{"x":1}`, http.StatusBadRequest},
+		{"unknown job kind", "/v1/evaluate", "application/json",
+			`{"kind":"transmogrify","design":{"name":"cla"}}`, http.StatusBadRequest},
+		{"kind/endpoint mismatch", "/v1/ladder", "application/json",
+			`{"kind":"evaluate","design":{"name":"cla"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.contentType != "" {
+			req.Header.Set("Content-Type", tc.contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.wantStatus, buf.Bytes())
+		}
+		if tc.wantStatus != http.StatusOK {
+			var e map[string]string
+			if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Errorf("%s: rejection body is not the error envelope: %q", tc.name, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestVersionEndpoint: GET /v1/version reports the build's module, Go
+// toolchain, and version; without clustering there is no node field, and
+// GET /v1/cluster is a 404.
+func TestVersionEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var v map[string]any
+	resp := getJSON(t, srv.URL+"/v1/version", &v)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("version status %d", resp.StatusCode)
+	}
+	if v["go"] == "" || v["version"] == "" {
+		t.Errorf("version payload incomplete: %v", v)
+	}
+	if _, ok := v["node"]; ok {
+		t.Errorf("unclustered version payload has node: %v", v)
+	}
+
+	var e map[string]string
+	if resp := getJSON(t, srv.URL+"/v1/cluster", &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unclustered /v1/cluster status = %d", resp.StatusCode)
+	} else if e["error"] == "" {
+		t.Error("unclustered /v1/cluster missing error envelope")
 	}
 }
 

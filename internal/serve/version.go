@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies one gapd build — what GET /v1/version reports and
+// `gapd -version` prints, so mixed-version clusters are diagnosable
+// node by node.
+type BuildInfo struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go"`
+	// Revision/Time/Modified carry the VCS stamp when the build has one.
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+// Version reads the binary's build info via runtime/debug.
+func Version() BuildInfo {
+	info := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// payload renders the build info as the /v1/version JSON body (a map so
+// the handler can add node identity).
+func (b BuildInfo) payload() map[string]any {
+	body := map[string]any{
+		"module":  b.Module,
+		"version": b.Version,
+		"go":      b.GoVersion,
+	}
+	if b.Revision != "" {
+		body["vcs_revision"] = b.Revision
+	}
+	if b.Time != "" {
+		body["vcs_time"] = b.Time
+	}
+	if b.Modified {
+		body["vcs_modified"] = true
+	}
+	return body
+}
