@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench chaos fuzz gapd
+.PHONY: tier1 fmt vet build test race bench chaos chaos-net fuzz gapd
 
-tier1: fmt vet build race chaos
+tier1: fmt vet build race chaos chaos-net
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -43,12 +43,25 @@ chaos:
 		-run 'TestChaos|TestKillAndRestart|TestWatchdog|TestBreaker|TestOverload|TestPerClient|TestHealthzDegrades' \
 		./internal/jobs/ ./internal/serve/ ./internal/cluster/
 
-# Short fuzz passes over the two hardened trust boundaries: the
-# structural-Verilog reader and job-spec canonicalization. CI-sized;
+# The network chaos suite under the race detector: deterministic
+# netfault injection on every peer link (partitions, corruption, resets)
+# plus the partition-tolerance machinery it exercises — result
+# replication, digest rejection, anti-entropy repair, hedge-loser
+# cancellation, deadline-driven hedge suppression, and flap damping.
+chaos-net:
+	$(GO) test -race -count=1 ./internal/netfault/
+	$(GO) test -race -count=1 \
+		-run 'TestChaosNet|TestHedgeLoser|TestDeadline|TestFlapDamping|TestResponseDigest|TestResults' \
+		./internal/cluster/ ./internal/serve/
+
+# Short fuzz passes over the hardened trust boundaries: the
+# structural-Verilog reader, job-spec canonicalization, and the peer
+# response decoder (every byte a peer sends crosses it). CI-sized;
 # raise -fuzztime for a real hunt.
 fuzz:
 	$(GO) test ./internal/netlist/ -run '^$$' -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/jobs/ -run '^$$' -fuzz FuzzJobSpecCanonical -fuzztime 30s
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzPeerResponseDecode -fuzztime 30s
 
 gapd:
 	$(GO) run ./cmd/gapd

@@ -8,7 +8,8 @@
 //
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
 //	     [-journal DIR] [-drain-timeout 30s] [-max-queue N] [-max-per-client N]
-//	     [-node-id ID -peers ID=URL,...] [-hedge-after 50ms] [-version]
+//	     [-node-id ID -peers ID=URL,...] [-hedge-after 50ms] [-replicas N]
+//	     [-antientropy-interval 30s] [-version]
 //
 // With -journal, every accepted job is written ahead to an fsynced JSONL
 // log in DIR; on boot the journal is replayed — completed results re-warm
@@ -23,7 +24,13 @@
 // spec has one owner by rendezvous hashing over its content address,
 // requests are forwarded to their owners (hedged past -hedge-after), and
 // a dead owner's slice is computed by the next node in order — see
-// internal/cluster.
+// internal/cluster. Completed results are replicated to the first
+// -replicas nodes in rendezvous order and repaired by a background
+// anti-entropy sweep every -antientropy-interval, so a partitioned
+// owner's finished work stays servable. Setting GAPD_NETFAULT to a
+// netfault plan (e.g. "seed=7,partition=0.05,corrupt=0.01") injects
+// deterministic network faults into every peer-facing request — the
+// chaos drill for a real multi-process cluster.
 package main
 
 import (
@@ -38,8 +45,11 @@ import (
 	"syscall"
 	"time"
 
+	"net/url"
+
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/netfault"
 	"repro/internal/serve"
 )
 
@@ -59,6 +69,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "this node's id within -peers (required with -peers)")
 	peersFlag := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs incl. this node (empty = single node)")
 	hedgeAfter := flag.Duration("hedge-after", 50*time.Millisecond, "latency threshold before a forwarded request is hedged to the next node in rendezvous order (negative disables)")
+	replicas := flag.Int("replicas", 2, "replication factor: completed results are pushed to the first N nodes in rendezvous order (1 disables)")
+	aeInterval := flag.Duration("antientropy-interval", 30*time.Second, "spacing of background replica-repair sweeps (0 disables)")
 	showVersion := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -143,12 +155,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
 			os.Exit(1)
 		}
-		clu, err = cluster.New(cluster.Options{
-			SelfID:         *nodeID,
-			Peers:          peers,
-			HedgeAfter:     *hedgeAfter,
-			RequestTimeout: *reqTimeout,
-		})
+		opts := cluster.Options{
+			SelfID:              *nodeID,
+			Peers:               peers,
+			HedgeAfter:          *hedgeAfter,
+			RequestTimeout:      *reqTimeout,
+			Replicas:            *replicas,
+			AntiEntropyInterval: *aeInterval,
+			Results:             pool.Cache(),
+		}
+		// GAPD_NETFAULT injects deterministic network faults into every
+		// peer-facing request — chaos drills against a real multi-process
+		// cluster without touching iptables. The value is a netfault plan
+		// ("seed=7,partition=0.05,corrupt=0.01,..."); peer URLs resolve to
+		// peer IDs so fault sites are keyed by logical link, not address.
+		if planStr := os.Getenv("GAPD_NETFAULT"); planStr != "" {
+			plan, err := netfault.ParsePlan(planStr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gapd: GAPD_NETFAULT: %v\n", err)
+				os.Exit(1)
+			}
+			hosts := make(map[string]string, len(peers))
+			for _, p := range peers {
+				if u, err := url.Parse(p.URL); err == nil {
+					hosts[u.Host] = p.ID
+				}
+			}
+			inj := netfault.New(plan)
+			opts.WrapTransport = func(rt http.RoundTripper) http.RoundTripper {
+				return inj.Transport(*nodeID, netfault.HostResolver(hosts), rt)
+			}
+			log.Printf("gapd: netfault enabled: %s", planStr)
+		}
+		clu, err = cluster.New(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
 			os.Exit(1)

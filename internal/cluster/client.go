@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +19,27 @@ import (
 // result is well under 1 MiB; 8 MiB leaves room without letting a
 // misbehaving peer balloon memory).
 const maxPeerResponse = 8 << 20
+
+// DigestHeader carries the SHA-256 of the exact response body bytes.
+// The forwarding node recomputes the hash before caching or relaying a
+// peer response; a mismatch means the wire (or the peer) corrupted the
+// payload, and the response is discarded as a transient peer failure
+// instead of being served as a wrong answer.
+const DigestHeader = "X-Gapd-Result-Digest"
+
+// DeadlineHeader carries the caller's absolute deadline (RFC3339Nano)
+// across a forward hop. Each hop shrinks it by the configured margin
+// before re-forwarding, and the receiving node enforces it at admission
+// — so a forwarded job can never outlive the client that asked for it.
+const DeadlineHeader = "X-Gapd-Deadline"
+
+// ErrCorruptReply marks a peer response rejected by integrity checking:
+// body bytes that do not hash to the carried digest, or a payload whose
+// content address is not the one the forwarder asked for. It wraps
+// jobs.ErrPeerUnavailable, so corruption is handled exactly like an
+// unreachable peer — retry the next node in rendezvous order — never
+// cached, never relayed.
+var ErrCorruptReply = fmt.Errorf("cluster: corrupt peer reply: %w", jobs.ErrPeerUnavailable)
 
 // PeerError is a failed peer request, carrying the peer, the HTTP
 // status (0 for transport failures), and a wrapped marker from the
@@ -46,9 +69,73 @@ func peerUnavailable(peer string, status int, msg string) *PeerError {
 	return &PeerError{Peer: peer, Status: status, Msg: msg, err: jobs.ErrPeerUnavailable}
 }
 
+// bodyDigest is the hex SHA-256 the digest header carries.
+func bodyDigest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// decodePeerResponse turns one peer reply (status, digest header, raw
+// body) into a result or a taxonomy-classified error. It is a pure
+// function of its inputs — the fuzz target FuzzPeerResponseDecode
+// drives it directly. Verification order: the digest first (nothing
+// from a corrupt body is trusted, not even its error envelope), then
+// the status-code mapping, then the payload's content address against
+// expectID (when non-empty), so a confused peer cannot answer with the
+// wrong job's result.
+func decodePeerResponse(peer string, status int, digest string, body []byte, expectID string) (*jobs.Result, error) {
+	if digest != "" && bodyDigest(body) != digest {
+		return nil, &PeerError{Peer: peer, Status: status,
+			Msg: "response bytes do not match their digest", err: ErrCorruptReply}
+	}
+	if status != http.StatusOK {
+		msg := http.StatusText(status)
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		if status == http.StatusBadRequest {
+			// The peer ran the spec and rejected it; every node would —
+			// evaluation is deterministic — so the verdict is terminal.
+			return nil, &PeerError{Peer: peer, Status: status, Msg: msg, err: jobs.ErrSpec}
+		}
+		// 429 (peer shedding), 5xx (peer breaker open, internal error,
+		// peer-side timeout): the peer cannot answer this request now.
+		// Availability beats affinity — the caller moves down the
+		// rendezvous order or computes locally.
+		return nil, peerUnavailable(peer, status, msg)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, &PeerError{Peer: peer, Status: status,
+			Msg: "undecodable response: " + err.Error(), err: ErrCorruptReply}
+	}
+	if expectID != "" && res.ID != expectID {
+		return nil, &PeerError{Peer: peer, Status: status,
+			Msg: fmt.Sprintf("response is for %.12s, asked for %.12s", res.ID, expectID),
+			err: ErrCorruptReply}
+	}
+	return &res, nil
+}
+
+// setDeadlineHeader stamps ctx's deadline, shrunk by the per-hop
+// margin, onto the outgoing request. The shrink reserves budget for
+// this hop's own marshalling and wire time, so the downstream node's
+// view of "time left" is never more optimistic than the caller's.
+func (c *Cluster) setDeadlineHeader(ctx context.Context, req *http.Request) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	req.Header.Set(DeadlineHeader, dl.Add(-c.deadlineMargin).UTC().Format(time.RFC3339Nano))
+}
+
 // doRequest proxies one spec to one peer and maps the outcome onto the
-// jobs error taxonomy.
-func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byte) (*jobs.Result, error) {
+// jobs error taxonomy, verifying the response digest and content
+// address before trusting the payload.
+func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byte, expectID string) (*jobs.Result, error) {
 	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, p.URL+path, bytes.NewReader(body))
@@ -57,6 +144,7 @@ func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byt
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, c.self)
+	c.setDeadlineHeader(rctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, peerUnavailable(p.ID, 0, err.Error())
@@ -66,30 +154,11 @@ func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byt
 	if err != nil {
 		return nil, peerUnavailable(p.ID, 0, "reading response: "+err.Error())
 	}
-	if resp.StatusCode != http.StatusOK {
-		msg := resp.Status
-		var envelope struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-			msg = envelope.Error
-		}
-		if resp.StatusCode == http.StatusBadRequest {
-			// The peer ran the spec and rejected it; every node would —
-			// evaluation is deterministic — so the verdict is terminal.
-			return nil, &PeerError{Peer: p.ID, Status: resp.StatusCode, Msg: msg, err: jobs.ErrSpec}
-		}
-		// 429 (peer shedding), 5xx (peer breaker open, internal error,
-		// peer-side timeout): the peer cannot answer this request now.
-		// Availability beats affinity — the caller moves down the
-		// rendezvous order or computes locally.
-		return nil, peerUnavailable(p.ID, resp.StatusCode, msg)
+	res, derr := decodePeerResponse(p.ID, resp.StatusCode, resp.Header.Get(DigestHeader), raw, expectID)
+	if errors.Is(derr, ErrCorruptReply) {
+		c.metrics.DigestRejected.Add(1)
 	}
-	var res jobs.Result
-	if err := json.Unmarshal(raw, &res); err != nil {
-		return nil, peerUnavailable(p.ID, resp.StatusCode, "undecodable response: "+err.Error())
-	}
-	return &res, nil
+	return res, derr
 }
 
 // Forward proxies the spec to the route's targets with hedged reads:
@@ -97,12 +166,17 @@ func (c *Cluster) doRequest(ctx context.Context, p Peer, path string, body []byt
 // HedgeAfter, the next node in rendezvous order is raced against it and
 // the first success wins — exact, because evaluation is deterministic
 // and content-addressed, so any node computes byte-identical results.
-// A target that fails with an availability error is replaced by the
-// next one immediately (no hedge wait). Terminal verdicts (the peer ran
-// the job and the spec itself is bad) are returned as-is. When every
-// target is unavailable, the first availability error is returned
-// wrapping jobs.ErrPeerUnavailable — the caller's cue to compute
-// locally.
+// The moment a winner returns, every outstanding leg's context is
+// canceled, so losing hedges release their peer-client pool slots
+// immediately instead of running to completion. A target that fails
+// with an availability error is replaced by the next one immediately
+// (no hedge wait). Terminal verdicts (the peer ran the job and the spec
+// itself is bad) are returned as-is. When the request's remaining
+// deadline budget is smaller than the hedge threshold, hedging is
+// disabled for the request — a hedge that cannot finish before the
+// caller's deadline is pure load. When every target is unavailable, the
+// first availability error is returned wrapping jobs.ErrPeerUnavailable
+// — the caller's cue to compute locally.
 func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt Route) (*jobs.Result, error) {
 	if len(rt.Targets) == 0 {
 		return nil, peerUnavailable(rt.Owner, 0, "no usable peer")
@@ -111,6 +185,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 	if err != nil {
 		return nil, fmt.Errorf("cluster: marshal spec: %w", err)
 	}
+	expectID := spec.Hash()
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel() // the winner cancels every straggler
 
@@ -125,13 +200,13 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 		p := rt.Targets[next]
 		next++
 		go func() {
-			res, err := c.doRequest(raceCtx, p, path, body)
+			res, err := c.doRequest(raceCtx, p, path, body, expectID)
 			out <- attempt{p, res, err}
 		}()
 	}
 	launch()
 
-	hedge := time.NewTimer(c.hedgeDelay())
+	hedge := time.NewTimer(c.hedgeDelay(ctx))
 	defer hedge.Stop()
 	outstanding := 1
 	var firstErr error
@@ -140,10 +215,16 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 		case a := <-out:
 			outstanding--
 			if a.err == nil {
+				// Cancel the losing legs before anything else: a hedge
+				// that lost the race must stop consuming a peer's worker
+				// and this node's connection-pool slot right now, not
+				// when the caller eventually returns.
+				cancel()
 				c.members.reportSuccess(a.peer.ID)
 				return a.res, nil
 			}
 			if errors.Is(a.err, jobs.ErrSpec) {
+				cancel()
 				return nil, a.err
 			}
 			if raceCtx.Err() == nil {
@@ -165,7 +246,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 				c.metrics.Hedged.Add(1)
 				launch()
 				outstanding++
-				hedge.Reset(c.hedgeDelay())
+				hedge.Reset(c.hedgeDelay(ctx))
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -173,11 +254,23 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 	}
 }
 
-// hedgeDelay returns the hedge threshold, with hedging effectively
-// disabled by a negative HedgeAfter.
-func (c *Cluster) hedgeDelay() time.Duration {
+// neverHedge is the effective threshold when hedging is off for a
+// request: far enough out that the timer cannot fire.
+const neverHedge = 365 * 24 * time.Hour
+
+// hedgeDelay returns the hedge threshold for one request: the
+// configured HedgeAfter, except when hedging is disabled outright
+// (negative HedgeAfter) or the request's remaining deadline budget is
+// already smaller than the threshold — a hedge launched then could
+// never answer before the caller's deadline, so it is suppressed (and
+// counted).
+func (c *Cluster) hedgeDelay(ctx context.Context) time.Duration {
 	if c.hedgeAfter < 0 {
-		return 365 * 24 * time.Hour
+		return neverHedge
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < c.hedgeAfter {
+		c.metrics.HedgesSuppressed.Add(1)
+		return neverHedge
 	}
 	return c.hedgeAfter
 }

@@ -16,6 +16,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/jobs"
 )
 
 // ForwardedHeader marks a request already proxied once by a peer. A
@@ -64,20 +66,63 @@ type Options struct {
 	// Metrics receives the routing counters; nil allocates a private
 	// set (retrievable via Cluster.Metrics).
 	Metrics *Metrics
+	// AliveAfter is the consecutive probe/forward successes a dead peer
+	// must produce before flap damping promotes it back to alive
+	// (default 2; 1 disables damping).
+	AliveAfter int
+	// Replicas is the replication factor R: a completed result lives on
+	// the first R nodes in its rendezvous order (owner included), pushed
+	// asynchronously at completion time and repaired by anti-entropy
+	// (default 1 — replication off; every result lives only where it was
+	// computed).
+	Replicas int
+	// AntiEntropyInterval spaces the background repair sweeps that
+	// re-push cached results to replica peers that missed the
+	// completion-time push (a partition, a restart). Zero disables the
+	// loop; AntiEntropyNow remains callable either way.
+	AntiEntropyInterval time.Duration
+	// DeadlineMargin is subtracted from the caller's deadline at each
+	// forward hop before it is stamped onto the wire, reserving budget
+	// for this hop's own marshalling and transit (default 10ms).
+	DeadlineMargin time.Duration
+	// Results exposes this node's completed-result store to replication
+	// and anti-entropy (typically the pool's cache). Nil disables the
+	// /v1/results serving path, replica fallback reads, and
+	// anti-entropy.
+	Results ResultStore
+	// WrapTransport, when non-nil, wraps the HTTP transport used for
+	// every peer request — forwards, probes, replication pushes, and
+	// replica reads alike. The netfault injector hooks in here.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+}
+
+// ResultStore is the completed-result view replication reads from:
+// enumerate the content addresses this node holds and fetch one by
+// address. *jobs.Cache satisfies it.
+type ResultStore interface {
+	Keys() []string
+	Get(id string) (*jobs.Result, bool)
 }
 
 // Cluster is one node's view of the sharded service: the ownership
 // ring, the health-tracked membership, and the forwarding client.
 type Cluster struct {
-	self       string
-	hedgeAfter time.Duration
-	maxTargets int
-	peers      map[string]Peer
-	ring       *Ring
-	members    *membership
-	hc         *http.Client
-	reqTimeout time.Duration
-	metrics    *Metrics
+	self           string
+	hedgeAfter     time.Duration
+	maxTargets     int
+	replicas       int
+	aeInterval     time.Duration
+	deadlineMargin time.Duration
+	peers          map[string]Peer
+	ring           *Ring
+	members        *membership
+	results        ResultStore
+	hc             *http.Client
+	reqTimeout     time.Duration
+	metrics        *Metrics
+
+	aeCancel context.CancelFunc
+	aeDone   chan struct{}
 }
 
 // New validates opt and builds the node's cluster view. Call Start to
@@ -124,27 +169,46 @@ func New(opt Options) (*Cluster, error) {
 	if opt.Metrics == nil {
 		opt.Metrics = NewMetrics()
 	}
+	if opt.AliveAfter <= 0 {
+		opt.AliveAfter = 2
+	}
+	if opt.Replicas <= 0 {
+		opt.Replicas = 1
+	}
+	if opt.DeadlineMargin <= 0 {
+		opt.DeadlineMargin = 10 * time.Millisecond
+	}
 	normalized := make([]Peer, 0, len(byID))
 	for _, p := range opt.Peers {
 		normalized = append(normalized, byID[p.ID])
 	}
+	// One shared transport for every peer-facing request — forwards,
+	// probes, replication, replica reads — so a netfault wrapper sees
+	// (and can partition) all of them.
+	var rt http.RoundTripper = &http.Transport{
+		MaxIdleConns:        opt.MaxConnsPerPeer * len(byID),
+		MaxIdleConnsPerHost: opt.MaxConnsPerPeer,
+		MaxConnsPerHost:     opt.MaxConnsPerPeer,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	if opt.WrapTransport != nil {
+		rt = opt.WrapTransport(rt)
+	}
 	c := &Cluster{
-		self:       opt.SelfID,
-		hedgeAfter: opt.HedgeAfter,
-		maxTargets: opt.MaxTargets,
-		peers:      byID,
-		ring:       NewRing(normalized, opt.VNodes),
-		members:    newMembership(opt.SelfID, normalized, opt.ProbeInterval, opt.ProbeTimeout, opt.DeadAfter),
+		self:           opt.SelfID,
+		hedgeAfter:     opt.HedgeAfter,
+		maxTargets:     opt.MaxTargets,
+		replicas:       opt.Replicas,
+		aeInterval:     opt.AntiEntropyInterval,
+		deadlineMargin: opt.DeadlineMargin,
+		peers:          byID,
+		ring:           NewRing(normalized, opt.VNodes),
+		members: newMembership(opt.SelfID, normalized, opt.ProbeInterval,
+			opt.ProbeTimeout, opt.DeadAfter, opt.AliveAfter, opt.Metrics, rt),
+		results:    opt.Results,
 		reqTimeout: opt.RequestTimeout,
 		metrics:    opt.Metrics,
-		hc: &http.Client{
-			Transport: &http.Transport{
-				MaxIdleConns:        opt.MaxConnsPerPeer * len(byID),
-				MaxIdleConnsPerHost: opt.MaxConnsPerPeer,
-				MaxConnsPerHost:     opt.MaxConnsPerPeer,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		},
+		hc:         &http.Client{Transport: rt},
 	}
 	return c, nil
 }
@@ -170,12 +234,38 @@ func ParsePeers(s string) ([]Peer, error) {
 	return peers, nil
 }
 
-// Start begins periodic health probing.
-func (c *Cluster) Start(ctx context.Context) { c.members.start(ctx) }
+// Start begins periodic health probing and, when configured with an
+// interval and a result store, the background anti-entropy loop.
+func (c *Cluster) Start(ctx context.Context) {
+	c.members.start(ctx)
+	if c.aeInterval > 0 && c.results != nil && c.replicas > 1 {
+		aeCtx, cancel := context.WithCancel(ctx)
+		c.aeCancel = cancel
+		c.aeDone = make(chan struct{})
+		go func() {
+			defer close(c.aeDone)
+			t := time.NewTicker(c.aeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					c.AntiEntropyNow(aeCtx)
+				case <-aeCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+}
 
-// Close stops health probing and releases idle connections.
+// Close stops health probing, the anti-entropy loop, and releases idle
+// connections.
 func (c *Cluster) Close() {
 	c.members.stop()
+	if c.aeCancel != nil {
+		c.aeCancel()
+		<-c.aeDone
+	}
 	c.hc.CloseIdleConnections()
 }
 

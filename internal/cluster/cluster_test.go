@@ -49,6 +49,10 @@ type node struct {
 	// delayPosts injects ns of latency before job submissions (probes
 	// are unaffected), simulating a slow-but-healthy owner.
 	delayPosts atomic.Int64
+	// abortedDelays counts delayed submissions abandoned because the
+	// client canceled the request mid-delay — how a test observes that a
+	// losing hedge leg was actually canceled, not just ignored.
+	abortedDelays atomic.Int64
 	// healthz503 makes the node's /healthz report degraded.
 	healthz503 atomic.Bool
 }
@@ -74,6 +78,7 @@ func (n *node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-time.After(time.Duration(d)):
 			case <-r.Context().Done():
+				n.abortedDelays.Add(1)
 				return // the racing client already gave up on this node
 			}
 		}
@@ -104,6 +109,10 @@ func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
 		nodes[i] = nd
 	}
 	for _, nd := range nodes {
+		// The pool exists before the cluster so its cache can back the
+		// cluster's replication reads (Results); with the default
+		// Replicas of 1 the wiring is inert.
+		nd.pool = jobs.NewPool(jobs.Options{Workers: 2})
 		opt := cluster.Options{
 			SelfID:         nd.id,
 			Peers:          peers,
@@ -111,6 +120,7 @@ func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
 			RequestTimeout: 30 * time.Second,
 			ProbeInterval:  time.Hour,
 			DeadAfter:      1, // one torn forward = dead, no probe wait
+			Results:        nd.pool.Cache(),
 		}
 		if tweak != nil {
 			tweak(&opt)
@@ -121,7 +131,6 @@ func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
 		}
 		t.Cleanup(clu.Close)
 		nd.clu = clu
-		nd.pool = jobs.NewPool(jobs.Options{Workers: 2})
 		h := serve.NewHandler(serve.Options{Pool: nd.pool, Cluster: clu})
 		nd.mu.Lock()
 		nd.inner = h

@@ -36,6 +36,7 @@ type peerState struct {
 	peer      Peer
 	health    Health
 	fails     int
+	succs     int // consecutive successes while dead (flap damping)
 	lastProbe time.Time
 	lastErr   string
 }
@@ -45,12 +46,14 @@ type peerState struct {
 // forwarding client (a failed forward counts like a failed probe, so a
 // crashed peer is declared dead without waiting out probe intervals).
 type membership struct {
-	self      string
-	order     []string // peer ids in config order (for stable snapshots)
-	interval  time.Duration
-	timeout   time.Duration
-	deadAfter int
-	hc        *http.Client
+	self       string
+	order      []string // peer ids in config order (for stable snapshots)
+	interval   time.Duration
+	timeout    time.Duration
+	deadAfter  int
+	aliveAfter int // consecutive successes required to promote dead->alive
+	metrics    *Metrics
+	hc         *http.Client
 
 	mu     sync.Mutex
 	states map[string]*peerState
@@ -59,14 +62,17 @@ type membership struct {
 	done   chan struct{}
 }
 
-func newMembership(self string, peers []Peer, interval, timeout time.Duration, deadAfter int) *membership {
+func newMembership(self string, peers []Peer, interval, timeout time.Duration,
+	deadAfter, aliveAfter int, metrics *Metrics, rt http.RoundTripper) *membership {
 	m := &membership{
-		self:      self,
-		interval:  interval,
-		timeout:   timeout,
-		deadAfter: deadAfter,
-		hc:        &http.Client{Timeout: timeout},
-		states:    make(map[string]*peerState, len(peers)),
+		self:       self,
+		interval:   interval,
+		timeout:    timeout,
+		deadAfter:  deadAfter,
+		aliveAfter: aliveAfter,
+		metrics:    metrics,
+		hc:         &http.Client{Timeout: timeout, Transport: rt},
+		states:     make(map[string]*peerState, len(peers)),
 	}
 	for _, p := range peers {
 		m.order = append(m.order, p.ID)
@@ -156,7 +162,12 @@ func (m *membership) probe(ctx context.Context, id string) {
 
 // record folds one observation into the peer's state. Failure verdicts
 // (HealthDead) only demote the peer after deadAfter consecutive
-// failures; success verdicts reset the count immediately.
+// failures. Success verdicts on a live peer take effect immediately,
+// but a dead peer is flap-damped: it must produce aliveAfter
+// consecutive successes before being promoted, so a link that is
+// up-down-up-down does not bounce ownership (and every spec's warm
+// cache) back and forth on each blip. Suppressed promotions are counted
+// in cluster_flaps_suppressed.
 func (m *membership) record(id string, verdict Health, errMsg string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -169,9 +180,20 @@ func (m *membership) record(id string, verdict Health, errMsg string) {
 	switch verdict {
 	case HealthAlive, HealthDegraded:
 		st.fails = 0
+		if st.health == HealthDead {
+			st.succs++
+			if st.succs < m.aliveAfter {
+				if m.metrics != nil {
+					m.metrics.FlapsSuppressed.Add(1)
+				}
+				return
+			}
+		}
+		st.succs = 0
 		st.health = verdict
 	case HealthDead:
 		st.fails++
+		st.succs = 0
 		if st.fails >= m.deadAfter {
 			st.health = HealthDead
 		}

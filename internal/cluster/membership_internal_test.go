@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testMembership builds a two-peer membership (self a, peer b) with the
+// given thresholds, no probe loop.
+func testMembership(deadAfter, aliveAfter int, m *Metrics) *membership {
+	peers := []Peer{{ID: "a", URL: "http://a"}, {ID: "b", URL: "http://b"}}
+	return newMembership("a", peers, time.Hour, time.Second, deadAfter, aliveAfter, m, nil)
+}
+
+// TestFlapDampingSuppressesOscillation: a dead peer whose link is
+// up-down-up-down must stay dead — one success between failures never
+// reaches the aliveAfter streak, every suppressed promotion is counted,
+// and routing (usable) never oscillates.
+func TestFlapDampingSuppressesOscillation(t *testing.T) {
+	metrics := NewMetrics()
+	m := testMembership(1, 3, metrics)
+
+	m.record("b", HealthDead, "down")
+	if m.health("b") != HealthDead {
+		t.Fatalf("health = %s, want dead", m.health("b"))
+	}
+
+	// Ten up-down cycles: each lone success is swallowed by damping.
+	for i := 0; i < 10; i++ {
+		m.record("b", HealthAlive, "")
+		if m.health("b") != HealthDead {
+			t.Fatalf("cycle %d: one success resurrected the peer", i)
+		}
+		if m.usable("b") {
+			t.Fatalf("cycle %d: flapping peer became routable", i)
+		}
+		m.record("b", HealthDead, "down again")
+	}
+	if got := metrics.FlapsSuppressed.Load(); got != 10 {
+		t.Errorf("FlapsSuppressed = %d, want 10", got)
+	}
+
+	// A genuine recovery — aliveAfter consecutive successes — promotes.
+	m.record("b", HealthAlive, "")
+	m.record("b", HealthAlive, "")
+	if m.health("b") != HealthDead {
+		t.Fatal("promoted one success early")
+	}
+	m.record("b", HealthAlive, "")
+	if m.health("b") != HealthAlive {
+		t.Fatalf("health = %s after %d consecutive successes, want alive", m.health("b"), 3)
+	}
+	if !m.usable("b") {
+		t.Fatal("recovered peer not routable")
+	}
+}
+
+// TestFlapDampingOnlyGuardsDeadPeers: damping exists to stop dead->alive
+// bouncing; transitions among the live states (alive <-> degraded) must
+// stay immediate, and a live peer's failures must still kill it after
+// deadAfter.
+func TestFlapDampingOnlyGuardsDeadPeers(t *testing.T) {
+	m := testMembership(2, 3, NewMetrics())
+
+	m.record("b", HealthDegraded, "")
+	if m.health("b") != HealthDegraded {
+		t.Fatalf("health = %s, want degraded immediately", m.health("b"))
+	}
+	m.record("b", HealthAlive, "")
+	if m.health("b") != HealthAlive {
+		t.Fatalf("health = %s, want alive immediately (no damping among live states)", m.health("b"))
+	}
+	m.record("b", HealthDead, "x")
+	if m.health("b") != HealthAlive {
+		t.Fatal("one failure killed the peer with deadAfter=2")
+	}
+	m.record("b", HealthDead, "x")
+	if m.health("b") != HealthDead {
+		t.Fatal("two failures did not kill the peer")
+	}
+}
+
+// TestFlapDampingRouteStability: at the Cluster level, a flapping peer
+// must not flip Route decisions — once its owner is dead, a spec keeps
+// routing to the same survivor through every up-blip until the owner
+// has a full success streak.
+func TestFlapDampingRouteStability(t *testing.T) {
+	peers := []Peer{
+		{ID: "a", URL: "http://a"},
+		{ID: "b", URL: "http://b"},
+		{ID: "c", URL: "http://c"},
+	}
+	c, err := New(Options{SelfID: "a", Peers: peers, DeadAfter: 1, AliveAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a key owned by a non-self peer.
+	var key, owner string
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("%064d", i)
+		if o := c.Ring().Owner(k); o != "a" {
+			key, owner = k, o
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key owned by a peer")
+	}
+
+	c.members.reportFailure(owner, fmt.Errorf("down"))
+	first := c.Route(key)
+	if len(first.Targets) > 0 && first.Targets[0].ID == owner {
+		t.Fatal("dead owner still first target")
+	}
+	for i := 0; i < 5; i++ {
+		c.members.reportSuccess(owner) // one blip...
+		c.members.reportFailure(owner, fmt.Errorf("down"))
+		rt := c.Route(key)
+		if rt.Local != first.Local || len(rt.Targets) != len(first.Targets) {
+			t.Fatalf("blip %d: route oscillated: %+v vs %+v", i, rt, first)
+		}
+		for j := range rt.Targets {
+			if rt.Targets[j].ID != first.Targets[j].ID {
+				t.Fatalf("blip %d: target order changed", i)
+			}
+		}
+	}
+}

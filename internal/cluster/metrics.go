@@ -20,6 +20,30 @@ type Metrics struct {
 	// ForwardErrors counts individual peer requests that failed with an
 	// availability error (transport failure, 429/5xx).
 	ForwardErrors atomic.Int64
+	// DigestRejected counts peer responses discarded because their body
+	// did not hash to the X-Gapd-Result-Digest they carried (or their
+	// payload did not match the expected content address) — wire
+	// corruption converted into a retry instead of a wrong answer.
+	DigestRejected atomic.Int64
+	// Replicated counts completed results successfully pushed to a
+	// replica peer at completion time.
+	Replicated atomic.Int64
+	// ReplicaHits counts requests answered from a peer's replica via
+	// GET /v1/results after the owner path failed — finished work a
+	// partition could not un-finish.
+	ReplicaHits atomic.Int64
+	// AntiEntropyRepaired counts results the anti-entropy loop found
+	// missing on a replica peer and re-pushed — the convergence signal
+	// after a partition heals.
+	AntiEntropyRepaired atomic.Int64
+	// FlapsSuppressed counts dead->alive promotions withheld by flap
+	// damping because the peer had not yet produced the required streak
+	// of consecutive probe successes.
+	FlapsSuppressed atomic.Int64
+	// HedgesSuppressed counts forwards whose hedge was disabled because
+	// the request's remaining deadline budget was smaller than the hedge
+	// threshold — a hedge that cannot finish is load, not insurance.
+	HedgesSuppressed atomic.Int64
 }
 
 // NewMetrics creates an empty metrics set.
@@ -29,10 +53,16 @@ func NewMetrics() *Metrics { return &Metrics{} }
 // contract documents.
 func (m *Metrics) Counters() map[string]int64 {
 	return map[string]int64{
-		"cluster_forwarded": m.Forwarded.Load(),
-		"cluster_local":     m.Local.Load(),
-		"cluster_hedged":    m.Hedged.Load(),
-		"cluster_fallback":  m.Fallback.Load(),
-		"forward_errors":    m.ForwardErrors.Load(),
+		"cluster_forwarded":            m.Forwarded.Load(),
+		"cluster_local":                m.Local.Load(),
+		"cluster_hedged":               m.Hedged.Load(),
+		"cluster_fallback":             m.Fallback.Load(),
+		"forward_errors":               m.ForwardErrors.Load(),
+		"cluster_digest_rejected":      m.DigestRejected.Load(),
+		"cluster_replicated":           m.Replicated.Load(),
+		"cluster_replica_hits":         m.ReplicaHits.Load(),
+		"cluster_antientropy_repaired": m.AntiEntropyRepaired.Load(),
+		"cluster_flaps_suppressed":     m.FlapsSuppressed.Load(),
+		"cluster_hedges_suppressed":    m.HedgesSuppressed.Load(),
 	}
 }

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/jobs"
+)
+
+// ResultsPath is the internal replication endpoint prefix. A result's
+// canonical resource is ResultsPath + "/" + its content address:
+// GET returns the stored result (404 when absent), PUT stores a
+// replica pushed by a peer (201 created, 200 already present).
+const ResultsPath = "/v1/results"
+
+// replicaTargets returns the peers (never self) that should hold a
+// replica of the result with the given content address: the first R
+// nodes in its rendezvous order, minus this node. Health is not
+// consulted — the full replica set is the contract; whether a given
+// push succeeds right now is the caller's (or anti-entropy's) problem.
+func (c *Cluster) replicaTargets(hash string) []Peer {
+	if c.replicas <= 1 {
+		return nil
+	}
+	rank := c.ring.Rank(hash)
+	n := min(c.replicas, len(rank))
+	out := make([]Peer, 0, n)
+	for _, id := range rank[:n] {
+		if id == c.self {
+			continue
+		}
+		out = append(out, c.peers[id])
+	}
+	return out
+}
+
+// pushResult PUTs one normalized result to one peer, digest-stamped so
+// the receiver can verify the bytes before storing. Returns whether the
+// receiver newly created the replica (201) as opposed to already
+// holding it (200).
+func (c *Cluster) pushResult(ctx context.Context, p Peer, res *jobs.Result) (created bool, err error) {
+	body, err := json.Marshal(res.Normalized())
+	if err != nil {
+		return false, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPut,
+		p.URL+ResultsPath+"/"+res.ID, bytes.NewReader(body))
+	if err != nil {
+		return false, peerUnavailable(p.ID, 0, err.Error())
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DigestHeader, bodyDigest(body))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, peerUnavailable(p.ID, 0, err.Error())
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerResponse))
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return true, nil
+	case http.StatusOK:
+		return false, nil
+	default:
+		return false, peerUnavailable(p.ID, resp.StatusCode, "replica push rejected")
+	}
+}
+
+// Replicate pushes a freshly completed result to its replica peers
+// (best effort — a peer that is down simply misses the push and is
+// healed later by anti-entropy). Meant to be called asynchronously
+// after local completion; it never blocks the response path.
+func (c *Cluster) Replicate(ctx context.Context, res *jobs.Result) {
+	if res == nil || res.ID == "" {
+		return
+	}
+	for _, p := range c.replicaTargets(res.ID) {
+		if created, err := c.pushResult(ctx, p, res); err == nil && created {
+			c.metrics.Replicated.Add(1)
+		}
+	}
+}
+
+// FetchResult asks this result's replica peers for an already-computed
+// copy over GET /v1/results/{addr}, digest-verified. Every replica-set
+// peer except self is asked regardless of health: replica reads are
+// cheap cache lookups that bypass admission, and a peer too loaded to
+// accept work can still answer one. Returns (nil, false) when no peer
+// holds the result — the caller computes locally.
+func (c *Cluster) FetchResult(ctx context.Context, hash string) (*jobs.Result, bool) {
+	for _, p := range c.replicaTargets(hash) {
+		res, err := c.fetchFrom(ctx, p, hash)
+		if err != nil || res == nil {
+			continue
+		}
+		c.metrics.ReplicaHits.Add(1)
+		return res, true
+	}
+	return nil, false
+}
+
+// fetchFrom GETs one result from one peer; (nil, nil) means the peer
+// answered but does not hold it.
+func (c *Cluster) fetchFrom(ctx context.Context, p Peer, hash string) (*jobs.Result, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.URL+ResultsPath+"/"+hash, nil)
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, err.Error())
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, err.Error())
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		return nil, peerUnavailable(p.ID, 0, "reading response: "+err.Error())
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	res, derr := decodePeerResponse(p.ID, resp.StatusCode, resp.Header.Get(DigestHeader), raw, hash)
+	if derr != nil {
+		if errors.Is(derr, ErrCorruptReply) {
+			c.metrics.DigestRejected.Add(1)
+		}
+		return nil, derr
+	}
+	return res, nil
+}
+
+// AntiEntropyNow runs one repair sweep: every result this node holds
+// whose replica set includes peers is re-pushed to the currently usable
+// ones. Receivers dedup (200 vs 201), so a sweep over an already
+// converged cluster is read-only chatter; each 201 — a replica that was
+// actually missing — is counted in cluster_antientropy_repaired.
+// Returns the number of replicas repaired.
+func (c *Cluster) AntiEntropyNow(ctx context.Context) int {
+	if c.results == nil || c.replicas <= 1 {
+		return 0
+	}
+	repaired := 0
+	for _, id := range c.results.Keys() {
+		if ctx.Err() != nil {
+			return repaired
+		}
+		res, ok := c.results.Get(id)
+		if !ok {
+			continue
+		}
+		for _, p := range c.replicaTargets(id) {
+			if !c.members.usable(p.ID) {
+				continue // unreachable now; a later sweep will retry
+			}
+			if created, err := c.pushResult(ctx, p, res); err == nil && created {
+				c.metrics.AntiEntropyRepaired.Add(1)
+				repaired++
+			}
+		}
+	}
+	return repaired
+}

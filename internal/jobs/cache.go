@@ -68,6 +68,22 @@ func (c *Cache) Put(key string, res *Result) {
 	}
 }
 
+// Keys snapshots the cached content addresses, most recently used
+// first. The anti-entropy repair loop walks this to find results whose
+// replica sets may have holes after a partition.
+func (c *Cache) Keys() []string {
+	if c == nil || c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}
+
 // Len reports the number of cached results.
 func (c *Cache) Len() int {
 	if c == nil {

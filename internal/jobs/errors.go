@@ -39,6 +39,13 @@ var (
 	// rendezvous order and ultimately computes locally, so the cluster
 	// loses throughput, never availability.
 	ErrPeerUnavailable = errors.New("jobs: peer unavailable")
+	// ErrBadReplica reports that a replicated result failed its
+	// integrity check on arrival: the payload's canonical spec does not
+	// hash to the claimed content address, so storing it would poison
+	// the cache with a wrong answer under a right key. Terminal for the
+	// replication write — the sender should recompute or re-send, never
+	// force the store.
+	ErrBadReplica = errors.New("jobs: replica failed integrity check")
 )
 
 // Class buckets a job failure for the retry policy and the journal.

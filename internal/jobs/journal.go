@@ -271,6 +271,28 @@ func ReplayJournal(dir string) (Replayed, error) {
 	return rep, nil
 }
 
+// FindResult scans the journal for the completed result with the given
+// content address — the durable backstop behind GET /v1/results/{id}
+// when the in-memory cache has evicted (or never held) the entry. The
+// newest done record wins, matching replay semantics. A missing or
+// unreadable journal simply reports not-found: result lookup is a
+// best-effort read path, never an error source.
+func (j *Journal) FindResult(id string) (*Result, bool) {
+	if j == nil {
+		return nil, false
+	}
+	rep, err := ReplayJournal(j.dir)
+	if err != nil {
+		return nil, false
+	}
+	for _, res := range rep.Completed {
+		if res != nil && res.ID == id {
+			return res, true
+		}
+	}
+	return nil, false
+}
+
 // Compact atomically rewrites the journal to hold only done records for
 // the given results (the warm-cache state worth keeping), dropping the
 // acceptance/failure history. Called after a successful replay so the

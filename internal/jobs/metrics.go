@@ -39,6 +39,8 @@ type Metrics struct {
 	JournalReplayedPending  atomic.Int64 // pending jobs re-executed from the journal
 	JournalReplaysExhausted atomic.Int64 // poison jobs failed terminally after MaxReplayGenerations
 
+	ReplicasStored atomic.Int64 // peer-computed results accepted by StoreResult
+
 	mu    sync.Mutex
 	hists map[string]*Histogram
 }
@@ -89,8 +91,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"abandoned": m.JobsAbandoned.Load(),
 	}
 	cache := map[string]any{
-		"hits":   m.CacheHits.Load(),
-		"misses": m.CacheMisses.Load(),
+		"hits":            m.CacheHits.Load(),
+		"misses":          m.CacheMisses.Load(),
+		"replicas_stored": m.ReplicasStored.Load(),
 	}
 	breaker := map[string]any{
 		"trips":          m.BreakerTrips.Load(),

@@ -511,6 +511,40 @@ func (p *Pool) safeRun(ctx context.Context, poolKey string, c Spec) (res *Result
 	return run(ctx, c, p.opt.Parallelism)
 }
 
+// StoreResult installs a result computed elsewhere — a replication
+// write from a cluster peer — into this node's cache and journal, after
+// verifying its integrity: the payload's canonical spec must hash to
+// the claimed content address, so a corrupted or mislabeled replica can
+// never poison the cache with a wrong answer under a right key
+// (failures wrap ErrBadReplica). It reports whether the result was new
+// here (false means an identical entry already existed — the
+// anti-entropy no-op). Stored results are journaled as done records,
+// so a replica survives the replica-holder's own restart.
+func (p *Pool) StoreResult(res *Result) (created bool, err error) {
+	if res == nil || res.ID == "" {
+		return false, fmt.Errorf("%w: empty result", ErrBadReplica)
+	}
+	canon, cerr := res.Spec.Canon()
+	if cerr != nil {
+		return false, fmt.Errorf("%w: spec does not canonicalize: %v", ErrBadReplica, cerr)
+	}
+	if canon.Hash() != res.ID {
+		return false, fmt.Errorf("%w: spec hashes to %s, claimed id %s",
+			ErrBadReplica, canon.Hash()[:12], res.ID[:min(12, len(res.ID))])
+	}
+	if _, ok := p.cache.Get(res.ID); ok {
+		return false, nil
+	}
+	// Store an envelope scrubbed of the origin's run bookkeeping: the
+	// replica serves the deterministic content; Cached/Attempts/Service
+	// are per-serving-node facts.
+	cp := res.Normalized()
+	p.cache.Put(cp.ID, cp)
+	p.journalDone(cp.ID, cp)
+	p.metrics.ReplicasStored.Add(1)
+	return true, nil
+}
+
 // breakerFor returns the kind's circuit breaker, or nil when disabled.
 func (p *Pool) breakerFor(kind Kind) *breaker {
 	if p.breakers == nil {

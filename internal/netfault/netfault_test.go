@@ -1,0 +1,244 @@
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: the fault drawn at a site is a pure function
+// of (seed, key) — the reproducibility property the chaos suite rests on.
+func TestDecideDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, PartitionRate: 0.2, LatencyRate: 0.2, ResetRate: 0.2, TruncateRate: 0.2, CorruptRate: 0.2}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("a->b/a%d", i)
+		if got, want := a.Decide(key), b.Decide(key); got != want {
+			t.Fatalf("Decide(%q) differs across injectors: %v vs %v", key, got, want)
+		}
+		// Repeated draws of the same key are stable.
+		if first, again := a.Decide(key), a.Decide(key); first != again {
+			t.Fatalf("Decide(%q) unstable: %v then %v", key, first, again)
+		}
+	}
+}
+
+// TestDecideSeedAndDirection: changing the seed reshuffles the schedule,
+// and a drawn fault on a->b implies nothing about b->a (asymmetry).
+func TestDecideSeedAndDirection(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		return New(Plan{Seed: seed, PartitionRate: 0.5})
+	}
+	in1, in2 := mk(1), mk(2)
+	diff, asym := 0, 0
+	for i := 0; i < 200; i++ {
+		fwd := fmt.Sprintf("a->b/a%d", i)
+		rev := fmt.Sprintf("b->a/a%d", i)
+		if in1.Decide(fwd) != in2.Decide(fwd) {
+			diff++
+		}
+		if in1.Decide(fwd) != in1.Decide(rev) {
+			asym++
+		}
+	}
+	if diff == 0 {
+		t.Error("seeds 1 and 2 draw identical schedules")
+	}
+	if asym == 0 {
+		t.Error("forward and reverse links draw identical schedules (no asymmetry)")
+	}
+}
+
+// TestDecideRates: over many sites the empirical fault mix tracks the
+// plan's rates (loose bounds; the draw is hash-uniform, not sampled).
+func TestDecideRates(t *testing.T) {
+	in := New(Plan{Seed: 7, PartitionRate: 0.3, CorruptRate: 0.2})
+	counts := map[Kind]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[in.Decide(fmt.Sprintf("x->y/a%d", i))]++
+	}
+	frac := func(k Kind) float64 { return float64(counts[k]) / n }
+	if f := frac(Partition); f < 0.25 || f > 0.35 {
+		t.Errorf("partition fraction %.3f, want ~0.30", f)
+	}
+	if f := frac(Corrupt); f < 0.15 || f > 0.25 {
+		t.Errorf("corrupt fraction %.3f, want ~0.20", f)
+	}
+	if f := frac(None); f < 0.45 || f > 0.55 {
+		t.Errorf("none fraction %.3f, want ~0.50", f)
+	}
+}
+
+// TestMatchRestricts: a Match substring confines injection to matching
+// links.
+func TestMatchRestricts(t *testing.T) {
+	in := New(Plan{Seed: 3, PartitionRate: 1, Match: "->b/"})
+	if got := in.Decide("a->b/a0"); got != Partition {
+		t.Errorf("matching key drew %v, want partition", got)
+	}
+	if got := in.Decide("a->c/a0"); got != None {
+		t.Errorf("non-matching key drew %v, want none", got)
+	}
+}
+
+// fakePeer runs a tiny server returning a fixed body, and a transport
+// wrapped to treat it as peer "b" as seen from "a".
+func fakePeer(t *testing.T, in *Injector, body string) (*httptest.Server, http.RoundTripper) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := in.Transport("a", HostResolver(map[string]string{u.Host: "b"}), nil)
+	return srv, rt
+}
+
+// TestTransportExplicitPartitionAndHeal: an explicit directed cut fails
+// requests without touching the server; healing restores the link.
+func TestTransportExplicitPartitionAndHeal(t *testing.T) {
+	in := New(Plan{Seed: 1})
+	srv, rt := fakePeer(t, in, "hello")
+	client := &http.Client{Transport: rt}
+
+	in.Partition("a", "b")
+	if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("partitioned request err = %v, want injected partition", err)
+	}
+	if got := in.Partitions.Load(); got != 1 {
+		t.Errorf("partitions counter = %d, want 1", got)
+	}
+
+	in.Heal("a", "b")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "hello" {
+		t.Errorf("healed body = %q", b)
+	}
+}
+
+// TestTransportCorruptAndTruncate: drawn corruption flips exactly one
+// bit of the body; truncation halves it. Both are deterministic per
+// attempt.
+func TestTransportCorruptAndTruncate(t *testing.T) {
+	const body = "the quick brown fox jumps over the lazy dog"
+
+	in := New(Plan{Seed: 5, CorruptRate: 1})
+	srv, rt := fakePeer(t, in, body)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) == body {
+		t.Error("corrupt-rate-1 response unchanged")
+	}
+	if len(got) != len(body) {
+		t.Errorf("corruption changed length: %d vs %d", len(got), len(body))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption touched %d bytes, want exactly 1", diff)
+	}
+	if in.Corruptions.Load() == 0 {
+		t.Error("corruptions counter unmoved")
+	}
+
+	in2 := New(Plan{Seed: 5, TruncateRate: 1})
+	srv2, rt2 := fakePeer(t, in2, body)
+	client2 := &http.Client{Transport: rt2}
+	resp2, err := client2.Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if len(got2) != len(body)/2 {
+		t.Errorf("truncated body length %d, want %d", len(got2), len(body)/2)
+	}
+}
+
+// TestTransportReset: the server processes the request (the work
+// happens) but the client sees a transport error (the answer is lost).
+func TestTransportReset(t *testing.T) {
+	in := New(Plan{Seed: 9, ResetRate: 1})
+	served := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, "done")
+	}))
+	t.Cleanup(srv.Close)
+	u, _ := url.Parse(srv.URL)
+	rt := in.Transport("a", HostResolver(map[string]string{u.Host: "b"}), nil)
+	client := &http.Client{Transport: rt}
+
+	if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("reset request err = %v, want injected reset", err)
+	}
+	if served != 1 {
+		t.Errorf("server handled %d requests, want 1 (reset loses the reply, not the work)", served)
+	}
+}
+
+// TestTransportPassThrough: hosts the resolver does not know are not
+// shaped at all.
+func TestTransportPassThrough(t *testing.T) {
+	in := New(Plan{Seed: 1, PartitionRate: 1})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "clean")
+	}))
+	t.Cleanup(srv.Close)
+	rt := in.Transport("a", HostResolver(map[string]string{}), nil)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("pass-through request failed: %v", err)
+	}
+	resp.Body.Close()
+	if in.Partitions.Load() != 0 {
+		t.Error("unresolvable host drew a fault")
+	}
+}
+
+// TestParsePlan covers the env-hook format, including rejection of
+// unknown keys.
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7, partition=0.05, latency-rate=0.1, latency=25ms, reset=0.02, truncate=0.01, corrupt=0.03, match=->b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.PartitionRate != 0.05 || p.LatencyRate != 0.1 ||
+		p.Latency != 25*time.Millisecond || p.ResetRate != 0.02 ||
+		p.TruncateRate != 0.01 || p.CorruptRate != 0.03 || p.Match != "->b/" {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if _, err := ParsePlan("sneed=7"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParsePlan("seed"); err == nil {
+		t.Error("bare key accepted")
+	}
+	if _, err := ParsePlan("seed=x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}

@@ -6,9 +6,12 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net"
 	"net/http"
@@ -64,6 +67,10 @@ type handler struct {
 	// bounds the pool-facing queue: a request sheds before entering the
 	// pool, never after.
 	pending atomic.Int64
+	// deadlineRejected counts submissions refused at the door because
+	// their propagated X-Gapd-Deadline had already passed — work that
+	// would have been computed for a caller no longer waiting.
+	deadlineRejected atomic.Int64
 
 	mu        sync.Mutex
 	perClient map[string]int
@@ -75,6 +82,8 @@ type handler struct {
 //	POST /v1/ladder    run the section 3 factor ladder (rungs in parallel)
 //	POST /v1/sweep     run a pipeline-depth sweep (depths in parallel)
 //	GET  /v1/jobs/{id} job status by canonical spec hash
+//	GET  /v1/results/{id} stored result by content address (replica reads)
+//	PUT  /v1/results/{id} store a replica pushed by a peer (digest-checked)
 //	GET  /v1/cluster   cluster membership, health, and ownership stats
 //	GET  /v1/version   build info (module, version, Go toolchain, VCS)
 //	GET  /healthz      liveness
@@ -117,6 +126,8 @@ func NewHandler(opt Options) http.Handler {
 	mux.HandleFunc("POST /v1/ladder", h.submit(jobs.KindLadder))
 	mux.HandleFunc("POST /v1/sweep", h.submit(jobs.KindSweep))
 	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+	mux.HandleFunc("GET /v1/results/{id}", h.getResult)
+	mux.HandleFunc("PUT /v1/results/{id}", h.putResult)
 	mux.HandleFunc("GET /v1/cluster", h.clusterStatus)
 	mux.HandleFunc("GET /v1/version", h.version)
 	mux.HandleFunc("GET /healthz", h.healthz)
@@ -132,6 +143,22 @@ func NewHandler(opt Options) http.Handler {
 // keeping the pool-facing queue bounded.
 func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Deadline admission runs before anything else: a request whose
+		// propagated deadline has already passed gets 504 without
+		// touching the admission budget or the pool — the caller is no
+		// longer waiting, so any work done for it is pure waste.
+		deadline, err := parseDeadline(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !deadline.IsZero() && !deadline.After(time.Now()) {
+			h.deadlineRejected.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("deadline %s already passed at admission", deadline.UTC().Format(time.RFC3339Nano)))
+			return
+		}
+
 		release, err := h.admit(r)
 		if err != nil {
 			h.pool.Metrics().JobsShed.Add(1)
@@ -148,6 +175,14 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), h.requestTimeout)
 		defer cancel()
+		if !deadline.IsZero() {
+			// Chain the propagated deadline under the server's own cap;
+			// context.WithDeadline keeps whichever is earlier, so a
+			// multi-hop chain can only shrink the time budget.
+			var dcancel context.CancelFunc
+			ctx, dcancel = context.WithDeadline(ctx, deadline)
+			defer dcancel()
+		}
 
 		// Forward-or-serve: with clustering on, a spec owned by a peer
 		// is proxied to it (hedged); the loop guard serves already-
@@ -168,8 +203,28 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 			writeError(w, statusFor(err), err)
 			return
 		}
+		if h.cluster != nil && !res.Cached {
+			// Freshly computed: push copies to the replica peers off the
+			// response path. A cached result was replicated when first
+			// computed (or arrived via replication itself).
+			go h.cluster.Replicate(context.Background(), res)
+		}
 		writeJSON(w, http.StatusOK, res)
 	}
+}
+
+// parseDeadline reads the propagated X-Gapd-Deadline header; the zero
+// time means none was sent.
+func parseDeadline(r *http.Request) (time.Time, error) {
+	v := r.Header.Get(cluster.DeadlineHeader)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("invalid %s header %q: %w", cluster.DeadlineHeader, v, err)
+	}
+	return t, nil
 }
 
 // tryForward routes one decoded spec through the cluster. It reports
@@ -180,10 +235,14 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 // fallback).
 func (h *handler) tryForward(ctx context.Context, w http.ResponseWriter, spec jobs.Spec, path string) bool {
 	cl := h.cluster
-	rt := cl.Route(spec.Hash())
+	hash := spec.Hash()
+	rt := cl.Route(hash)
 	if rt.Local {
 		if rt.Fallback {
 			cl.Metrics().Fallback.Add(1)
+			if h.serveReplica(ctx, w, hash) {
+				return true
+			}
 		}
 		return false
 	}
@@ -206,10 +265,40 @@ func (h *handler) tryForward(ctx context.Context, w http.ResponseWriter, spec jo
 		return true
 	default:
 		// Every target unavailable: the next node in rendezvous order
-		// is us now. Compute locally — no warm cache, full availability.
+		// is us now. Before re-computing, ask the result's replica peers
+		// for an already-finished copy — a partition cannot un-finish
+		// work that was replicated before it started. Otherwise compute
+		// locally — no warm cache, full availability.
 		cl.Metrics().Fallback.Add(1)
+		if h.serveReplica(ctx, w, hash) {
+			return true
+		}
 		return false
 	}
+}
+
+// serveReplica answers a fallback request from a peer-held replica of
+// an already-computed result, when one exists. The local cache is
+// checked first (pool.Do would hit it anyway — skip the network);
+// a fetched replica is stored locally so repeated requests during the
+// same partition are served without re-fetching.
+func (h *handler) serveReplica(ctx context.Context, w http.ResponseWriter, hash string) bool {
+	if _, ok := h.pool.Cache().Get(hash); ok {
+		return false // pool.Do will serve the local copy
+	}
+	res, ok := h.cluster.FetchResult(ctx, hash)
+	if !ok {
+		return false
+	}
+	if _, err := h.pool.StoreResult(res); err != nil {
+		// An integrity failure here means the replica is not the result
+		// it claims to be; do not serve it.
+		return false
+	}
+	out := res.Normalized()
+	out.Cached = true
+	writeJSON(w, http.StatusOK, out)
+	return true
 }
 
 // clusterStatus serves GET /v1/cluster.
@@ -343,6 +432,85 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// getResult serves GET /v1/results/{id}: the internal replication read.
+// It answers from the result cache first, then from the crash-safe
+// journal (a restarted node holds its finished work on disk before the
+// cache rewarms), and 404s otherwise. The response carries the digest
+// header like every JSON response, so the fetching peer verifies the
+// bytes end to end.
+func (h *handler) getResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validAddr(id) {
+		writeError(w, http.StatusBadRequest, errors.New("id must be 64 lowercase hex characters"))
+		return
+	}
+	if res, ok := h.pool.Cache().Get(id); ok {
+		writeJSON(w, http.StatusOK, res.Normalized())
+		return
+	}
+	if res, ok := h.pool.Journal().FindResult(id); ok {
+		writeJSON(w, http.StatusOK, res.Normalized())
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("result %s not held here", id))
+}
+
+// putResult serves PUT /v1/results/{id}: a replica push from a peer.
+// The body is verified twice before anything is stored — the raw bytes
+// against the digest header, then the decoded result's canonical spec
+// hash against its claimed content address — so neither wire corruption
+// nor a confused peer can seed the cache with a wrong answer. 201 means
+// newly stored, 200 already present, 400 failed verification.
+func (h *handler) putResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validAddr(id) {
+		writeError(w, http.StatusBadRequest, errors.New("id must be 64 lowercase hex characters"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	if d := r.Header.Get(cluster.DigestHeader); d != "" {
+		sum := sha256.Sum256(body)
+		if hex.EncodeToString(sum[:]) != d {
+			writeError(w, http.StatusBadRequest,
+				errors.New("replica body does not match its digest"))
+			return
+		}
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid replica body: %w", err))
+		return
+	}
+	if res.ID != id {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("replica body is for %.12s, path says %.12s", res.ID, id))
+		return
+	}
+	created, err := h.pool.StoreResult(&res)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if created {
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "stored"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "exists"})
+}
+
+// maxReplicaBody bounds a pushed replica (same bound the cluster client
+// applies to peer responses).
+const maxReplicaBody = 8 << 20
+
+// validAddr reports whether s is a well-formed content address.
+func validAddr(s string) bool {
+	return len(s) == 64 && strings.Trim(s, "0123456789abcdef") == ""
+}
+
 // healthz serves GET /healthz. It degrades to 503 when the service can
 // accept work but should not be trusted with it: a circuit breaker is
 // open (a job kind is failing hard) or the journal is unwritable (jobs
@@ -379,6 +547,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["inflight"] = h.pool.InFlight()
 	snap["abandoned_in_flight"] = h.pool.AbandonedInFlight()
 	snap["pending_requests"] = h.pending.Load()
+	snap["deadline_rejected"] = h.deadlineRejected.Load()
 	snap["breakers"] = h.pool.BreakerStates()
 	if h.cluster != nil {
 		snap["cluster"] = h.cluster.MetricsSnapshot()
@@ -404,15 +573,24 @@ func statusFor(err error) int {
 	}
 }
 
-// writeJSON writes v as indented JSON with the given status.
+// writeJSON writes v as indented JSON with the given status, stamped
+// with the X-Gapd-Result-Digest of the exact body bytes. Buffering the
+// encode (rather than streaming) is what makes the digest possible: the
+// hash must cover the same bytes the peer will read. The output is
+// byte-identical to the streaming encoder this replaced (MarshalIndent
+// plus the trailing newline Encode appends).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	sum := sha256.Sum256(body)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cluster.DigestHeader, hex.EncodeToString(sum[:]))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	// The status line is already written; a mid-stream encode failure can
-	// only truncate the body.
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
 }
 
 // writeError writes a JSON error envelope.
