@@ -1,20 +1,38 @@
 # Developer entry points. `make tier1` is the gate every change must
-# pass: formatting, vet, a full build, the test suite under the race
-# detector (the concurrency proof for the gapd job engine), and the
-# chaos suite (the failure proof: deterministic fault injection at every
-# pool/stage seam, journal kill-and-restart recovery, overload shedding).
+# pass: formatting (gofmt -s), vet, gaplint, a full build, the test
+# suite under the race detector (the concurrency proof for the gapd job
+# engine), and the chaos suite (the failure proof: deterministic fault
+# injection at every pool/stage seam, journal kill-and-restart recovery,
+# overload shedding).
+#
+# `make lint` runs cmd/gaplint, the repo's own static-analysis pass
+# (internal/analysis): determinism (no wall clock / global rand in the
+# core evaluation packages), errtaxonomy (service-boundary errors wrap
+# the typed taxonomy), ctxflow (incoming contexts propagate; no
+# context.Background in ctx-receiving functions), and metricname
+# (registered metric names unique and snake_case module-wide).
+# Deliberate exceptions are annotated in the source as
+#
+#     //gaplint:allow <analyzer> — <reason>
+#
+# on the offending line or the line directly above it. The reason is
+# mandatory, and an allow that no longer suppresses anything is itself
+# a finding — stale annotations cannot accumulate.
 
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench chaos chaos-net fuzz gapd
+.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net fuzz gapd
 
-tier1: fmt vet build race chaos chaos-net
+tier1: fmt vet lint build race chaos chaos-net
 
 fmt:
-	@out=$$(gofmt -l .); \
+	@out=$$(gofmt -s -l .); \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
+
+lint:
+	$(GO) run ./cmd/gaplint ./...
 
 vet:
 	$(GO) vet ./...

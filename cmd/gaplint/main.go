@@ -1,0 +1,109 @@
+// Command gaplint runs the repo's project-specific static analysis
+// (internal/analysis) over the whole module and exits non-zero on any
+// finding. It enforces the invariants every quantitative claim in the
+// reproduction rests on:
+//
+//	determinism  core evaluation packages stay a pure function of
+//	             their inputs (no wall clock, no global rand)
+//	errtaxonomy  service-boundary errors stay classifiable by the
+//	             jobs failure taxonomy
+//	ctxflow      contexts propagate instead of being re-minted
+//	metricname   registered metric names are unique and snake_case
+//
+// Usage:
+//
+//	gaplint [packages]
+//
+// With no arguments or "./..." the whole module is checked. Directory
+// arguments ("./internal/sta") restrict which packages' findings are
+// reported — the whole module is still loaded, because metric-name
+// uniqueness is a module-wide property.
+//
+// Deliberate exceptions carry an inline justification:
+//
+//	//gaplint:allow <analyzer> — <reason>
+//
+// on the offending line or the line above. Suppressions without a
+// reason, and suppressions that no longer match a finding, are
+// themselves findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gaplint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	findings := analysis.Run(pkgs, analysis.RepoAnalyzers("repro"))
+	findings = filterFindings(findings, root, args)
+	if len(findings) == 0 {
+		return nil
+	}
+	os.Stdout.WriteString(analysis.Format(findings, root))
+	os.Exit(1)
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterFindings restricts findings to the requested package dirs.
+// "./..." (or no args) keeps everything; "./internal/sta/..." and
+// "./internal/sta" keep that subtree.
+func filterFindings(fs []analysis.Finding, root string, args []string) []analysis.Finding {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return fs
+		}
+		a = strings.TrimSuffix(a, "/...")
+		dirs = append(dirs, filepath.Clean(filepath.Join(root, a)))
+	}
+	if len(dirs) == 0 {
+		return fs
+	}
+	var out []analysis.Finding
+	for _, f := range fs {
+		for _, d := range dirs {
+			if f.Pos.Filename == d || strings.HasPrefix(f.Pos.Filename, d+string(filepath.Separator)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}

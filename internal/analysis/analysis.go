@@ -1,0 +1,200 @@
+// Package analysis is gaplint's from-scratch, stdlib-only static
+// analysis framework. It loads every package in the module from source
+// (load.go), runs registered analyzers over the type-checked ASTs, and
+// reports findings as "file:line: [analyzer] message" — the machine
+// check behind the repo's determinism, error-taxonomy, and
+// context-propagation invariants (see DESIGN.md "Static analysis").
+//
+// Deliberate exceptions are suppressed in the source with
+//
+//	//gaplint:allow <analyzer> — <reason>
+//
+// on the finding line or the line directly above it. The reason is
+// mandatory: an allow without one does not suppress, and an allow that
+// suppresses nothing is itself reported, so stale annotations cannot
+// accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic at a resolved source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass hands one package to one analyzer and collects its reports.
+type Pass struct {
+	Pkg    *Package
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(name string, pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer checks one package at a time. Analyzers that need a
+// module-wide view (metricname uniqueness) also implement Finisher.
+type Analyzer interface {
+	Name() string
+	// Package inspects one type-checked package, reporting findings
+	// through the pass.
+	Package(p *Pass)
+}
+
+// Finisher is implemented by analyzers that report only after seeing
+// every package in the run.
+type Finisher interface {
+	Finish(report func(Finding))
+}
+
+// allow is one parsed //gaplint:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+const allowPrefix = "//gaplint:allow"
+
+// parseAllows scans a file's comments for suppression directives,
+// keyed by line number.
+func parseAllows(fset *token.FileSet, f *ast.File) map[int]*allow {
+	out := make(map[int]*allow)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			rest = strings.TrimSpace(rest)
+			name := rest
+			reason := ""
+			for _, sep := range []string{"—", "--", "-"} {
+				if i := strings.Index(rest, sep); i >= 0 {
+					name = strings.TrimSpace(rest[:i])
+					reason = strings.TrimSpace(rest[i+len(sep):])
+					break
+				}
+			}
+			pos := fset.Position(c.Pos())
+			out[pos.Line] = &allow{analyzer: name, reason: reason, pos: pos}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies suppressions,
+// and returns the surviving findings sorted by position. Driver-level
+// diagnostics (malformed or unused suppressions) are reported under the
+// "gaplint" pseudo-analyzer.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var raw []Finding
+	collect := func(f Finding) { raw = append(raw, f) }
+	for _, az := range analyzers {
+		for _, pkg := range pkgs {
+			az.Package(&Pass{Pkg: pkg, report: collect})
+		}
+		if fin, ok := az.(Finisher); ok {
+			fin.Finish(collect)
+		}
+	}
+
+	// Suppression table: file -> line -> allow.
+	allows := make(map[string]map[int]*allow)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pos := pkg.Fset.Position(f.Pos())
+			allows[pos.Filename] = parseAllows(pkg.Fset, f)
+		}
+	}
+
+	var out []Finding
+	for _, f := range raw {
+		if a := matchAllow(allows, f); a != nil {
+			if a.reason == "" {
+				// Reported once below as a malformed suppression; the
+				// underlying finding still stands.
+				out = append(out, f)
+				continue
+			}
+			a.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, fileAllows := range allows {
+		for _, a := range fileAllows {
+			switch {
+			case a.reason == "":
+				out = append(out, Finding{Pos: a.pos, Analyzer: "gaplint",
+					Message: fmt.Sprintf("suppression for %q is missing a reason (want //gaplint:allow %s — <reason>)", a.analyzer, a.analyzer)})
+			case !a.used:
+				out = append(out, Finding{Pos: a.pos, Analyzer: "gaplint",
+					Message: fmt.Sprintf("unused suppression for %q — nothing on this or the next line triggers it", a.analyzer)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// matchAllow finds a suppression covering f: same analyzer, same file,
+// on the finding line or the line directly above.
+func matchAllow(allows map[string]map[int]*allow, f Finding) *allow {
+	fileAllows, ok := allows[f.Pos.Filename]
+	if !ok {
+		return nil
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if a, ok := fileAllows[line]; ok && a.analyzer == f.Analyzer {
+			return a
+		}
+	}
+	return nil
+}
+
+// Format renders findings one per line as "file:line: [analyzer]
+// message", with file paths relative to base when possible.
+func Format(findings []Finding, base string) string {
+	var b strings.Builder
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(&b, "%s:%d: [%s] %s\n", filepath.ToSlash(name), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// fixtureCases pairs each analyzer configuration with the fixture
+// packages it runs over and the golden file holding its exact expected
+// diagnostics.
+var fixtureCases = []struct {
+	name      string
+	dirs      []string
+	analyzers func() []Analyzer
+}{
+	{
+		name: "determinism",
+		dirs: []string{"det", "notcore"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewDeterminism("fixture/det")}
+		},
+	},
+	{
+		name: "errtaxonomy",
+		dirs: []string{"errtax"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewErrTaxonomy("fixture/errtax")}
+		},
+	},
+	{
+		name: "ctxflow",
+		dirs: []string{"ctxflow"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewCtxFlow()}
+		},
+	},
+	{
+		name: "metricname",
+		dirs: []string{"metricname", "metricname2"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewMetricName()}
+		},
+	},
+	{
+		// Driver-level behaviour: reasoned allows suppress, reasonless
+		// allows don't (and are reported), stale allows are reported.
+		name: "suppress",
+		dirs: []string{"suppress"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewDeterminism("fixture/suppress")}
+		},
+	},
+}
+
+// TestFixtures runs each analyzer over its fixture packages and
+// compares the formatted diagnostics byte-for-byte against the golden
+// file. Regenerate with: go test ./internal/analysis -run TestFixtures -update
+func TestFixtures(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	for _, tc := range fixtureCases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs, err := LoadDirs(src, "fixture", tc.dirs...)
+			if err != nil {
+				t.Fatalf("LoadDirs(%v): %v", tc.dirs, err)
+			}
+			got := Format(Run(pkgs, tc.analyzers()), mustAbs(t, src))
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestInjectedViolation proves the end-to-end LoadModule path: a
+// synthetic module with a wall-clock read in its core package yields
+// exactly one determinism finding, and a clean module yields none.
+func TestInjectedViolation(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module fixturemod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "internal", "sta", "sta.go"),
+		"package sta\n\nimport \"time\"\n\n// Probe reads the wall clock.\nfunc Probe() int64 { return time.Now().UnixNano() }\n")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, []Analyzer{NewDeterminism("fixturemod/internal/sta")})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "determinism" || f.Pos.Line != 6 || !strings.Contains(f.Message, "time.Now") {
+		t.Fatalf("unexpected finding: %+v", f)
+	}
+	if got := Format(findings, root); got != "internal/sta/sta.go:6: [determinism] "+f.Message+"\n" {
+		t.Fatalf("Format = %q", got)
+	}
+
+	// The same module with the read annotated is clean.
+	writeFile(t, filepath.Join(root, "internal", "sta", "sta.go"),
+		"package sta\n\nimport \"time\"\n\n// Probe reads the wall clock.\nfunc Probe() int64 {\n\t//gaplint:allow determinism — test: sanctioned read\n\treturn time.Now().UnixNano()\n}\n")
+	pkgs, err = LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := Run(pkgs, []Analyzer{NewDeterminism("fixturemod/internal/sta")}); len(findings) != 0 {
+		t.Fatalf("annotated module should be clean, got %v", findings)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkGaplint measures one full gaplint pass over the real module
+// — source loading, type checking (full bodies for module packages,
+// declarations only for stdlib), all four analyzers, and suppression
+// filtering. This is the marginal cost `make lint` adds to tier1;
+// EXPERIMENTS.md tracks it.
+func BenchmarkGaplint(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pkgs, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := Run(pkgs, RepoAnalyzers("repro")); len(findings) != 0 {
+			b.Fatalf("module not lint-clean: %d findings", len(findings))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation: deadlines, cancellation, stage
+// observers, fault-injection hooks, and netfault plans all ride the
+// context, so a function that receives a context.Context and then
+// manufactures a fresh one silently detaches its callees from the
+// caller's deadline and from every chaos seam the tests rely on.
+// Two rules, applied module-wide:
+//
+//  1. a function with an incoming ctx parameter (or a closure inside
+//     one) must not call context.Background() or context.TODO();
+//  2. within such a function, a callee that takes a context.Context
+//     parameter must be passed a context derived from the incoming one
+//     (the parameter itself, or a local produced from it via
+//     context.WithCancel/WithTimeout/WithValue chains).
+//
+// Detached work that deliberately outlives a request (background
+// replication, anti-entropy) is annotated at the call site with
+// //gaplint:allow ctxflow so the detachment is visible in review.
+type CtxFlow struct{}
+
+// NewCtxFlow builds the analyzer.
+func NewCtxFlow() *CtxFlow { return &CtxFlow{} }
+
+// Name implements Analyzer.
+func (a *CtxFlow) Name() string { return "ctxflow" }
+
+// frame tracks one function's view of the incoming context: the ctx
+// parameters plus every local derived from them, chained to the
+// enclosing function for closures.
+type frame struct {
+	parent  *frame
+	derived map[types.Object]bool
+	hasCtx  bool
+}
+
+func (fr *frame) mentions(obj types.Object) bool {
+	for f := fr; f != nil; f = f.parent {
+		if f.derived[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// Package implements Analyzer.
+func (a *CtxFlow) Package(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				a.walkFunc(p, fd.Type, fd.Body, nil)
+			}
+		}
+	}
+}
+
+// walkFunc analyzes one function body under a fresh frame.
+func (a *CtxFlow) walkFunc(p *Pass, ft *ast.FuncType, body *ast.BlockStmt, parent *frame) {
+	fr := &frame{parent: parent, derived: make(map[types.Object]bool)}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					fr.derived[obj] = true
+				}
+			}
+		}
+	}
+	fr.hasCtx = len(fr.derived) > 0 || (parent != nil && parent.hasCtx)
+	a.collectDerived(p, body, fr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.walkFunc(p, n.Type, n.Body, fr)
+			return false
+		case *ast.CallExpr:
+			a.checkCall(p, n, fr)
+		}
+		return true
+	})
+}
+
+// collectDerived fixpoints over assignments in body, adding
+// context-typed locals whose right-hand side mentions an already
+// derived context (ctx2 := context.WithTimeout(ctx, d) and chains).
+func (a *CtxFlow) collectDerived(p *Pass, body *ast.BlockStmt, fr *frame) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj == nil || !isContextType(obj.Type()) || fr.derived[obj] {
+					continue
+				}
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if exprMentionsDerived(p, rhs, fr) {
+					fr.derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCall applies both rules to one call site.
+func (a *CtxFlow) checkCall(p *Pass, call *ast.CallExpr, fr *frame) {
+	if name, ok := freshContextCall(p, call); ok {
+		if fr.hasCtx {
+			p.Reportf(a.Name(), call.Pos(),
+				"function receives a ctx but calls context.%s(), detaching callees from the caller's deadline and chaos seams; propagate the incoming ctx", name)
+		}
+		return
+	}
+	if !fr.hasCtx {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if !isContextType(params.At(i).Type()) {
+			continue
+		}
+		arg := call.Args[i]
+		if _, fresh := freshContextCall(p, argAsCall(arg)); fresh {
+			continue // rule 1 already reported it
+		}
+		if !exprMentionsDerived(p, arg, fr) {
+			p.Reportf(a.Name(), arg.Pos(),
+				"call passes a context not derived from the incoming ctx parameter; thread the caller's ctx through")
+		}
+	}
+}
+
+func argAsCall(e ast.Expr) *ast.CallExpr {
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// freshContextCall reports whether call is context.Background() or
+// context.TODO().
+func freshContextCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	if call == nil {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := pkgLevelFunc(p, sel)
+	if fn == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// exprMentionsDerived reports whether any identifier inside e resolves
+// to a derived context in fr's frame chain.
+func exprMentionsDerived(p *Pass, e ast.Expr, fr *frame) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && fr.mentions(obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

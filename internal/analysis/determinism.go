@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the replay invariant in the core evaluation
+// packages: every quantitative result (factor-ladder rungs, chaos-suite
+// outputs at fixed seeds, journal replays, replica digests) is proven by
+// byte-identical re-execution, so the flow arithmetic must be a pure
+// function of its inputs. Inside the configured packages it forbids:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - the global math/rand stream: any package-level math/rand (or
+//     math/rand/v2) function other than the explicit constructors
+//     New, NewSource, and NewZipf — rand.Intn(3) draws from a process
+//     -global source that replay cannot pin;
+//   - unseeded generators: rand.New(src) where src is not a literal
+//     rand.NewSource(seed) call, so every stream's seed is visible at
+//     the construction site.
+//
+// Methods on an explicit *rand.Rand stay legal: r.Intn(3) on a
+// rand.New(rand.NewSource(seed)) generator is the blessed pattern.
+type Determinism struct {
+	core map[string]bool
+}
+
+// NewDeterminism builds the analyzer for the given core package import
+// paths; packages outside the list are ignored.
+func NewDeterminism(corePkgs ...string) *Determinism {
+	m := make(map[string]bool, len(corePkgs))
+	for _, p := range corePkgs {
+		m[p] = true
+	}
+	return &Determinism{core: m}
+}
+
+// Name implements Analyzer.
+func (d *Determinism) Name() string { return "determinism" }
+
+// forbiddenClock are the wall-clock reads replay cannot reproduce.
+var forbiddenClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand package-level functions that stay
+// legal: they build explicit generators rather than draw from the
+// global stream.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// Package implements Analyzer.
+func (d *Determinism) Package(p *Pass) {
+	if !d.core[p.Pkg.Path] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn := pkgLevelFunc(p, n)
+				if fn == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if forbiddenClock[fn.Name()] {
+						p.Reportf(d.Name(), n.Pos(),
+							"wall-clock read time.%s in a core evaluation package breaks deterministic replay; thread timing through an observer or annotate with //gaplint:allow", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[fn.Name()] {
+						p.Reportf(d.Name(), n.Pos(),
+							"global rand.%s draws from the process-wide stream; use a seeded rand.New(rand.NewSource(seed)) generator", fn.Name())
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgLevelFunc(p, sel)
+				if fn == nil || fn.Name() != "New" {
+					return true
+				}
+				if pp := fn.Pkg().Path(); pp != "math/rand" && pp != "math/rand/v2" {
+					return true
+				}
+				if len(n.Args) == 1 && isRandSourceCall(p, n.Args[0]) {
+					return true
+				}
+				p.Reportf(d.Name(), n.Pos(),
+					"rand.New must be seeded at the construction site: rand.New(rand.NewSource(seed))")
+			}
+			return true
+		})
+	}
+}
+
+// pkgLevelFunc resolves sel to a package-level function (receiver-less
+// *types.Func with a package), or nil.
+func pkgLevelFunc(p *Pass, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// isRandSourceCall reports whether e is a direct call to a math/rand
+// source constructor (NewSource, NewPCG, NewChaCha8).
+func isRandSourceCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := pkgLevelFunc(p, sel)
+	if fn == nil {
+		return false
+	}
+	pp := fn.Pkg().Path()
+	if pp != "math/rand" && pp != "math/rand/v2" {
+		return false
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

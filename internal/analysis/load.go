@@ -1,0 +1,291 @@
+// load.go implements the package loader behind gaplint: a from-scratch
+// source importer built on go/build (file discovery honoring build
+// constraints), go/parser, and go/types. It deliberately avoids
+// golang.org/x/tools so the module keeps its zero-dependency property —
+// the trade is that we re-implement the small slice of package loading
+// the analyzers need:
+//
+//   - module-internal packages ("repro/...") resolve by path mapping
+//     against the module root, never by GOPATH lookup, and are
+//     type-checked in full with types.Info populated, because analyzers
+//     inspect their function bodies;
+//   - everything else (stdlib, including GOROOT-vendored packages) is
+//     type-checked with IgnoreFuncBodies, which skips the vast majority
+//     of the work while still producing exact object identities for
+//     Uses/Selections — enough to tell time.Now from a local Now.
+//
+// Cgo is disabled in the build context so constraint evaluation picks
+// the pure-Go fallbacks (netgo, osusergo) that type-check from source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked module package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/core")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, parsed with comments
+	Types *types.Package
+	Info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	buildCtx build.Context
+	modPath  string                    // module path from go.mod
+	modDir   string                    // absolute module root
+	imported map[string]*types.Package // every package, by resolved import path
+	full     map[string]*Package       // module packages with bodies + Info
+	loading  map[string]bool           // import-cycle guard
+}
+
+func newLoader(modDir, modPath string) *loader {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &loader{
+		fset:     token.NewFileSet(),
+		buildCtx: ctx,
+		modPath:  modPath,
+		modDir:   modDir,
+		imported: make(map[string]*types.Package),
+		full:     make(map[string]*Package),
+		loading:  make(map[string]bool),
+	}
+}
+
+// LoadModule discovers every non-testdata package under root (a module
+// root containing go.mod) and returns them fully type-checked, sorted
+// by import path.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	var paths []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return err
+			}
+			ip := modPath
+			if rel != "." {
+				ip = modPath + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.loadFull(ip)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", ip, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDirs type-checks the given fixture directories as a tiny synthetic
+// module rooted at root with module path modPath — the test harness for
+// analyzer fixtures under testdata/src. Each dir is addressed as
+// modPath/<relative-dir>.
+func LoadDirs(root, modPath string, dirs ...string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.loadFull(modPath + "/" + filepath.ToSlash(rel))
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadFull type-checks a module-internal package with bodies and Info.
+func (l *loader) loadFull(path string) (*Package, error) {
+	if p, ok := l.full[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.modDir
+	if path != l.modPath {
+		rel, ok := strings.CutPrefix(path, l.modPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("%s is not inside module %s", path, l.modPath)
+		}
+		dir = filepath.Join(l.modDir, filepath.FromSlash(rel))
+	}
+	names, err := l.goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor(l.buildCtx.Compiler, l.buildCtx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.full[path] = p
+	l.imported[path] = tpkg
+	return p, nil
+}
+
+// goFileNames lists the buildable non-test Go files of dir, honoring
+// build constraints under the loader's context.
+func (l *loader) goFileNames(dir string) ([]string, error) {
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return bp.GoFiles, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. srcDir drives GOROOT vendor
+// resolution (net/http importing golang.org/x/net/http/httpguts).
+func (l *loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.loadFull(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if tp, ok := l.imported[path]; ok {
+		return tp, nil
+	}
+	bp, err := l.buildCtx.Import(path, srcDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if tp, ok := l.imported[bp.ImportPath]; ok {
+		l.imported[path] = tp
+		return tp, nil
+	}
+	if l.loading[bp.ImportPath] {
+		return nil, fmt.Errorf("import cycle through %s", bp.ImportPath)
+	}
+	l.loading[bp.ImportPath] = true
+	defer delete(l.loading, bp.ImportPath)
+
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true, // declarations are enough for imports
+		Sizes:            types.SizesFor(l.buildCtx.Compiler, l.buildCtx.GOARCH),
+	}
+	tpkg, err := conf.Check(bp.ImportPath, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-check dependency %s: %w", bp.ImportPath, err)
+	}
+	l.imported[bp.ImportPath] = tpkg
+	l.imported[path] = tpkg
+	return tpkg, nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// MetricName keeps the /metrics contract coherent module-wide. Metric
+// names are registered in two shapes: string literals passed as the
+// first argument to a (*Metrics).Observe call (histogram names), and
+// string-literal keys of map literals inside a (*Metrics).Counters
+// method (flat counter names). Dashboards and the chaos suite address
+// both by exact string, so every registered literal must be snake_case
+// ([a-z0-9_], starting with a letter) and unique across the module —
+// two packages silently registering the same name would merge unrelated
+// series. Dynamic names ("stage_"+stage) are out of scope by design:
+// they namespace with a literal prefix that the static sites own.
+type MetricName struct {
+	sites []metricSite
+}
+
+type metricSite struct {
+	name string
+	pos  token.Position
+}
+
+// NewMetricName builds the analyzer.
+func NewMetricName() *MetricName { return &MetricName{} }
+
+// Name implements Analyzer.
+func (a *MetricName) Name() string { return "metricname" }
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// Package implements Analyzer: it records registration sites and flags
+// malformed names; uniqueness waits for Finish.
+func (a *MetricName) Package(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				a.observeCall(p, n)
+			case *ast.FuncDecl:
+				if n.Name.Name == "Counters" && recvNamed(p, n) == "Metrics" {
+					a.countersKeys(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// observeCall records the literal first argument of Metrics.Observe.
+func (a *MetricName) observeCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Observe" || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || namedOf(sig.Recv().Type()) != "Metrics" {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamic name: namespaced by a literal prefix elsewhere
+	}
+	a.record(p, lit)
+}
+
+// countersKeys records every string-literal map key inside a Counters
+// method body.
+func (a *MetricName) countersKeys(p *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if _, ok := types.Unalias(p.Pkg.Info.Types[cl].Type).Underlying().(*types.Map); !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				a.record(p, lit)
+			}
+		}
+		return true
+	})
+}
+
+// record validates one literal registration site and stores it for the
+// module-wide uniqueness pass.
+func (a *MetricName) record(p *Pass, lit *ast.BasicLit) {
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	pos := p.Pkg.Fset.Position(lit.Pos())
+	if !snakeCase.MatchString(name) {
+		p.Reportf(a.Name(), lit.Pos(),
+			"metric name %q is not snake_case (want [a-z][a-z0-9_]*)", name)
+		return
+	}
+	a.sites = append(a.sites, metricSite{name: name, pos: pos})
+}
+
+// Finish implements Finisher: duplicate names across the whole run are
+// reported at every site after the first.
+func (a *MetricName) Finish(report func(Finding)) {
+	sort.SliceStable(a.sites, func(i, j int) bool {
+		si, sj := a.sites[i], a.sites[j]
+		if si.pos.Filename != sj.pos.Filename {
+			return si.pos.Filename < sj.pos.Filename
+		}
+		return si.pos.Line < sj.pos.Line
+	})
+	first := make(map[string]token.Position)
+	for _, s := range a.sites {
+		if prev, ok := first[s.name]; ok {
+			report(Finding{Pos: s.pos, Analyzer: a.Name(),
+				Message: fmt.Sprintf("metric name %q already registered at %s; metric names must be unique module-wide", s.name, shortPos(prev))})
+			continue
+		}
+		first[s.name] = s.pos
+	}
+	a.sites = nil
+}
+
+func shortPos(p token.Position) string {
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// recvNamed returns the named type of fd's receiver, or "".
+func recvNamed(p *Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := p.Pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	return namedOf(tv.Type)
+}
+
+// namedOf unwraps pointers and returns the named type's name, or "".
+func namedOf(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,37 @@
+package analysis
+
+// This file is the repo's lint policy: which packages each analyzer
+// guards. cmd/gaplint, the fixture-independent tests, and
+// BenchmarkGaplint all share it so the lists cannot drift.
+
+// CorePackages are the deterministic evaluation packages (relative to
+// internal/): everything a factor-ladder rung, chaos replay, or replica
+// digest re-executes must be a pure function of its inputs.
+var CorePackages = []string{
+	"core", "wire", "sta", "sizing", "place", "pipeline", "dynlogic",
+	"procvar", "power", "clock", "cell", "circuits", "netlist", "synth",
+	"units", "chips",
+}
+
+// ServicePackages are the boundary packages (relative to internal/)
+// whose exported errors feed jobs.Classify, the circuit breakers, and
+// the HTTP status mapping.
+var ServicePackages = []string{"jobs", "serve", "cluster"}
+
+// RepoAnalyzers builds the full analyzer set for a module rooted at
+// modPath ("repro" in this repo).
+func RepoAnalyzers(modPath string) []Analyzer {
+	prefix := func(names []string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = modPath + "/internal/" + n
+		}
+		return out
+	}
+	return []Analyzer{
+		NewDeterminism(prefix(CorePackages)...),
+		NewErrTaxonomy(prefix(ServicePackages)...),
+		NewCtxFlow(),
+		NewMetricName(),
+	}
+}

@@ -1,0 +1,50 @@
+// Package ctxflow exercises the context-propagation analyzer.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func helper(ctx context.Context, n int) int { return n }
+
+func noCtx(n int) int { return n }
+
+// Fresh re-mints contexts it already has; both calls are findings.
+func Fresh(ctx context.Context) int {
+	a := helper(context.Background(), 1)
+	b := helper(context.TODO(), 2)
+	return a + b
+}
+
+// Propagates passes the incoming ctx and a derivation of it.
+func Propagates(ctx context.Context) int {
+	c2, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return helper(c2, 3) + helper(ctx, 4) + noCtx(5)
+}
+
+type holder struct{ ctx context.Context }
+
+// Stored passes a stashed context instead of the incoming one.
+func Stored(ctx context.Context, h holder) int {
+	return helper(h.ctx, 6)
+}
+
+// Detached documents background work that outlives its caller.
+func Detached(ctx context.Context) {
+	//gaplint:allow ctxflow — fixture: background work outlives the request
+	go helper(context.Background(), 7)
+}
+
+// NoParam has no incoming ctx and may mint fresh ones freely.
+func NoParam() int {
+	return helper(context.Background(), 8)
+}
+
+// Closure inherits the enclosing function's ctx obligation.
+func Closure(ctx context.Context) func() int {
+	return func() int {
+		return helper(context.TODO(), 9)
+	}
+}

@@ -1,0 +1,41 @@
+// Package det exercises the determinism analyzer: wall-clock reads and
+// global rand draws are flagged; seeded generators stay legal.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice; both reads are findings.
+func Elapsed() (time.Time, time.Duration) {
+	now := time.Now()
+	d := time.Since(now)
+	return now, d
+}
+
+// GlobalDraw pulls from the process-global rand stream.
+func GlobalDraw() int {
+	return rand.Intn(6)
+}
+
+var src rand.Source
+
+// Unseeded builds a generator whose seed is invisible at the
+// construction site.
+func Unseeded() *rand.Rand {
+	return rand.New(src)
+}
+
+// Seeded is the blessed pattern: an explicit seed and methods on the
+// resulting *rand.Rand.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Stamp documents its sanctioned wall-clock read.
+func Stamp() time.Time {
+	//gaplint:allow determinism — fixture: sanctioned wall-clock read
+	return time.Now()
+}

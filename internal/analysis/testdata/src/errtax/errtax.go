@@ -1,0 +1,44 @@
+// Package errtax exercises the errtaxonomy analyzer: exported
+// functions returning unclassified errors are flagged; sentinels,
+// unexported helpers, and %w wraps are not.
+package errtax
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel: a package-level errors.New is the taxonomy
+// itself, not a violation.
+var ErrBad = errors.New("errtax: bad input")
+
+// Bare returns an unclassified error.
+func Bare() error {
+	return errors.New("unclassified")
+}
+
+// NoVerb formats without %w, so errors.Is can never bucket it.
+func NoVerb(n int) error {
+	return fmt.Errorf("bad n %d", n)
+}
+
+// Wrapped stays classifiable.
+func Wrapped(n int) error {
+	return fmt.Errorf("%w: n %d", ErrBad, n)
+}
+
+// bare is unexported: inside the package boundary, out of scope.
+func bare() error { return errors.New("internal") }
+
+// Closure returns a literal whose own returns belong to the literal,
+// not the exported boundary.
+func Closure() (func() error, error) {
+	f := func() error { return errors.New("inner") }
+	return f, nil
+}
+
+// Suppressed documents its deliberate bare error.
+func Suppressed() error {
+	//gaplint:allow errtaxonomy — fixture: deliberate bare error
+	return errors.New("deliberate")
+}

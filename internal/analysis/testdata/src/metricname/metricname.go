@@ -1,0 +1,29 @@
+// Package metricname exercises the metric-name analyzer: literal
+// registrations must be snake_case and unique module-wide.
+package metricname
+
+// Metrics mimics the repo's metric sets.
+type Metrics struct{}
+
+// Observe registers a histogram name.
+func (m *Metrics) Observe(name string, v float64) {}
+
+// Counters registers the flat counter names.
+func (m *Metrics) Counters() map[string]int64 {
+	return map[string]int64{
+		"good_total":   1,
+		"BadCamelName": 2,
+		"dup_name":     3,
+		"dup_name2":    4,
+	}
+}
+
+// Use registers histogram names at call sites.
+func Use(m *Metrics, stage string) {
+	m.Observe("ok_metric", 1)
+	m.Observe("Bad-Metric", 2)
+	m.Observe("dup_name", 3)
+	//gaplint:allow metricname — fixture: deliberate duplicate registration
+	m.Observe("dup_name2", 4)
+	m.Observe("stage_"+stage, 5) // dynamic: out of scope by design
+}

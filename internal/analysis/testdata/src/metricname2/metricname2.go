@@ -1,0 +1,13 @@
+// Package metricname2 registers a name that package metricname already
+// owns — the cross-package collision the uniqueness rule exists for.
+package metricname2
+
+// Metrics mimics a second package's metric set.
+type Metrics struct{}
+
+// Counters registers this package's counter names.
+func (m *Metrics) Counters() map[string]int64 {
+	return map[string]int64{
+		"good_total": 1,
+	}
+}

@@ -1,0 +1,8 @@
+// Package notcore is outside the determinism analyzer's core package
+// list: its wall-clock read must not be flagged.
+package notcore
+
+import "time"
+
+// Stamp reads the wall clock legally.
+func Stamp() time.Time { return time.Now() }

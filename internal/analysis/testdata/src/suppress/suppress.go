@@ -1,0 +1,25 @@
+// Package suppress exercises the driver's suppression handling: a
+// reasoned allow suppresses, a reasonless allow does not (and is itself
+// reported), and a stale allow that matches nothing is reported.
+package suppress
+
+import "time"
+
+// Reasoned is suppressed correctly.
+func Reasoned() time.Time {
+	//gaplint:allow determinism — fixture: documented exception
+	return time.Now()
+}
+
+// Reasonless keeps its finding and earns a second one for the
+// malformed suppression.
+func Reasonless() time.Time {
+	//gaplint:allow determinism
+	return time.Now()
+}
+
+// Stale has an allow with nothing to suppress.
+func Stale() int {
+	//gaplint:allow determinism — fixture: stale suppression
+	return 1
+}

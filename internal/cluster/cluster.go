@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -19,6 +20,14 @@ import (
 
 	"repro/internal/jobs"
 )
+
+// ErrConfig marks invalid cluster configuration caught at startup
+// (peer-list parsing, self-id mismatches). It is deliberately outside
+// the jobs failure taxonomy — a config error aborts boot and never
+// crosses the retry/breaker path — but wrapping it keeps every exported
+// cluster error classifiable with errors.Is, which gaplint's
+// errtaxonomy analyzer enforces.
+var ErrConfig = errors.New("cluster: invalid configuration")
 
 // ForwardedHeader marks a request already proxied once by a peer. A
 // receiving node serves such a request locally no matter who owns it —
@@ -129,21 +138,21 @@ type Cluster struct {
 // begin health probing and Close to stop it.
 func New(opt Options) (*Cluster, error) {
 	if len(opt.Peers) == 0 {
-		return nil, fmt.Errorf("cluster: empty peer list")
+		return nil, fmt.Errorf("%w: empty peer list", ErrConfig)
 	}
 	byID := make(map[string]Peer, len(opt.Peers))
 	for _, p := range opt.Peers {
 		if p.ID == "" || p.URL == "" {
-			return nil, fmt.Errorf("cluster: peer with empty id or url: %+v", p)
+			return nil, fmt.Errorf("%w: peer with empty id or url: %+v", ErrConfig, p)
 		}
 		if _, dup := byID[p.ID]; dup {
-			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+			return nil, fmt.Errorf("%w: duplicate peer id %q", ErrConfig, p.ID)
 		}
 		p.URL = strings.TrimRight(p.URL, "/")
 		byID[p.ID] = p
 	}
 	if _, ok := byID[opt.SelfID]; !ok {
-		return nil, fmt.Errorf("cluster: self id %q not in peer list", opt.SelfID)
+		return nil, fmt.Errorf("%w: self id %q not in peer list", ErrConfig, opt.SelfID)
 	}
 	if opt.HedgeAfter == 0 {
 		opt.HedgeAfter = 50 * time.Millisecond
@@ -224,12 +233,12 @@ func ParsePeers(s string) ([]Peer, error) {
 		}
 		id, url, ok := strings.Cut(part, "=")
 		if !ok || id == "" || url == "" {
-			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+			return nil, fmt.Errorf("%w: bad peer %q (want id=url)", ErrConfig, part)
 		}
 		peers = append(peers, Peer{ID: strings.TrimSpace(id), URL: strings.TrimSpace(url)})
 	}
 	if len(peers) == 0 {
-		return nil, fmt.Errorf("cluster: empty peer list %q", s)
+		return nil, fmt.Errorf("%w: empty peer list %q", ErrConfig, s)
 	}
 	return peers, nil
 }

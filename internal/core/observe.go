@@ -31,11 +31,15 @@ func stageObserver(ctx context.Context) StageObserver {
 }
 
 // stageTimer starts timing one named stage; the returned func reports it.
+// The wall-clock reads here are the one sanctioned use in core: stage
+// latencies feed the service's histograms and never touch the
+// evaluation arithmetic, so replay stays byte-identical.
 func stageTimer(obs StageObserver, stage string) func() {
 	if obs == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := time.Now() //gaplint:allow determinism — observability only; latencies never feed evaluation results
+	//gaplint:allow determinism — observability only; latencies never feed evaluation results
 	return func() { obs(stage, time.Since(start)) }
 }
 

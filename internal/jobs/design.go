@@ -83,5 +83,5 @@ func designBuilder(d DesignSpec) (core.Design, error) {
 			return s.N, nil
 		}), nil
 	}
-	return core.Design{}, fmt.Errorf("jobs: unknown design %q", d.Name)
+	return core.Design{}, fmt.Errorf("%w: unknown design %q", ErrSpec, d.Name)
 }

@@ -122,22 +122,22 @@ func (s Spec) Canon() (Spec, error) {
 	switch c.Kind {
 	case KindEvaluate, KindLadder, KindSweep:
 	default:
-		return c, fmt.Errorf("jobs: unknown kind %q", s.Kind)
+		return c, fmt.Errorf("%w: unknown kind %q", ErrSpec, s.Kind)
 	}
 
 	c.Design.Name = strings.ToLower(strings.TrimSpace(s.Design.Name))
 	def, ok := designDefaults[c.Design.Name]
 	if !ok {
-		return c, fmt.Errorf("jobs: unknown design %q", s.Design.Name)
+		return c, fmt.Errorf("%w: unknown design %q", ErrSpec, s.Design.Name)
 	}
 	if c.Design.Width < 0 || c.Design.Depth < 0 {
-		return c, fmt.Errorf("jobs: negative design dimensions")
+		return c, fmt.Errorf("%w: negative design dimensions", ErrSpec)
 	}
 	if c.Design.Width == 0 {
 		c.Design.Width = def.width
 	}
 	if c.Design.Width > 64 {
-		return c, fmt.Errorf("jobs: design width %d exceeds limit 64", c.Design.Width)
+		return c, fmt.Errorf("%w: design width %d exceeds limit 64", ErrSpec, c.Design.Width)
 	}
 	if def.depth == 0 {
 		c.Design.Depth = 0
@@ -146,7 +146,7 @@ func (s Spec) Canon() (Spec, error) {
 			c.Design.Depth = def.depth
 		}
 		if c.Design.Depth > 16 {
-			return c, fmt.Errorf("jobs: design depth %d exceeds limit 16", c.Design.Depth)
+			return c, fmt.Errorf("%w: design depth %d exceeds limit 16", ErrSpec, c.Design.Depth)
 		}
 	}
 
@@ -164,7 +164,7 @@ func (s Spec) Canon() (Spec, error) {
 			c.MaxStages = 8
 		}
 		if c.MaxStages < 1 || c.MaxStages > 16 {
-			return c, fmt.Errorf("jobs: max_stages %d out of range [1,16]", c.MaxStages)
+			return c, fmt.Errorf("%w: max_stages %d out of range [1,16]", ErrSpec, c.MaxStages)
 		}
 		c.Workload = strings.ToLower(strings.TrimSpace(c.Workload))
 		if c.Workload == "" {
@@ -193,29 +193,29 @@ func (ms MethSpec) canon() (MethSpec, error) {
 	}
 	canonical, ok := methBases[base]
 	if !ok {
-		return c, fmt.Errorf("jobs: unknown methodology base %q", ms.Base)
+		return c, fmt.Errorf("%w: unknown methodology base %q", ErrSpec, ms.Base)
 	}
 	c.Base = canonical
 	if c.Stages < 0 || c.Stages > 16 {
-		return c, fmt.Errorf("jobs: stages %d out of range [0,16]", c.Stages)
+		return c, fmt.Errorf("%w: stages %d out of range [0,16]", ErrSpec, c.Stages)
 	}
 	c.Sizing = strings.ToLower(strings.TrimSpace(ms.Sizing))
 	switch c.Sizing {
 	case "", "wire-load", "post-layout", "continuous":
 	default:
-		return c, fmt.Errorf("jobs: unknown sizing %q", ms.Sizing)
+		return c, fmt.Errorf("%w: unknown sizing %q", ErrSpec, ms.Sizing)
 	}
 	c.Rating = strings.ToLower(strings.TrimSpace(ms.Rating))
 	switch c.Rating {
 	case "", "worst-case", "tested", "fast-bin":
 	default:
-		return c, fmt.Errorf("jobs: unknown rating %q", ms.Rating)
+		return c, fmt.Errorf("%w: unknown rating %q", ErrSpec, ms.Rating)
 	}
 	if c.DominoFrac != nil && (*c.DominoFrac < 0 || *c.DominoFrac > 1) {
-		return c, fmt.Errorf("jobs: domino_frac %g out of range [0,1]", *c.DominoFrac)
+		return c, fmt.Errorf("%w: domino_frac %g out of range [0,1]", ErrSpec, *c.DominoFrac)
 	}
 	if c.DieSideMM < 0 || c.DieSideMM > 20 {
-		return c, fmt.Errorf("jobs: die_side_mm %g out of range [0,20]", c.DieSideMM)
+		return c, fmt.Errorf("%w: die_side_mm %g out of range [0,20]", ErrSpec, c.DieSideMM)
 	}
 	return c, nil
 }
@@ -301,8 +301,8 @@ func (ms MethSpec) Resolve(seed int64) (core.Methodology, error) {
 	if c.DominoFrac != nil {
 		m.DominoFrac = *c.DominoFrac
 		if m.DominoFrac > 0 && !m.Library.HasDomino() {
-			return m, fmt.Errorf("jobs: methodology %s has no domino cells for domino_frac %g",
-				c.Base, m.DominoFrac)
+			return m, fmt.Errorf("%w: methodology %s has no domino cells for domino_frac %g",
+				ErrSpec, c.Base, m.DominoFrac)
 		}
 	}
 	if c.DieSideMM > 0 {
@@ -324,5 +324,5 @@ func workloadCPI(name string) (func(stages int) float64, error) {
 	case "flat":
 		return func(int) float64 { return 1 }, nil
 	}
-	return nil, fmt.Errorf("jobs: unknown workload %q", name)
+	return nil, fmt.Errorf("%w: unknown workload %q", ErrSpec, name)
 }

@@ -177,6 +177,7 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != "" {
+		//gaplint:allow errtaxonomy — j.err is a terminal failure re-read from its stored string form; its class was decided (and journaled) when the job failed
 		return nil, errors.New(j.err)
 	}
 	return j.result, nil

@@ -31,13 +31,15 @@ func RunService(ctx context.Context, s Spec, parallelism int) (*Result, error) {
 // sweep jobs (1 = serial; the results are identical either way, because
 // both paths share core's rung table and assembly arithmetic).
 func Run(ctx context.Context, s Spec, parallelism int) (*Result, error) {
+	// Canon, BuildDesign, Resolve, and workloadCPI wrap ErrSpec at the
+	// validation site, so their errors arrive pre-classified.
 	c, err := s.Canon()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		return nil, err
 	}
 	d, err := c.Design.BuildDesign()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		return nil, err
 	}
 	res := &Result{ID: c.Hash(), Kind: c.Kind, Spec: c}
 	start := time.Now()
@@ -45,7 +47,7 @@ func Run(ctx context.Context, s Spec, parallelism int) (*Result, error) {
 	case KindEvaluate:
 		m, err := c.Methodology.Resolve(c.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+			return nil, err
 		}
 		ev, err := core.EvaluateCtx(ctx, d, m)
 		if err != nil {
@@ -61,11 +63,11 @@ func Run(ctx context.Context, s Spec, parallelism int) (*Result, error) {
 	case KindSweep:
 		m, err := c.Methodology.Resolve(c.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+			return nil, err
 		}
 		cpi, err := workloadCPI(c.Workload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+			return nil, err
 		}
 		points, err := ParallelSweep(ctx, d, m, c.MaxStages, cpi, parallelism)
 		if err != nil {
@@ -112,7 +114,7 @@ func ParallelLadder(ctx context.Context, d core.Design, seed int64, workers int)
 // scores them with core.ScoreSweep, matching core.DepthSweep exactly.
 func ParallelSweep(ctx context.Context, d core.Design, m core.Methodology, maxStages int, cpi func(stages int) float64, workers int) ([]core.DepthPoint, error) {
 	if maxStages < 1 {
-		return nil, fmt.Errorf("jobs: sweep needs maxStages >= 1")
+		return nil, fmt.Errorf("%w: sweep needs maxStages >= 1", ErrSpec)
 	}
 	evals := make([]core.Evaluation, maxStages)
 	err := forEachLimited(ctx, workers, maxStages, func(ctx context.Context, i int) error {
