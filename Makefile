@@ -21,9 +21,9 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net fuzz gapd
+.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net fuzz gapd load-smoke
 
-tier1: fmt vet lint build race chaos chaos-net
+tier1: fmt vet lint build race load-smoke chaos chaos-net
 
 fmt:
 	@out=$$(gofmt -s -l .); \
@@ -80,6 +80,15 @@ fuzz:
 	$(GO) test ./internal/netlist/ -run '^$$' -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/jobs/ -run '^$$' -fuzz FuzzJobSpecCanonical -fuzztime 30s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzPeerResponseDecode -fuzztime 30s
+
+# The load-generator smoke gate: a seeded closed-loop gapload run over
+# the mixed corpus against an in-process gapd (capped at 5 s), asserting
+# the SLO-report invariants (count partitions, quantile monotonicity,
+# cache accounting). Every committed BENCH_loadgen_*.json flows through
+# the code path this locks down. -count=1 because a cached result proves
+# nothing about this build.
+load-smoke:
+	$(GO) test -race -count=1 -run 'TestLoadSmoke' ./internal/loadgen/
 
 gapd:
 	$(GO) run ./cmd/gapd

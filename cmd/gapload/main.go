@@ -1,0 +1,164 @@
+// Command gapload drives a running gapd node or cluster with
+// deterministic, seeded load and reports SLO numbers: streaming
+// p50/p95/p99/p999 latency, goodput vs. offered load, shed rate, and an
+// error-taxonomy breakdown, sliced per job kind and per arrival-process
+// phase. The request schedule — which spec is sent when — is a pure
+// function of -seed, so a measurement is replayable: the same seed
+// against the same build is the same experiment (see FINDINGS.md for
+// the claim → run → verdict convention built on this).
+//
+// Usage:
+//
+//	gapload -target http://localhost:8080 [-seed 42]
+//	        [-arrival poisson|burst|ramp|closed] [-rate 50] [-duration 10s]
+//	        [-burst-rate R -on 1s -off 2s] [-peak-rate R]
+//	        [-concurrency 8] [-requests 500]
+//	        [-corpus mixed|adders|muxpaths|datapaths|sweeps|ladders|faultmix]
+//	        [-corpus-size 48] [-corpus-seed N]
+//	        [-report BENCH_loadgen_run.json] [-quiet]
+//
+// Inspection modes (no server needed):
+//
+//	gapload -dump-schedule   print the canonical request schedule and exit
+//	gapload -dump-corpus     print the canonical scenario corpus and exit
+//
+// Two runs with the same -seed print byte-identical dumps — diff them
+// to convince yourself before trusting any number this tool reports.
+//
+// The report is stamped with the target's build_info and uptime_seconds
+// (scraped from /metrics) and its node count (from /v1/cluster), so a
+// committed BENCH_loadgen_*.json names exactly what it measured.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gapload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "http://localhost:8080", "base URL of the gapd node under test")
+	seed := flag.Int64("seed", 42, "plan seed; same seed = byte-identical schedule and corpus")
+	arrival := flag.String("arrival", "closed", "arrival process: poisson, burst, ramp, or closed")
+	rate := flag.Float64("rate", 50, "open-loop mean rate in req/s (poisson; calm rate for burst; start rate for ramp)")
+	burstRate := flag.Float64("burst-rate", 0, "burst-phase rate in req/s (0 = 4x -rate)")
+	onMean := flag.Duration("on", time.Second, "mean burst-phase duration")
+	offMean := flag.Duration("off", 2*time.Second, "mean calm-phase duration")
+	peakRate := flag.Float64("peak-rate", 0, "ramp's final rate in req/s (0 = 4x -rate)")
+	duration := flag.Duration("duration", 10*time.Second, "open-loop schedule span; closed-loop wall-clock cap")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	requests := flag.Int("requests", 500, "closed-loop schedule length")
+	corpus := flag.String("corpus", "mixed", "scenario corpus family")
+	corpusSize := flag.Int("corpus-size", 48, "distinct specs kept in the corpus")
+	corpusSeed := flag.Int64("corpus-seed", 0, "corpus seed (0 inherits -seed)")
+	shedRetries := flag.Int("max-shed-retries", 8, "closed-loop re-issues per arrival after 429 + Retry-After")
+	reqTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request HTTP timeout")
+	reportPath := flag.String("report", "", "write the canonical JSON report here (e.g. BENCH_loadgen_run.json)")
+	dumpSchedule := flag.Bool("dump-schedule", false, "print the canonical request schedule and exit")
+	dumpCorpus := flag.Bool("dump-corpus", false, "print the canonical scenario corpus and exit")
+	quiet := flag.Bool("quiet", false, "suppress the human table (report file still written)")
+	flag.Parse()
+
+	plan := loadgen.Plan{
+		Seed: *seed,
+		Arrival: loadgen.ArrivalSpec{
+			Process:     *arrival,
+			Rate:        *rate,
+			BurstRate:   *burstRate,
+			OnMeanSec:   onMean.Seconds(),
+			OffMeanSec:  offMean.Seconds(),
+			PeakRate:    *peakRate,
+			DurationSec: duration.Seconds(),
+			Concurrency: *concurrency,
+			Requests:    *requests,
+		},
+		Corpus: loadgen.CorpusSpec{
+			Family: *corpus,
+			Size:   *corpusSize,
+			Seed:   *corpusSeed,
+		},
+	}
+	cp, err := plan.Canon()
+	if err != nil {
+		return err
+	}
+
+	if *dumpCorpus || *dumpSchedule {
+		c, err := loadgen.BuildCorpus(cp.Corpus)
+		if err != nil {
+			return err
+		}
+		if *dumpCorpus {
+			b, err := c.Canonical()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(b)
+			return nil
+		}
+		s, err := loadgen.BuildSchedule(cp, c)
+		if err != nil {
+			return err
+		}
+		b, err := s.Canonical()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, cp, loadgen.RunOptions{
+		Target:         *target,
+		MaxShedRetries: *shedRetries,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stamp provenance: the exact server build and incarnation this
+	// measured, plus the wall-clock moment the report was generated.
+	if info, err := loadgen.FetchTargetInfo(ctx, nil, *target); err == nil {
+		rep.Target = info
+	} else {
+		fmt.Fprintf(os.Stderr, "gapload: warning: report unstamped: %v\n", err)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("report failed its own invariants (bug): %w", err)
+	}
+	if !*quiet {
+		fmt.Print(rep.Table())
+	}
+	if *reportPath != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportPath, b, 0o644); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("\nreport written to %s\n", *reportPath)
+		}
+	}
+	return nil
+}

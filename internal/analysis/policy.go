@@ -18,6 +18,13 @@ var CorePackages = []string{
 // the HTTP status mapping.
 var ServicePackages = []string{"jobs", "serve", "cluster"}
 
+// MeasurementPackages extend the determinism guarantee to the load
+// generator: schedules, corpora, and item picks must be pure functions
+// of the plan seed (seeded rand.New only), so the same gapload seed
+// replays the identical experiment. The single sanctioned wall-clock
+// seam — latency measurement — is annotated in loadgen/clock.go.
+var MeasurementPackages = []string{"loadgen"}
+
 // RepoAnalyzers builds the full analyzer set for a module rooted at
 // modPath ("repro" in this repo).
 func RepoAnalyzers(modPath string) []Analyzer {
@@ -29,7 +36,7 @@ func RepoAnalyzers(modPath string) []Analyzer {
 		return out
 	}
 	return []Analyzer{
-		NewDeterminism(prefix(CorePackages)...),
+		NewDeterminism(append(prefix(CorePackages), prefix(MeasurementPackages)...)...),
 		NewErrTaxonomy(prefix(ServicePackages)...),
 		NewCtxFlow(),
 		NewMetricName(),

@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival is one scheduled request: when it is issued (open loop), which
+// phase of the arrival process produced it, and which corpus item it
+// carries. The whole schedule is computed before the run starts, so
+// runtime jitter can never feed back into what gets requested.
+type Arrival struct {
+	// Seq is the arrival's position in the schedule.
+	Seq int `json:"seq"`
+	// OffsetUS is the issue time in microseconds from run start
+	// (0 for the closed loop, which issues as fast as the target and
+	// concurrency allow).
+	OffsetUS int64 `json:"offset_us"`
+	// Phase labels the arrival-process phase for the report's per-phase
+	// slices: "steady" (poisson), "calm"/"burst" (burst), "ramp_lo"/
+	// "ramp_mid"/"ramp_hi" (ramp thirds), "closed".
+	Phase string `json:"phase"`
+	// Item indexes the corpus item this arrival requests.
+	Item int `json:"item"`
+}
+
+// Schedule is the full deterministic request plan: the canonical plan
+// that produced it plus every arrival in issue order.
+type Schedule struct {
+	Plan     Plan      `json:"plan"`
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// maxScheduleArrivals bounds runaway plans (rate x duration) before
+// they allocate the world.
+const maxScheduleArrivals = 2_000_000
+
+// BuildSchedule derives the arrival schedule from the canonical plan
+// and the corpus. It is a pure function of (plan, corpus): arrival gaps
+// come from one seeded stream, item picks from a second independent
+// stream, so changing the arrival process does not reshuffle which
+// specs are requested.
+func BuildSchedule(p Plan, c *Corpus) (*Schedule, error) {
+	cp, err := p.Canon()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Items) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	gaps := rand.New(rand.NewSource(cp.Seed))
+	// XORing a fixed constant gives the pick stream its own seed, so
+	// swapping the arrival process never reshuffles item picks.
+	picks := rand.New(rand.NewSource(cp.Seed ^ 0x5bf03635))
+
+	var arrivals []Arrival
+	add := func(offsetUS int64, phase string) error {
+		if len(arrivals) >= maxScheduleArrivals {
+			return fmt.Errorf("loadgen: schedule exceeds %d arrivals; lower rate or duration", maxScheduleArrivals)
+		}
+		arrivals = append(arrivals, Arrival{
+			Seq:      len(arrivals),
+			OffsetUS: offsetUS,
+			Phase:    phase,
+			Item:     c.pick(picks),
+		})
+		return nil
+	}
+
+	a := cp.Arrival
+	durUS := int64(a.DurationSec * 1e6)
+	switch a.Process {
+	case ProcClosed:
+		for i := 0; i < a.Requests; i++ {
+			if err := add(0, "closed"); err != nil {
+				return nil, err
+			}
+		}
+	case ProcPoisson:
+		for t := expGapUS(gaps, a.Rate); t < durUS; t += expGapUS(gaps, a.Rate) {
+			if err := add(t, "steady"); err != nil {
+				return nil, err
+			}
+		}
+	case ProcBurst:
+		// Markov-modulated Poisson: alternate exponentially-long calm
+		// and burst phases, each an independent Poisson stream at its
+		// phase rate.
+		t, on := int64(0), false
+		for t < durUS {
+			phaseLen := expGapUS(gaps, 1/a.OffMeanSec)
+			rate, label := a.Rate, "calm"
+			if on {
+				phaseLen = expGapUS(gaps, 1/a.OnMeanSec)
+				rate, label = a.BurstRate, "burst"
+			}
+			end := t + phaseLen
+			if end > durUS {
+				end = durUS
+			}
+			for at := t + expGapUS(gaps, rate); at < end; at += expGapUS(gaps, rate) {
+				if err := add(at, label); err != nil {
+					return nil, err
+				}
+			}
+			t = end
+			on = !on
+		}
+	case ProcRamp:
+		// Inhomogeneous Poisson by thinning: candidates at the peak
+		// rate, accepted with probability rate(t)/peak where rate(t)
+		// rises linearly from Rate to PeakRate across the run.
+		peak := math.Max(a.PeakRate, a.Rate)
+		for t := expGapUS(gaps, peak); t < durUS; t += expGapUS(gaps, peak) {
+			frac := float64(t) / float64(durUS)
+			rate := a.Rate + (a.PeakRate-a.Rate)*frac
+			if gaps.Float64()*peak >= rate {
+				continue // thinned out
+			}
+			label := "ramp_lo"
+			switch {
+			case frac >= 2.0/3:
+				label = "ramp_hi"
+			case frac >= 1.0/3:
+				label = "ramp_mid"
+			}
+			if err := add(t, label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Schedule{Plan: cp, Arrivals: arrivals}, nil
+}
+
+// expGapUS draws one exponential inter-arrival gap in microseconds for
+// the given rate (events/second), floored at 1 µs so a schedule always
+// advances.
+func expGapUS(r *rand.Rand, ratePerSec float64) int64 {
+	if ratePerSec <= 0 {
+		return math.MaxInt64 / 4 // no events in this phase
+	}
+	us := r.ExpFloat64() / ratePerSec * 1e6
+	if us < 1 {
+		us = 1
+	}
+	if us > 1e15 {
+		us = 1e15
+	}
+	return int64(us)
+}
+
+// Canonical renders the schedule as deterministic JSON bytes — same
+// plan seed, byte-identical output.
+func (s *Schedule) Canonical() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: schedule not marshalable: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Duration returns the wall-clock span the open-loop schedule covers
+// (zero for the closed loop).
+func (s *Schedule) Duration() time.Duration {
+	if len(s.Arrivals) == 0 {
+		return 0
+	}
+	return time.Duration(s.Arrivals[len(s.Arrivals)-1].OffsetUS) * time.Microsecond
+}

@@ -1,0 +1,33 @@
+package loadgen
+
+import "time"
+
+// This file is the package's only wall-clock seam. The load generator
+// exists to measure real latency against a real server, so it must read
+// the clock — but only here, so gaplint's determinism analyzer (which
+// covers this package like the core evaluation packages) proves that
+// nothing else does: schedules, corpora, and item picks stay pure
+// functions of the plan seed, and the clock influences only *measured*
+// numbers, never *requested* work.
+
+// now reads the wall clock for run timestamps and latency measurement.
+func now() time.Time {
+	//gaplint:allow determinism — the sanctioned wall-clock seam: latency measurement needs the real clock; schedules never consult it
+	return time.Now()
+}
+
+// sleepUntil blocks until the given wall-clock instant or ctx-style
+// cancellation via the done channel, whichever comes first. The open
+// loop uses it to hold the schedule's offsets against real time.
+func sleepUntil(t time.Time, done <-chan struct{}) {
+	d := t.Sub(now())
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-done:
+	}
+}

@@ -1,0 +1,285 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/jobs"
+)
+
+// CorpusSpec parameterizes the scenario corpus: which design family to
+// draw from and how many distinct specs to keep.
+type CorpusSpec struct {
+	// Family is one of the names in corpusFamilies, or "mixed" for the
+	// weighted union of all of them.
+	Family string `json:"family"`
+	// Size caps the number of distinct specs (default 48). When a
+	// family enumerates more than Size specs, a seeded shuffle decides
+	// which survive — reproducibly.
+	Size int `json:"size,omitempty"`
+	// Seed drives corpus membership and per-spec evaluation seeds;
+	// 0 inherits the plan seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Item is one corpus entry: a canonical job spec, the family that
+// generated it, and its pick weight within the corpus.
+type Item struct {
+	Family string    `json:"family"`
+	Weight float64   `json:"weight"`
+	Spec   jobs.Spec `json:"spec"`
+}
+
+// Corpus is a reproducible weighted mix of canonical job specs.
+type Corpus struct {
+	Spec  CorpusSpec `json:"spec"`
+	Items []Item     `json:"items"`
+
+	// cum is the cumulative weight table pick consults (unexported, so
+	// it never reaches the canonical encoding).
+	cum []float64
+}
+
+// canon validates the corpus spec and fills defaults; planSeed supplies
+// the seed when the corpus does not pin its own.
+func (cs CorpusSpec) canon(planSeed int64) (CorpusSpec, error) {
+	c := cs
+	c.Family = strings.ToLower(strings.TrimSpace(cs.Family))
+	if c.Family == "" {
+		c.Family = "mixed"
+	}
+	if c.Family != "mixed" {
+		if _, ok := corpusFamilies[c.Family]; !ok {
+			return c, fmt.Errorf("loadgen: unknown corpus family %q", cs.Family)
+		}
+	}
+	if c.Size < 0 {
+		return c, fmt.Errorf("loadgen: negative corpus size")
+	}
+	if c.Size == 0 {
+		c.Size = 48
+	}
+	if c.Seed == 0 {
+		c.Seed = planSeed
+	}
+	return c, nil
+}
+
+// familyGen enumerates one design family's specs. The rng drives only
+// per-spec evaluation seeds (placement / Monte Carlo variety); family
+// membership itself is a fixed enumeration so the family's identity is
+// stable across corpus sizes.
+type familyGen struct {
+	// weight is the family's share of a mixed corpus.
+	weight float64
+	gen    func(r *rand.Rand) []jobs.Spec
+}
+
+// corpusFamilies are the parameterized design families the generator
+// knows. Mirrors the scenario axes of the paper model: adder
+// architecture and width (section 6 library richness shows up as the
+// methodology rotation), datapath slices and pipeline depth (section 3),
+// depth sweeps under workload CPI models (section 4), the full factor
+// ladder, and a cache-cold fault/churn campaign (distinct eval seeds,
+// so every request is a distinct content address).
+var corpusFamilies = map[string]familyGen{
+	"adders": {weight: 0.30, gen: func(r *rand.Rand) []jobs.Spec {
+		var out []jobs.Spec
+		meths := []string{"typical-asic", "best-practice-asic", "full-custom"}
+		for _, name := range []string{"rca", "cla", "csel", "ks"} {
+			for wi, w := range []int{8, 16, 32, 64} {
+				out = append(out, jobs.Spec{
+					Kind:        jobs.KindEvaluate,
+					Design:      jobs.DesignSpec{Name: name, Width: w},
+					Methodology: jobs.MethSpec{Base: meths[wi%len(meths)]},
+					Seed:        r.Int63n(1 << 30),
+				})
+			}
+		}
+		return out
+	}},
+	"muxpaths": {weight: 0.15, gen: func(r *rand.Rand) []jobs.Spec {
+		var out []jobs.Spec
+		add := func(name string, widths ...int) {
+			for _, w := range widths {
+				out = append(out, jobs.Spec{
+					Kind:        jobs.KindEvaluate,
+					Design:      jobs.DesignSpec{Name: name, Width: w},
+					Methodology: jobs.MethSpec{Base: "typical-asic"},
+					Seed:        r.Int63n(1 << 30),
+				})
+			}
+		}
+		add("shifter", 16, 32, 64)
+		add("alu", 8, 16, 32)
+		add("mult", 4, 8, 12)
+		add("wallace", 4, 8, 12)
+		return out
+	}},
+	// Only combinational designs appear here: the evaluate flow pipelines
+	// the netlist itself, and refuses designs that already carry registers
+	// (which rules out "chain" — it is a pre-registered pipeline).
+	"datapaths": {weight: 0.20, gen: func(r *rand.Rand) []jobs.Spec {
+		var out []jobs.Spec
+		for _, base := range []string{"typical-asic", "best-practice-asic"} {
+			for _, w := range []int{8, 16, 32} {
+				for _, d := range []int{2, 4, 8} {
+					out = append(out, jobs.Spec{
+						Kind:        jobs.KindEvaluate,
+						Design:      jobs.DesignSpec{Name: "datapath", Width: w, Depth: d},
+						Methodology: jobs.MethSpec{Base: base},
+						Seed:        r.Int63n(1 << 30),
+					})
+				}
+			}
+		}
+		return out
+	}},
+	"sweeps": {weight: 0.20, gen: func(r *rand.Rand) []jobs.Spec {
+		var out []jobs.Spec
+		for _, wl := range []string{"dsp", "integer", "bus", "flat"} {
+			for _, ms := range []int{6, 10, 16} {
+				out = append(out, jobs.Spec{
+					Kind:        jobs.KindSweep,
+					Design:      jobs.DesignSpec{Name: "datapath", Width: 16, Depth: 4},
+					Methodology: jobs.MethSpec{Base: "typical-asic"},
+					MaxStages:   ms,
+					Workload:    wl,
+					Seed:        r.Int63n(1 << 30),
+				})
+			}
+		}
+		return out
+	}},
+	"ladders": {weight: 0.05, gen: func(r *rand.Rand) []jobs.Spec {
+		var out []jobs.Spec
+		for _, d := range []jobs.DesignSpec{
+			{Name: "datapath", Width: 16, Depth: 4},
+			{Name: "alu", Width: 16},
+			{Name: "cla", Width: 32},
+		} {
+			out = append(out, jobs.Spec{
+				Kind:   jobs.KindLadder,
+				Design: d,
+				Seed:   r.Int63n(1 << 30),
+			})
+		}
+		return out
+	}},
+	"faultmix": {weight: 0.10, gen: func(r *rand.Rand) []jobs.Spec {
+		// Every spec gets its own seed, so every request is a distinct
+		// content address: the cache-cold campaign that keeps the
+		// workers honest while the other families rewarm the cache.
+		var out []jobs.Spec
+		designs := []jobs.DesignSpec{
+			{Name: "rca", Width: 16}, {Name: "cla", Width: 16},
+			{Name: "alu", Width: 8}, {Name: "datapath", Width: 8, Depth: 2},
+		}
+		for i := 0; i < 12; i++ {
+			out = append(out, jobs.Spec{
+				Kind:        jobs.KindEvaluate,
+				Design:      designs[i%len(designs)],
+				Methodology: jobs.MethSpec{Base: "typical-asic"},
+				Seed:        1 + r.Int63n(1<<30),
+			})
+		}
+		return out
+	}},
+}
+
+// familyOrder fixes the iteration order of the mixed corpus (maps do
+// not), so membership is a pure function of the corpus seed.
+var familyOrder = []string{"adders", "muxpaths", "datapaths", "sweeps", "ladders", "faultmix"}
+
+// BuildCorpus generates the corpus the spec names. Every returned spec
+// is canonical (Canon applied), weights are normalized to sum to 1, and
+// the whole construction is a pure function of the canonical spec —
+// same spec, byte-identical corpus.
+func BuildCorpus(cs CorpusSpec) (*Corpus, error) {
+	c, err := cs.canon(cs.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.Seed == 0 {
+		c.Seed = 1 // a corpus built standalone with no seed anywhere
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	var items []Item
+	families := familyOrder
+	if c.Family != "mixed" {
+		families = []string{c.Family}
+	}
+	for _, name := range families {
+		fam := corpusFamilies[name]
+		specs := fam.gen(r)
+		w := fam.weight
+		if c.Family != "mixed" {
+			w = 1
+		}
+		per := w / float64(len(specs))
+		for _, s := range specs {
+			canon, err := s.Canon()
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: family %s generated an invalid spec: %w", name, err)
+			}
+			items = append(items, Item{Family: name, Weight: per, Spec: canon})
+		}
+	}
+	if len(items) > c.Size {
+		// Seeded sample without replacement: shuffle, keep the first
+		// Size, then sort by family and content address so the encoding
+		// is stable and diffs group by family.
+		r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		items = items[:c.Size]
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Family != items[j].Family {
+				return items[i].Family < items[j].Family
+			}
+			return items[i].Spec.Hash() < items[j].Spec.Hash()
+		})
+	}
+	// Normalize the surviving weights to sum to 1.
+	total := 0.0
+	for _, it := range items {
+		total += it.Weight
+	}
+	for i := range items {
+		items[i].Weight /= total
+	}
+	out := &Corpus{Spec: c, Items: items}
+	out.buildCum()
+	return out, nil
+}
+
+func (c *Corpus) buildCum() {
+	c.cum = make([]float64, len(c.Items))
+	sum := 0.0
+	for i, it := range c.Items {
+		sum += it.Weight
+		c.cum[i] = sum
+	}
+}
+
+// pick draws one weighted item index from r.
+func (c *Corpus) pick(r *rand.Rand) int {
+	u := r.Float64() * c.cum[len(c.cum)-1]
+	for i, b := range c.cum {
+		if u < b {
+			return i
+		}
+	}
+	return len(c.cum) - 1
+}
+
+// Canonical renders the corpus as deterministic JSON bytes — the
+// artifact two same-seed runs must reproduce byte for byte.
+func (c *Corpus) Canonical() ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: corpus not marshalable: %w", err)
+	}
+	return append(b, '\n'), nil
+}

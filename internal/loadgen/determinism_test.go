@@ -1,0 +1,218 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestScheduleByteIdentical is the replay guarantee: the same plan seed
+// must produce byte-identical schedule encodings, for every arrival
+// process, across the repo's standard seed matrix.
+func TestScheduleByteIdentical(t *testing.T) {
+	for _, proc := range []string{ProcPoisson, ProcBurst, ProcRamp, ProcClosed} {
+		for _, seed := range []int64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", proc, seed), func(t *testing.T) {
+				plan := Plan{
+					Seed:    seed,
+					Arrival: ArrivalSpec{Process: proc, Rate: 200, DurationSec: 2, Requests: 64},
+					Corpus:  CorpusSpec{Family: "mixed", Size: 16},
+				}
+				build := func() []byte {
+					c, err := BuildCorpus(mustCanon(t, plan).Corpus)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s, err := BuildSchedule(plan, c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := s.Canonical()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b
+				}
+				a, b := build(), build()
+				if !bytes.Equal(a, b) {
+					t.Fatalf("same seed produced different schedules (%d vs %d bytes)", len(a), len(b))
+				}
+				if len(a) == 0 {
+					t.Fatal("empty schedule encoding")
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleSeedSensitivity: different seeds must actually change the
+// schedule — a constant function is trivially deterministic.
+func TestScheduleSeedSensitivity(t *testing.T) {
+	build := func(seed int64) []byte {
+		plan := Plan{
+			Seed:    seed,
+			Arrival: ArrivalSpec{Process: ProcPoisson, Rate: 200, DurationSec: 2},
+			Corpus:  CorpusSpec{Family: "adders", Size: 8},
+		}
+		c, err := BuildCorpus(mustCanon(t, plan).Corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := BuildSchedule(plan, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if bytes.Equal(build(1), build(2)) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestCorpusByteIdentical: corpus generation is itself reproducible,
+// and every generated spec is canonical with normalized weights.
+func TestCorpusByteIdentical(t *testing.T) {
+	families := append([]string{"mixed"}, familyOrder...)
+	for _, fam := range families {
+		for _, seed := range []int64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", fam, seed), func(t *testing.T) {
+				spec := CorpusSpec{Family: fam, Size: 24, Seed: seed}
+				c1, err := BuildCorpus(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c2, err := BuildCorpus(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b1, err := c1.Canonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b2, err := c2.Canonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(b1, b2) {
+					t.Fatalf("same corpus spec produced different corpora")
+				}
+				if len(c1.Items) == 0 || len(c1.Items) > 24 {
+					t.Fatalf("corpus size %d out of bounds (cap 24)", len(c1.Items))
+				}
+				sum := 0.0
+				for i, it := range c1.Items {
+					sum += it.Weight
+					canon, err := it.Spec.Canon()
+					if err != nil {
+						t.Fatalf("item %d not canonicalizable: %v", i, err)
+					}
+					if canon.Hash() != it.Spec.Hash() {
+						t.Fatalf("item %d spec not stored canonical", i)
+					}
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Fatalf("weights sum to %g, want 1", sum)
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleShapes sanity-checks each process's structure: poisson
+// volume near rate x duration, burst shows both phases, ramp thirds
+// rise, closed is exactly Requests arrivals at offset zero.
+func TestScheduleShapes(t *testing.T) {
+	corpus, err := BuildCorpus(CorpusSpec{Family: "adders", Size: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := func(a ArrivalSpec) *Schedule {
+		s, err := BuildSchedule(Plan{Seed: 42, Arrival: a, Corpus: corpus.Spec}, corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := sched(ArrivalSpec{Process: ProcPoisson, Rate: 500, DurationSec: 4})
+	n := len(s.Arrivals)
+	if n < 1600 || n > 2400 {
+		t.Errorf("poisson at 500/s for 4s produced %d arrivals, want ~2000", n)
+	}
+	for i := 1; i < n; i++ {
+		if s.Arrivals[i].OffsetUS < s.Arrivals[i-1].OffsetUS {
+			t.Fatalf("arrival %d not in time order", i)
+		}
+	}
+
+	s = sched(ArrivalSpec{Process: ProcBurst, Rate: 100, BurstRate: 800, DurationSec: 6})
+	phases := map[string]int{}
+	for _, a := range s.Arrivals {
+		phases[a.Phase]++
+	}
+	if phases["calm"] == 0 || phases["burst"] == 0 {
+		t.Errorf("burst schedule missing a phase: %v", phases)
+	}
+
+	s = sched(ArrivalSpec{Process: ProcRamp, Rate: 50, PeakRate: 800, DurationSec: 6})
+	phases = map[string]int{}
+	for _, a := range s.Arrivals {
+		phases[a.Phase]++
+	}
+	if !(phases["ramp_lo"] < phases["ramp_mid"] && phases["ramp_mid"] < phases["ramp_hi"]) {
+		t.Errorf("ramp thirds not increasing: %v", phases)
+	}
+
+	s = sched(ArrivalSpec{Process: ProcClosed, Requests: 64, Concurrency: 4})
+	if len(s.Arrivals) != 64 {
+		t.Errorf("closed schedule has %d arrivals, want 64", len(s.Arrivals))
+	}
+	for _, a := range s.Arrivals {
+		if a.OffsetUS != 0 || a.Phase != "closed" {
+			t.Fatalf("closed arrival %+v, want offset 0 phase closed", a)
+		}
+	}
+}
+
+// TestPlanCanonZeroing: knobs a process does not consume must be zeroed
+// so they cannot split otherwise-identical plans.
+func TestPlanCanonZeroing(t *testing.T) {
+	p := Plan{
+		Seed: 1,
+		Arrival: ArrivalSpec{
+			Process: ProcClosed, Rate: 99, BurstRate: 98, PeakRate: 97,
+			OnMeanSec: 1, OffMeanSec: 2, Requests: 10, Concurrency: 2,
+		},
+		Corpus: CorpusSpec{Family: "adders"},
+	}
+	c := mustCanon(t, p)
+	if c.Arrival.Rate != 0 || c.Arrival.BurstRate != 0 || c.Arrival.PeakRate != 0 {
+		t.Errorf("closed-loop canon kept open-loop rates: %+v", c.Arrival)
+	}
+	p2 := p
+	p2.Arrival.Rate = 12345 // different junk, same canonical plan
+	b1, err := p.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("unconsumed knobs changed the canonical plan")
+	}
+}
+
+func mustCanon(t *testing.T, p Plan) Plan {
+	t.Helper()
+	c, err := p.Canon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

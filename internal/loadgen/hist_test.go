@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip: every value must land in a bucket whose bounds
+// contain it, and bucket bounds must tile the axis without gaps.
+func TestBucketRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	values := []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1e6, 1e9, 1e12}
+	for i := 0; i < 10000; i++ {
+		values = append(values, r.Int63n(1<<50))
+	}
+	for _, v := range values {
+		i := bucketIndex(v)
+		lo := bucketLow(i)
+		hi := bucketLow(i + 1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d spanning [%d,%d)", v, i, lo, hi)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucket bounds not strictly increasing at %d", i)
+		}
+	}
+}
+
+// quantileErrBound is the histogram's documented relative error: each
+// log-linear bucket spans at most 1/32 of its lower bound, so a
+// quantile read (bucket midpoint) is within 1/32 of the true sample.
+const quantileErrBound = 1.0 / 32
+
+// TestQuantileBounds checks p50/p95/p99/p999 against exact quantiles of
+// known shapes — uniform, exponential, and bimodal — within the
+// documented error bound. Sampling is seeded, so the assertion is
+// exact-reproducible, not flaky.
+func TestQuantileBounds(t *testing.T) {
+	const n = 50000
+	dists := map[string]func(r *rand.Rand) int64{
+		// Uniform over [1ms, 1s] in nanoseconds.
+		"uniform": func(r *rand.Rand) int64 { return 1_000_000 + r.Int63n(999_000_000) },
+		// Exponential with mean 50ms.
+		"exponential": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50e6) },
+		// Bimodal: 80% fast mode near 2ms, 20% slow mode near 150ms.
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Float64() < 0.8 {
+				return 2_000_000 + int64(r.ExpFloat64()*500_000)
+			}
+			return 150_000_000 + int64(r.ExpFloat64()*10_000_000)
+		},
+	}
+	for name, draw := range dists {
+		for _, seed := range []int64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				h := NewLatencyHist()
+				samples := make([]int64, n)
+				for i := range samples {
+					v := draw(r)
+					samples[i] = v
+					h.Observe(v)
+				}
+				sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+				for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+					got := h.Quantile(q)
+					// The histogram's rank convention and the exact rank
+					// can differ by a sample; accept the bound against
+					// the nearest-rank neighborhood.
+					rank := int(q*float64(n) + 0.5)
+					lo, hi := exactRange(samples, rank)
+					min := float64(lo) * (1 - quantileErrBound)
+					max := float64(hi) * (1 + quantileErrBound)
+					if float64(got) < min || float64(got) > max {
+						t.Errorf("q=%.3f: got %d, exact [%d,%d], bound [%.0f,%.0f]",
+							q, got, lo, hi, min, max)
+					}
+				}
+				if h.Count() != n {
+					t.Errorf("count %d, want %d", h.Count(), n)
+				}
+				if h.Max() != samples[n-1] {
+					t.Errorf("max %d, want %d (max is exact)", h.Max(), samples[n-1])
+				}
+				mean := 0.0
+				for _, v := range samples {
+					mean += float64(v)
+				}
+				mean /= n
+				if math.Abs(h.Mean()-mean) > 1e-6*mean+1 {
+					t.Errorf("mean %g, want %g (mean is exact)", h.Mean(), mean)
+				}
+			})
+		}
+	}
+}
+
+// exactRange returns the sample values at ranks rank-1..rank+1 (1-based,
+// clamped), the neighborhood a bucketed quantile may legitimately land
+// in.
+func exactRange(sorted []int64, rank int) (int64, int64) {
+	idx := func(r int) int64 {
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return sorted[r-1]
+	}
+	return idx(rank - 1), idx(rank + 1)
+}
+
+// TestQuantileEmptyAndSingle covers the degenerate histograms reports
+// can produce (no completed requests; one completed request).
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read as zeros")
+	}
+	h.Observe(5_000_000)
+	got := h.Quantile(0.5)
+	if math.Abs(float64(got)-5e6) > 5e6*quantileErrBound {
+		t.Errorf("single-sample p50 %d not within bound of 5e6", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package loadgen is the deterministic traffic model for gapd: seeded
+// arrival processes (open-loop Poisson, bursty on/off, diurnal ramp,
+// closed-loop fixed concurrency), a reproducible scenario corpus of
+// parameterized design families, and an SLO report built from a
+// bounded-error streaming histogram. The schedule — which request is
+// issued when, carrying which spec — is a pure function of the plan
+// seed: the same plan replays byte-for-byte, which is what makes a
+// perf claim measured with it falsifiable (see FINDINGS.md).
+//
+// Only request *timing* touches the wall clock, through the single
+// sanctioned seam in clock.go; everything else (arrival offsets, corpus
+// membership, item picks) is drawn from explicit rand.New(
+// rand.NewSource(seed)) generators and is checked by gaplint's
+// determinism analyzer like the core evaluation packages.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Plan is the canonical description of one load-generation run: a seed,
+// an arrival process, and a scenario corpus. Two equal canonical plans
+// produce byte-identical schedules and corpora.
+type Plan struct {
+	// Seed drives every stochastic choice: arrival gaps, phase changes,
+	// corpus membership, and per-arrival item picks.
+	Seed int64 `json:"seed"`
+	// Arrival selects and parameterizes the arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Corpus selects and parameterizes the scenario corpus.
+	Corpus CorpusSpec `json:"corpus"`
+}
+
+// Arrival process names.
+const (
+	ProcPoisson = "poisson" // open-loop, exponential inter-arrival gaps
+	ProcBurst   = "burst"   // open-loop, Markov-modulated on/off Poisson
+	ProcRamp    = "ramp"    // open-loop, linearly rising rate (diurnal ramp)
+	ProcClosed  = "closed"  // closed-loop, fixed concurrency, zero think time
+)
+
+// ArrivalSpec parameterizes an arrival process. Zero fields take
+// process-appropriate defaults in Canon.
+type ArrivalSpec struct {
+	// Process is poisson, burst, ramp, or closed.
+	Process string `json:"process"`
+	// Rate is the mean offered load in requests/second (poisson), the
+	// calm-phase rate (burst), or the starting rate (ramp).
+	Rate float64 `json:"rate_per_sec,omitempty"`
+	// BurstRate is the on-phase rate of the burst process
+	// (default 4x Rate).
+	BurstRate float64 `json:"burst_rate_per_sec,omitempty"`
+	// OnMeanSec / OffMeanSec are the mean durations of the burst and
+	// calm phases; actual durations are exponential (the Markov
+	// modulation). Defaults 1s and 2s.
+	OnMeanSec  float64 `json:"on_mean_sec,omitempty"`
+	OffMeanSec float64 `json:"off_mean_sec,omitempty"`
+	// PeakRate is the final rate of the ramp (default 4x Rate).
+	PeakRate float64 `json:"peak_rate_per_sec,omitempty"`
+	// DurationSec bounds the open-loop schedule; for the closed loop it
+	// is a wall-clock safety cap on the run (0 = uncapped).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// Concurrency is the closed loop's worker count (default 8).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Requests is the closed loop's schedule length (default 500).
+	Requests int `json:"requests,omitempty"`
+}
+
+// Canon validates the plan and fills defaults, mirroring jobs.Spec.Canon:
+// the canonical form is what gets hashed into reports and what schedule
+// and corpus generation consume, so equal plans cannot drift apart.
+func (p Plan) Canon() (Plan, error) {
+	c := p
+	a := &c.Arrival
+	a.Process = strings.ToLower(strings.TrimSpace(a.Process))
+	if a.Process == "" {
+		a.Process = ProcPoisson
+	}
+	switch a.Process {
+	case ProcPoisson, ProcBurst, ProcRamp, ProcClosed:
+	default:
+		return c, fmt.Errorf("loadgen: unknown arrival process %q", p.Arrival.Process)
+	}
+	if a.Rate < 0 || a.BurstRate < 0 || a.PeakRate < 0 {
+		return c, fmt.Errorf("loadgen: negative rate")
+	}
+	if a.DurationSec < 0 || a.OnMeanSec < 0 || a.OffMeanSec < 0 {
+		return c, fmt.Errorf("loadgen: negative duration")
+	}
+	if a.Concurrency < 0 || a.Requests < 0 {
+		return c, fmt.Errorf("loadgen: negative closed-loop parameter")
+	}
+	switch a.Process {
+	case ProcClosed:
+		if a.Concurrency == 0 {
+			a.Concurrency = 8
+		}
+		if a.Requests == 0 {
+			a.Requests = 500
+		}
+		// The open-loop knobs do not apply; zero them so they cannot
+		// split otherwise-identical plans.
+		a.Rate, a.BurstRate, a.PeakRate = 0, 0, 0
+		a.OnMeanSec, a.OffMeanSec = 0, 0
+	default:
+		if a.Rate == 0 {
+			a.Rate = 50
+		}
+		if a.DurationSec == 0 {
+			a.DurationSec = 10
+		}
+		a.Concurrency, a.Requests = 0, 0
+		switch a.Process {
+		case ProcPoisson:
+			a.BurstRate, a.PeakRate, a.OnMeanSec, a.OffMeanSec = 0, 0, 0, 0
+		case ProcBurst:
+			if a.BurstRate == 0 {
+				a.BurstRate = 4 * a.Rate
+			}
+			if a.OnMeanSec == 0 {
+				a.OnMeanSec = 1
+			}
+			if a.OffMeanSec == 0 {
+				a.OffMeanSec = 2
+			}
+			a.PeakRate = 0
+		case ProcRamp:
+			if a.PeakRate == 0 {
+				a.PeakRate = 4 * a.Rate
+			}
+			a.BurstRate, a.OnMeanSec, a.OffMeanSec = 0, 0, 0
+		}
+	}
+	cc, err := c.Corpus.canon(c.Seed)
+	if err != nil {
+		return c, err
+	}
+	c.Corpus = cc
+	return c, nil
+}
+
+// Canonical renders the canonical plan as deterministic JSON bytes.
+func (p Plan) Canonical() ([]byte, error) {
+	c, err := p.Canon()
+	if err != nil {
+		return nil, err
+	}
+	// encoding/json emits struct fields in declaration order, so the
+	// canonical plan has exactly one encoding.
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: plan not marshalable: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// FetchTargetInfo stamps a report with the identity of the server under
+// test: build_info and uptime_seconds from GET /metrics, and the node
+// count from GET /v1/cluster when clustering is on. Errors on the
+// cluster probe are not fatal (a single node 404s there by design).
+func FetchTargetInfo(ctx context.Context, client *http.Client, base string) (TargetInfo, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	info := TargetInfo{URL: base, Nodes: 1}
+	var metrics struct {
+		Uptime float64        `json:"uptime_seconds"`
+		Build  map[string]any `json:"build_info"`
+	}
+	if err := getInto(ctx, client, base+"/metrics", &metrics); err != nil {
+		return info, fmt.Errorf("loadgen: reading %s/metrics: %w", base, err)
+	}
+	info.UptimeSeconds = metrics.Uptime
+	info.Build = metrics.Build
+	var cluster struct {
+		Peers []json.RawMessage `json:"peers"`
+	}
+	if err := getInto(ctx, client, base+"/v1/cluster", &cluster); err == nil && len(cluster.Peers) > 0 {
+		info.Nodes = len(cluster.Peers)
+	}
+	return info, nil
+}
+
+func getInto(ctx context.Context, client *http.Client, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

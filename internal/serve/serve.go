@@ -72,6 +72,12 @@ type handler struct {
 	// would have been computed for a caller no longer waiting.
 	deadlineRejected atomic.Int64
 
+	// start anchors the uptime_seconds metric: how long this handler
+	// (in practice, this gapd process) has been serving. gapload stamps
+	// reports with it so a measurement can be tied to one server
+	// incarnation (a restart resets it along with the cache).
+	start time.Time
+
 	mu        sync.Mutex
 	perClient map[string]int
 }
@@ -99,6 +105,7 @@ func NewHandler(opt Options) http.Handler {
 		requestTimeout: opt.RequestTimeout,
 		maxPerClient:   opt.MaxPerClient,
 		retryAfter:     opt.RetryAfter,
+		start:          time.Now(),
 		perClient:      map[string]int{},
 	}
 	if h.maxBodyBytes <= 0 {
@@ -549,9 +556,16 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["pending_requests"] = h.pending.Load()
 	snap["deadline_rejected"] = h.deadlineRejected.Load()
 	snap["breakers"] = h.pool.BreakerStates()
+	snap["uptime_seconds"] = time.Since(h.start).Seconds()
+	// build_info lets a load generator stamp its report with the exact
+	// server build it measured (see cmd/gapload): a perf number without
+	// the build that produced it is not evidence.
+	bi := Version().payload()
 	if h.cluster != nil {
+		bi["node"] = h.cluster.Self()
 		snap["cluster"] = h.cluster.MetricsSnapshot()
 	}
+	snap["build_info"] = bi
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -609,3 +609,32 @@ func TestMetricsExposesRobustnessCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsBuildInfo: /metrics must carry uptime_seconds and
+// build_info so a load generator can stamp its report with the exact
+// server incarnation it measured.
+func TestMetricsBuildInfo(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var snap map[string]any
+	getJSON(t, srv.URL+"/metrics", &snap)
+	up, ok := snap["uptime_seconds"].(float64)
+	if !ok || up < 0 {
+		t.Fatalf("uptime_seconds = %v, want non-negative float", snap["uptime_seconds"])
+	}
+	bi, ok := snap["build_info"].(map[string]any)
+	if !ok {
+		t.Fatalf("build_info block: %v", snap["build_info"])
+	}
+	for _, key := range []string{"module", "version", "go"} {
+		if v, ok := bi[key].(string); !ok || v == "" {
+			t.Errorf("build_info.%s = %v, want non-empty string", key, bi[key])
+		}
+	}
+	// Uptime must advance between scrapes: it identifies an incarnation.
+	time.Sleep(5 * time.Millisecond)
+	var snap2 map[string]any
+	getJSON(t, srv.URL+"/metrics", &snap2)
+	if up2 := snap2["uptime_seconds"].(float64); up2 <= up {
+		t.Errorf("uptime did not advance: %v then %v", up, up2)
+	}
+}
