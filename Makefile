@@ -21,9 +21,9 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net fuzz gapd load-smoke
+.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net chaos-rolling fuzz gapd load-smoke
 
-tier1: fmt vet lint build race load-smoke chaos chaos-net
+tier1: fmt vet lint build race load-smoke chaos chaos-net chaos-rolling
 
 fmt:
 	@out=$$(gofmt -s -l .); \
@@ -71,6 +71,19 @@ chaos-net:
 	$(GO) test -race -count=1 \
 		-run 'TestChaosNet|TestHedgeLoser|TestDeadline|TestFlapDamping|TestResponseDigest|TestResults' \
 		./internal/cluster/ ./internal/serve/
+
+# The dynamic-membership chaos suite under the race detector: a 5-node
+# gossip cluster survives a rolling restart (every node drained, killed,
+# rejoined cold) losing zero completed results with byte-identical
+# answers and zero recomputes, plus the membership edge cases — join
+# during a partition, suspect refutation by incarnation bump, stale
+# views rejected on rejoin, and the drain gate's no-new-admissions
+# guarantee.
+chaos-rolling:
+	$(GO) test -race -count=1 ./internal/gossip/
+	$(GO) test -race -count=1 \
+		-run 'TestChaosRollingRestart|TestGossip' \
+		./internal/cluster/
 
 # Short fuzz passes over the hardened trust boundaries: the
 # structural-Verilog reader, job-spec canonicalization, and the peer

@@ -9,7 +9,8 @@
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
 //	     [-journal DIR] [-drain-timeout 30s] [-max-queue N] [-max-per-client N]
 //	     [-node-id ID -peers ID=URL,...] [-hedge-after 50ms] [-replicas N]
-//	     [-antientropy-interval 30s] [-version]
+//	     [-antientropy-interval 30s] [-gossip -advertise URL]
+//	     [-gossip-interval 250ms] [-gossip-seed N] [-version]
 //
 // With -journal, every accepted job is written ahead to an fsynced JSONL
 // log in DIR; on boot the journal is replayed — completed results re-warm
@@ -31,6 +32,19 @@
 // netfault plan (e.g. "seed=7,partition=0.05,corrupt=0.01") injects
 // deterministic network faults into every peer-facing request — the
 // chaos drill for a real multi-process cluster.
+//
+// With -gossip, membership is dynamic instead of a boot list: the node
+// advertises itself at -advertise, announces its join to the -peers
+// seed contacts (none needed for the first node), and from then on the
+// cluster converges by SWIM-style gossip over POST /v1/gossip — probe
+// rounds every -gossip-interval, indirect ping-req probes, incarnation-
+// numbered alive/suspect/dead states. Ownership re-ranks live as nodes
+// join and leave, and completed results migrate to their new owners
+// over the replication endpoints instead of being recomputed. On
+// SIGTERM the node drains first: it announces the drain (new work flows
+// to the next rendezvous rank), finishes in-flight jobs, hands every
+// held result off, and only then leaves — a rolling restart loses
+// nothing. POST /v1/drain triggers the same sequence remotely.
 package main
 
 import (
@@ -67,7 +81,11 @@ func main() {
 	maxPerClient := flag.Int("max-per-client", 0, "concurrent submissions per client (0 = 2x workers, negative disables)")
 	maxAttempts := flag.Int("max-attempts", 0, "attempts per job incl. retries (0 = 3)")
 	nodeID := flag.String("node-id", "", "this node's id within -peers (required with -peers)")
-	peersFlag := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs incl. this node (empty = single node)")
+	peersFlag := flag.String("peers", "", "static cluster membership as comma-separated id=url pairs incl. this node (empty = single node); with -gossip, the seed contacts to announce the join to")
+	gossipOn := flag.Bool("gossip", false, "dynamic SWIM-style membership: join via the -peers seed contacts, probe every -gossip-interval, hand ownership off on drain")
+	advertise := flag.String("advertise", "", "this node's externally reachable base URL (required with -gossip)")
+	gossipInterval := flag.Duration("gossip-interval", 250*time.Millisecond, "spacing of gossip protocol rounds")
+	gossipSeed := flag.Int64("gossip-seed", 1, "seed for the deterministic probe/ping-req target selection")
 	hedgeAfter := flag.Duration("hedge-after", 50*time.Millisecond, "latency threshold before a forwarded request is hedged to the next node in rendezvous order (negative disables)")
 	replicas := flag.Int("replicas", 2, "replication factor: completed results are pushed to the first N nodes in rendezvous order (1 disables)")
 	aeInterval := flag.Duration("antientropy-interval", 30*time.Second, "spacing of background replica-repair sweeps (0 disables)")
@@ -149,11 +167,15 @@ func main() {
 	}()
 
 	var clu *cluster.Cluster
-	if *peersFlag != "" {
-		peers, err := cluster.ParsePeers(*peersFlag)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
-			os.Exit(1)
+	if *peersFlag != "" || *gossipOn {
+		var peers []cluster.Peer
+		if *peersFlag != "" {
+			var err error
+			peers, err = cluster.ParsePeers(*peersFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		opts := cluster.Options{
 			SelfID:              *nodeID,
@@ -163,6 +185,13 @@ func main() {
 			Replicas:            *replicas,
 			AntiEntropyInterval: *aeInterval,
 			Results:             pool.Cache(),
+		}
+		if *gossipOn {
+			opts.Gossip = &cluster.GossipOptions{
+				SelfURL:  *advertise,
+				Seed:     *gossipSeed,
+				Interval: *gossipInterval,
+			}
 		}
 		// GAPD_NETFAULT injects deterministic network faults into every
 		// peer-facing request — chaos drills against a real multi-process
@@ -187,11 +216,12 @@ func main() {
 			}
 			log.Printf("gapd: netfault enabled: %s", planStr)
 		}
-		clu, err = cluster.New(opts)
+		c, err := cluster.New(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
 			os.Exit(1)
 		}
+		clu = c
 		clu.Start(ctx)
 		defer clu.Close()
 	}
@@ -232,14 +262,34 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("gapd: shutting down (drain limit %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Under gossip membership, drain before closing the listener:
+		// announce the drain (ownership re-ranks away from this node,
+		// fresh requests shed to the next rendezvous rank) and migrate
+		// every held result to its new home while still serving.
+		if clu != nil && clu.GossipEnabled() {
+			if migrated, err := handler.StartDrain(shutdownCtx); err != nil {
+				log.Printf("gapd: drain handoff incomplete (%d results migrated): %v", migrated, err)
+			} else {
+				log.Printf("gapd: drained: %d results migrated to new owners", migrated)
+			}
+		}
 		// Shutdown waits for in-flight requests; since jobs run on the
 		// request goroutine, this drains the worker pool too. Jobs still
 		// running at the deadline keep their accept-only journal records,
 		// so the next boot re-executes exactly those.
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("gapd: drain expired: %v", err)
+		}
+		if clu != nil && clu.GossipEnabled() {
+			// Results that completed during the drain window migrate in a
+			// final sweep now that the server has quiesced; then announce
+			// clean departure so peers record "left", not "dead".
+			if migrated := clu.HandoffNow(shutdownCtx); migrated > 0 {
+				log.Printf("gapd: final handoff: %d late results migrated", migrated)
+			}
+			clu.Leave(shutdownCtx)
 		}
 	}
 	if err := journal.Sync(); err != nil {

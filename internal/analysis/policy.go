@@ -25,6 +25,15 @@ var ServicePackages = []string{"jobs", "serve", "cluster"}
 // seam — latency measurement — is annotated in loadgen/clock.go.
 var MeasurementPackages = []string{"loadgen"}
 
+// MembershipPackages extend the determinism guarantee to the gossip
+// membership protocol: probe order, ping-req proxy picks, and state
+// transitions are driven by rounds, not wall time, and must be pure
+// functions of the seed and the observed events. The single sanctioned
+// wall-clock seam — the display timestamp on view snapshots — is
+// annotated in gossip/clock.go. The ctxflow analyzer covers the
+// package too, by being module-wide.
+var MembershipPackages = []string{"gossip"}
+
 // RepoAnalyzers builds the full analyzer set for a module rooted at
 // modPath ("repro" in this repo).
 func RepoAnalyzers(modPath string) []Analyzer {
@@ -36,7 +45,8 @@ func RepoAnalyzers(modPath string) []Analyzer {
 		return out
 	}
 	return []Analyzer{
-		NewDeterminism(append(prefix(CorePackages), prefix(MeasurementPackages)...)...),
+		NewDeterminism(append(append(prefix(CorePackages),
+			prefix(MeasurementPackages)...), prefix(MembershipPackages)...)...),
 		NewErrTaxonomy(prefix(ServicePackages)...),
 		NewCtxFlow(),
 		NewMetricName(),

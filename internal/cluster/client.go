@@ -220,7 +220,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 				// and this node's connection-pool slot right now, not
 				// when the caller eventually returns.
 				cancel()
-				c.members.reportSuccess(a.peer.ID)
+				c.reportSuccess(a.peer.ID)
 				return a.res, nil
 			}
 			if errors.Is(a.err, jobs.ErrSpec) {
@@ -229,7 +229,7 @@ func (c *Cluster) Forward(ctx context.Context, path string, spec jobs.Spec, rt R
 			}
 			if raceCtx.Err() == nil {
 				// A real peer failure, not a canceled straggler.
-				c.members.reportFailure(a.peer.ID, a.err)
+				c.reportFailure(a.peer.ID, a.err)
 				c.metrics.ForwardErrors.Add(1)
 			}
 			if firstErr == nil {

@@ -1,6 +1,11 @@
 // Package cluster turns N independent gapd processes into one sharded
-// evaluation service. Membership is a static peer list health-probed
-// over /healthz; ownership is rendezvous hashing over the job's
+// evaluation service. Membership is either a static peer list
+// health-probed over /healthz or — with Options.Gossip — a dynamic
+// SWIM-style view (internal/gossip) where nodes join, drain, and leave
+// at runtime, ownership re-ranks live as the view changes, and
+// completed results migrate to their new owners over the replication
+// endpoints instead of being recomputed. Ownership is rendezvous
+// hashing over the job's
 // content address (a pure function of the peer set and the spec hash,
 // so every node agrees with zero coordination); requests for specs
 // another node owns are forwarded over HTTP with hedged reads (race the
@@ -16,8 +21,10 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/jobs"
 )
 
@@ -45,12 +52,43 @@ type Peer struct {
 	Weight int `json:"weight,omitempty"`
 }
 
+// GossipOptions enables dynamic SWIM-style membership in place of the
+// static health-probed peer list.
+type GossipOptions struct {
+	// SelfURL is this node's advertised base HTTP address — what other
+	// members will dial. Required.
+	SelfURL string
+	// Seed drives the deterministic probe/ping-req target selection
+	// (see internal/gossip). Nodes may use different seeds.
+	Seed int64
+	// Interval spaces protocol rounds (default 250ms).
+	Interval time.Duration
+	// ProbeTimeout caps one gossip exchange, direct or proxied
+	// (default 1s).
+	ProbeTimeout time.Duration
+	// SuspectRounds / PingReqFanout tune the failure detector; zero
+	// selects the gossip package defaults.
+	SuspectRounds int
+	PingReqFanout int
+	// Weight is this node's rendezvous weight (default 1).
+	Weight int
+}
+
 // Options configures a Cluster.
 type Options struct {
-	// SelfID names this node; it must appear in Peers.
+	// SelfID names this node; with static membership it must appear in
+	// Peers.
 	SelfID string
-	// Peers is the full static membership, including this node.
+	// Peers is the full static membership, including this node. Under
+	// Gossip it is instead the seed contact list — addresses to
+	// announce the join to — and may omit self (or, for the first node
+	// of a new cluster, be empty).
 	Peers []Peer
+	// Gossip, when non-nil, replaces static membership with the
+	// SWIM-style dynamic view: seeded probe/ping-req rounds over
+	// POST /v1/gossip, incarnation-numbered alive/suspect/dead states,
+	// live ring re-ranking, and ownership handoff on join/drain.
+	Gossip *GossipOptions
 	// HedgeAfter is how long a forwarded request may sit unanswered
 	// before a hedge is raced against the next node in rendezvous order
 	// (default 50ms; negative disables hedging).
@@ -113,6 +151,16 @@ type ResultStore interface {
 	Get(id string) (*jobs.Result, bool)
 }
 
+// ringView is one immutable generation of the ownership view: the ring
+// plus the peer records it ranks over. Static clusters build it once;
+// gossip clusters rebuild and atomically swap it whenever the
+// membership view's ring-eligible set changes, so routing reads are
+// lock-free either way.
+type ringView struct {
+	ring  *Ring
+	peers map[string]Peer
+}
+
 // Cluster is one node's view of the sharded service: the ownership
 // ring, the health-tracked membership, and the forwarding client.
 type Cluster struct {
@@ -120,11 +168,12 @@ type Cluster struct {
 	hedgeAfter     time.Duration
 	maxTargets     int
 	replicas       int
+	vnodes         int
 	aeInterval     time.Duration
 	deadlineMargin time.Duration
-	peers          map[string]Peer
-	ring           *Ring
-	members        *membership
+	view           atomic.Pointer[ringView]
+	members        *membership // static mode only
+	gossip         *gossipRunner
 	results        ResultStore
 	hc             *http.Client
 	reqTimeout     time.Duration
@@ -134,10 +183,50 @@ type Cluster struct {
 	aeDone   chan struct{}
 }
 
+// rv returns the current ring view (never nil).
+func (c *Cluster) rv() *ringView { return c.view.Load() }
+
+// usable reports whether id may be routed to under the active
+// membership mode.
+func (c *Cluster) usable(id string) bool {
+	if id == c.self {
+		return true
+	}
+	if c.gossip != nil {
+		return c.gossip.routable(id)
+	}
+	return c.members.usable(id)
+}
+
+// reportSuccess is the passive health signal from a successful peer
+// request.
+func (c *Cluster) reportSuccess(id string) {
+	if c.gossip != nil {
+		c.gossip.view.ObserveAlive(id)
+		return
+	}
+	c.members.reportSuccess(id)
+}
+
+// reportFailure is the passive health signal from a failed peer
+// request. Under gossip it opens the suspicion window — the member
+// stays in the ring and has SuspectRounds to refute via incarnation
+// bump before being declared dead, which subsumes the static mode's
+// consecutive-failure flap damping.
+func (c *Cluster) reportFailure(id string, err error) {
+	if c.gossip != nil {
+		if c.gossip.view.ObserveFailure(id) {
+			c.gossip.syncStats()
+		}
+		return
+	}
+	c.members.reportFailure(id, err)
+}
+
 // New validates opt and builds the node's cluster view. Call Start to
-// begin health probing and Close to stop it.
+// begin health probing (static) or the gossip loop, and Close to stop.
 func New(opt Options) (*Cluster, error) {
-	if len(opt.Peers) == 0 {
+	if opt.Gossip == nil && len(opt.Peers) == 0 {
 		return nil, fmt.Errorf("%w: empty peer list", ErrConfig)
 	}
 	byID := make(map[string]Peer, len(opt.Peers))
@@ -151,8 +240,17 @@ func New(opt Options) (*Cluster, error) {
 		p.URL = strings.TrimRight(p.URL, "/")
 		byID[p.ID] = p
 	}
-	if _, ok := byID[opt.SelfID]; !ok {
-		return nil, fmt.Errorf("%w: self id %q not in peer list", ErrConfig, opt.SelfID)
+	if opt.Gossip == nil {
+		if _, ok := byID[opt.SelfID]; !ok {
+			return nil, fmt.Errorf("%w: self id %q not in peer list", ErrConfig, opt.SelfID)
+		}
+	} else {
+		if opt.SelfID == "" {
+			return nil, fmt.Errorf("%w: gossip mode requires a node id", ErrConfig)
+		}
+		if opt.Gossip.SelfURL == "" {
+			return nil, fmt.Errorf("%w: gossip mode requires an advertised self URL", ErrConfig)
+		}
 	}
 	if opt.HedgeAfter == 0 {
 		opt.HedgeAfter = 50 * time.Millisecond
@@ -208,17 +306,35 @@ func New(opt Options) (*Cluster, error) {
 		hedgeAfter:     opt.HedgeAfter,
 		maxTargets:     opt.MaxTargets,
 		replicas:       opt.Replicas,
+		vnodes:         opt.VNodes,
 		aeInterval:     opt.AntiEntropyInterval,
 		deadlineMargin: opt.DeadlineMargin,
-		peers:          byID,
-		ring:           NewRing(normalized, opt.VNodes),
-		members: newMembership(opt.SelfID, normalized, opt.ProbeInterval,
-			opt.ProbeTimeout, opt.DeadAfter, opt.AliveAfter, opt.Metrics, rt),
-		results:    opt.Results,
-		reqTimeout: opt.RequestTimeout,
-		metrics:    opt.Metrics,
-		hc:         &http.Client{Transport: rt},
+		results:        opt.Results,
+		reqTimeout:     opt.RequestTimeout,
+		metrics:        opt.Metrics,
+		hc:             &http.Client{Transport: rt},
 	}
+	if opt.Gossip != nil {
+		g, err := newGossipRunner(c, opt, normalized)
+		if err != nil {
+			return nil, err
+		}
+		c.gossip = g
+		// The boot view contains only self; seeds are contacts, not
+		// members — the first exchange merges the real cluster in and
+		// swaps a wider ring. Until then the node serves locally, which
+		// is only a cache-affinity cost: results are content-addressed,
+		// so early answers are byte-identical regardless of routing.
+		self := Peer{ID: opt.SelfID, URL: opt.Gossip.SelfURL, Weight: opt.Gossip.Weight}
+		c.view.Store(&ringView{
+			ring:  NewRing([]Peer{self}, opt.VNodes),
+			peers: map[string]Peer{opt.SelfID: self},
+		})
+		return c, nil
+	}
+	c.view.Store(&ringView{ring: NewRing(normalized, opt.VNodes), peers: byID})
+	c.members = newMembership(opt.SelfID, normalized, opt.ProbeInterval,
+		opt.ProbeTimeout, opt.DeadAfter, opt.AliveAfter, opt.Metrics, rt)
 	return c, nil
 }
 
@@ -243,10 +359,16 @@ func ParsePeers(s string) ([]Peer, error) {
 	return peers, nil
 }
 
-// Start begins periodic health probing and, when configured with an
-// interval and a result store, the background anti-entropy loop.
+// Start begins membership maintenance — static health probing, or the
+// gossip loop (join announcement to the seed contacts, then periodic
+// probe/ping-req rounds) — and, when configured with an interval and a
+// result store, the background anti-entropy loop.
 func (c *Cluster) Start(ctx context.Context) {
-	c.members.start(ctx)
+	if c.gossip != nil {
+		c.gossip.start(ctx)
+	} else {
+		c.members.start(ctx)
+	}
 	if c.aeInterval > 0 && c.results != nil && c.replicas > 1 {
 		aeCtx, cancel := context.WithCancel(ctx)
 		c.aeCancel = cancel
@@ -267,10 +389,14 @@ func (c *Cluster) Start(ctx context.Context) {
 	}
 }
 
-// Close stops health probing, the anti-entropy loop, and releases idle
-// connections.
+// Close stops membership maintenance, the anti-entropy loop, and
+// releases idle connections.
 func (c *Cluster) Close() {
-	c.members.stop()
+	if c.gossip != nil {
+		c.gossip.stop()
+	} else {
+		c.members.stop()
+	}
 	if c.aeCancel != nil {
 		c.aeCancel()
 		<-c.aeDone
@@ -284,8 +410,13 @@ func (c *Cluster) Self() string { return c.self }
 // Metrics returns the cluster's routing counters.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
 
-// Ring returns the ownership ring (for tests and ownership stats).
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Ring returns the current ownership ring (for tests and ownership
+// stats). Under gossip the returned ring is one immutable generation;
+// it does not track later membership changes.
+func (c *Cluster) Ring() *Ring { return c.rv().ring }
+
+// GossipEnabled reports whether this cluster runs dynamic membership.
+func (c *Cluster) GossipEnabled() bool { return c.gossip != nil }
 
 // Route is one routing decision for a spec hash.
 type Route struct {
@@ -309,11 +440,18 @@ type Route struct {
 // ones are not); if every peer looks dead the node serves locally, so
 // the cluster can lose throughput but never availability.
 func (c *Cluster) Route(hash string) Route {
-	rank := c.ring.Rank(hash)
+	rv := c.rv()
+	rank := rv.ring.Rank(hash)
+	if len(rank) == 0 {
+		// A draining singleton owns nothing, but something must answer:
+		// availability beats drain purity, and the serve layer's drain
+		// gate decides whether to admit.
+		return Route{Owner: c.self, Local: true}
+	}
 	rt := Route{Owner: rank[0]}
 	acting := c.self
 	for _, id := range rank {
-		if c.members.usable(id) {
+		if c.usable(id) {
 			acting = id
 			break
 		}
@@ -331,10 +469,10 @@ func (c *Cluster) Route(hash string) Route {
 			}
 			started = true
 		}
-		if id == c.self || !c.members.usable(id) {
+		if id == c.self || !c.usable(id) {
 			continue
 		}
-		rt.Targets = append(rt.Targets, c.peers[id])
+		rt.Targets = append(rt.Targets, rv.peers[id])
 		if len(rt.Targets) == c.maxTargets {
 			break
 		}
@@ -349,45 +487,76 @@ type OwnershipStats struct {
 }
 
 // Status is the GET /v1/cluster payload: membership with live health,
-// ownership balance, and the routing counters.
+// ownership balance, and the routing counters. Static clusters report
+// Peers (probe-fed health); gossip clusters report Members — the live
+// gossip view with state, incarnation, and last-heard round — plus the
+// current protocol round and ring generation.
 type Status struct {
-	Self         string           `json:"self"`
-	HedgeAfterMS float64          `json:"hedge_after_ms"`
-	Peers        []PeerStatus     `json:"peers"`
-	Ownership    OwnershipStats   `json:"ownership"`
-	Counters     map[string]int64 `json:"counters"`
+	Self         string                `json:"self"`
+	Mode         string                `json:"mode"`
+	HedgeAfterMS float64               `json:"hedge_after_ms"`
+	Peers        []PeerStatus          `json:"peers,omitempty"`
+	Members      []gossip.MemberStatus `json:"members,omitempty"`
+	GossipRound  uint64                `json:"gossip_round,omitempty"`
+	RingGen      uint64                `json:"ring_generation,omitempty"`
+	Ownership    OwnershipStats        `json:"ownership"`
+	Counters     map[string]int64      `json:"counters"`
 }
 
 // Status snapshots the node's cluster view.
 func (c *Cluster) Status() Status {
 	const sample = 1024
-	return Status{
+	st := Status{
 		Self:         c.self,
+		Mode:         "static",
 		HedgeAfterMS: float64(c.hedgeAfter) / float64(time.Millisecond),
-		Peers:        c.members.snapshot(),
-		Ownership:    OwnershipStats{Sample: sample, Shares: c.ring.Shares(sample)},
+		Ownership:    OwnershipStats{Sample: sample, Shares: c.rv().ring.Shares(sample)},
 		Counters:     c.metrics.Counters(),
 	}
+	if c.gossip != nil {
+		st.Mode = "gossip"
+		st.Members = c.gossip.view.Snapshot()
+		st.GossipRound = c.gossip.view.Round()
+		st.RingGen = c.gossip.view.Gen()
+		return st
+	}
+	st.Peers = c.members.snapshot()
+	return st
 }
 
 // MetricsSnapshot renders the cluster block of GET /metrics: the
-// routing counters plus a per-peer health gauge (up: 1 for alive or
-// degraded, 0 for dead).
+// routing counters plus a per-peer availability gauge (up: 1 when the
+// peer may be routed to, 0 when dead/left).
 func (c *Cluster) MetricsSnapshot() map[string]any {
 	snap := make(map[string]any, 8)
 	for k, v := range c.metrics.Counters() {
 		snap[k] = v
 	}
-	peers := make(map[string]any, len(c.peers))
-	for _, ps := range c.members.snapshot() {
-		up := 1
-		if ps.Health == HealthDead {
-			up = 0
+	peers := make(map[string]any, 4)
+	if c.gossip != nil {
+		for _, ms := range c.gossip.view.Snapshot() {
+			up := 0
+			if ms.State.Routable() {
+				up = 1
+			}
+			peers[ms.ID] = map[string]any{
+				"state":       string(ms.State),
+				"up":          up,
+				"incarnation": ms.Incarnation,
+				"last_heard":  ms.LastHeardRound,
+			}
 		}
-		peers[ps.ID] = map[string]any{
-			"health":               string(ps.Health),
-			"up":                   up,
-			"consecutive_failures": ps.ConsecutiveFails,
+	} else {
+		for _, ps := range c.members.snapshot() {
+			up := 1
+			if ps.Health == HealthDead {
+				up = 0
+			}
+			peers[ps.ID] = map[string]any{
+				"health":               string(ps.Health),
+				"up":                   up,
+				"consecutive_failures": ps.ConsecutiveFails,
+			}
 		}
 	}
 	snap["peers"] = peers

@@ -44,6 +44,24 @@ type Metrics struct {
 	// the request's remaining deadline budget was smaller than the hedge
 	// threshold — a hedge that cannot finish is load, not insurance.
 	HedgesSuppressed atomic.Int64
+	// GossipRounds counts completed gossip protocol rounds (probe +
+	// dissemination) on this node.
+	GossipRounds atomic.Int64
+	// HandoffMigrated counts results this node pushed to a new home
+	// because ownership moved — a join re-ranked the ring, or this node
+	// drained — each one a recompute the cluster did not pay for.
+	HandoffMigrated atomic.Int64
+	// HandoffFailed counts handoff pushes that could not be delivered
+	// (target unreachable or rejecting); anti-entropy or a later sweep
+	// retries them.
+	HandoffFailed atomic.Int64
+	// Suspected counts alive→suspect transitions in this node's gossip
+	// view, locally observed or merged from peers.
+	Suspected atomic.Int64
+	// Refutations counts the times this node bumped its own incarnation
+	// to override a peer's claim about it — the SWIM escape hatch that
+	// keeps a briefly-unreachable node from being declared dead.
+	Refutations atomic.Int64
 }
 
 // NewMetrics creates an empty metrics set.
@@ -64,5 +82,10 @@ func (m *Metrics) Counters() map[string]int64 {
 		"cluster_antientropy_repaired": m.AntiEntropyRepaired.Load(),
 		"cluster_flaps_suppressed":     m.FlapsSuppressed.Load(),
 		"cluster_hedges_suppressed":    m.HedgesSuppressed.Load(),
+		"cluster_gossip_rounds":        m.GossipRounds.Load(),
+		"cluster_handoff_migrated":     m.HandoffMigrated.Load(),
+		"cluster_handoff_failed":       m.HandoffFailed.Load(),
+		"cluster_suspected":            m.Suspected.Load(),
+		"cluster_refutations":          m.Refutations.Load(),
 	}
 }

@@ -26,14 +26,33 @@ func (c *Cluster) replicaTargets(hash string) []Peer {
 	if c.replicas <= 1 {
 		return nil
 	}
-	rank := c.ring.Rank(hash)
-	n := min(c.replicas, len(rank))
+	return c.rankTargets(hash, c.replicas)
+}
+
+// handoffTargets returns the peers that should hold the result with the
+// given content address under the *current* ring, regardless of the
+// replication factor: even with replication off, a result whose
+// ownership moved (a join re-ranked it, or this node is draining) has
+// one rightful home, and handoff pushes it there instead of letting the
+// new owner recompute.
+func (c *Cluster) handoffTargets(hash string) []Peer {
+	return c.rankTargets(hash, max(c.replicas, 1))
+}
+
+// rankTargets returns the first n peers (never self) in the hash's
+// rendezvous order under the current ring view. Health is not consulted
+// — the target set is the contract; whether a given push succeeds right
+// now is the caller's (or anti-entropy's) problem.
+func (c *Cluster) rankTargets(hash string, n int) []Peer {
+	rv := c.rv()
+	rank := rv.ring.Rank(hash)
+	n = min(n, len(rank))
 	out := make([]Peer, 0, n)
 	for _, id := range rank[:n] {
 		if id == c.self {
 			continue
 		}
-		out = append(out, c.peers[id])
+		out = append(out, rv.peers[id])
 	}
 	return out
 }
@@ -80,7 +99,13 @@ func (c *Cluster) Replicate(ctx context.Context, res *jobs.Result) {
 	if res == nil || res.ID == "" {
 		return
 	}
-	for _, p := range c.replicaTargets(res.ID) {
+	targets := c.replicaTargets(res.ID)
+	if c.Draining() {
+		// A result completed during a drain must reach its new home even
+		// with replication off — the draining node's copy dies with it.
+		targets = c.handoffTargets(res.ID)
+	}
+	for _, p := range targets {
 		if created, err := c.pushResult(ctx, p, res); err == nil && created {
 			c.metrics.Replicated.Add(1)
 		}
@@ -156,7 +181,7 @@ func (c *Cluster) AntiEntropyNow(ctx context.Context) int {
 			continue
 		}
 		for _, p := range c.replicaTargets(id) {
-			if !c.members.usable(p.ID) {
+			if !c.usable(p.ID) {
 				continue // unreachable now; a later sweep will retry
 			}
 			if created, err := c.pushResult(ctx, p, res); err == nil && created {

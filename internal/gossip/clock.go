@@ -1,0 +1,16 @@
+package gossip
+
+import "time"
+
+// This file is the package's only wall-clock seam, mirroring
+// loadgen/clock.go. The membership protocol is round-driven — suspicion
+// windows, probe order, and merge outcomes are functions of the seed
+// and the round counter — so the clock appears exactly once, to stamp
+// human-facing snapshot rows, and gaplint's determinism analyzer proves
+// nothing else in the package reads it.
+
+// now reads the wall clock for snapshot display timestamps.
+func now() time.Time {
+	//gaplint:allow determinism — the sanctioned wall-clock seam: snapshot rows carry a display timestamp; no protocol decision reads it
+	return time.Now()
+}

@@ -1,0 +1,129 @@
+// Package gossip is the SWIM-style membership state machine for the
+// gapd cluster: incarnation-numbered member records, the merge rules
+// that let any two views converge without coordination, and seeded
+// deterministic probe/ping-req target selection. The package is pure
+// protocol — it never touches the network; internal/cluster drives it
+// over POST /v1/gossip — and it is covered by gaplint's determinism
+// policy like the core evaluation packages: every protocol decision
+// (probe order, suspicion expiry, merge outcomes) is a function of the
+// seed, the round counter, and the records observed, never the wall
+// clock. The single sanctioned clock seam (clock.go) stamps snapshot
+// timestamps for humans; no decision reads it.
+//
+// The state machine follows SWIM (Das et al., 2002) with the failure
+// detector folded into the dissemination channel: every exchange is a
+// push-pull of full views (fine at gapd's cluster sizes), so a probe
+// doubles as an update and convergence is O(log n) rounds without a
+// separate piggyback buffer. Two states are added to SWIM's
+// alive/suspect/dead: draining (the node announced it is shedding
+// ownership ahead of a restart — still serving, no longer owning) and
+// left (the node departed cleanly; distinguishes "done" from "lost" so
+// a rejoin can be told apart from a flap).
+package gossip
+
+import "fmt"
+
+// State is a member's lifecycle state. Ordering matters: at equal
+// incarnation a higher-precedence state wins a merge (see overrides).
+type State string
+
+// Member lifecycle states.
+const (
+	// StateAlive: the member answers probes and owns its rendezvous
+	// share.
+	StateAlive State = "alive"
+	// StateDraining: the member announced a drain — it finishes
+	// in-flight work and still gossips, but owns nothing new and is
+	// handing its results off. Voluntary, self-announced.
+	StateDraining State = "draining"
+	// StateSuspect: a probe and its ping-req proxies all failed; the
+	// member has SuspectRounds to refute with a higher incarnation
+	// before being declared dead.
+	StateSuspect State = "suspect"
+	// StateDead: the failure detector gave up on the member. Only a
+	// higher incarnation (a rejoin) resurrects it.
+	StateDead State = "dead"
+	// StateLeft: the member departed cleanly after a drain. Terminal
+	// like dead, but deliberate — a rejoin bumps past it.
+	StateLeft State = "left"
+)
+
+// precedence ranks states for same-incarnation merges: voluntary
+// departure > failure-detector verdicts > voluntary drain > alive.
+// Suspect must outrank draining so suspicion of a draining node is
+// recordable (the node refutes with a bump, staying draining).
+func (s State) precedence() int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateDraining:
+		return 1
+	case StateSuspect:
+		return 2
+	case StateDead:
+		return 3
+	case StateLeft:
+		return 4
+	}
+	return -1
+}
+
+// Valid reports whether s is one of the five protocol states.
+func (s State) Valid() bool { return s.precedence() >= 0 }
+
+// InRing reports whether a member in this state participates in
+// rendezvous ownership. Draining members are excluded — that is what
+// drain means — and suspect members stay in: a suspicion is usually a
+// blip, and evicting the owner (and its warm cache) on every blip is
+// the flap the incarnation machinery exists to damp.
+func (s State) InRing() bool { return s == StateAlive || s == StateSuspect }
+
+// Routable reports whether a member in this state may still be sent
+// traffic (probes, forwards, replica reads). Draining members remain
+// routable — they answer reads and finish in-flight work — only
+// dead/left members are unreachable by decree.
+func (s State) Routable() bool {
+	return s == StateAlive || s == StateSuspect || s == StateDraining
+}
+
+// Member is one gossiped membership record: the wire unit of the
+// protocol. Everything a node needs to route to (URL, weight) and
+// reason about (state, incarnation) a peer travels in the record, so a
+// joining node is fully described by its own announcement.
+type Member struct {
+	ID     string `json:"id"`
+	URL    string `json:"url"`
+	Weight int    `json:"weight,omitempty"`
+	State  State  `json:"state"`
+	// Incarnation is the record's freshness token, bumped only by the
+	// member it names: to refute a suspicion, to announce a drain or a
+	// clean leave, or to rejoin past a dead/left verdict. Any node may
+	// *report* any state about a member, but only the member itself can
+	// outrank those reports.
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// Validate rejects records that cannot enter a view.
+func (m Member) Validate() error {
+	if m.ID == "" {
+		return fmt.Errorf("gossip: member with empty id")
+	}
+	if !m.State.Valid() {
+		return fmt.Errorf("gossip: member %s has invalid state %q", m.ID, m.State)
+	}
+	return nil
+}
+
+// overrides reports whether record r supersedes record cur under the
+// SWIM merge rules: a higher incarnation always wins (only the member
+// itself can bump, so a higher incarnation is newer information from
+// the source of truth); at equal incarnation the higher-precedence
+// state wins (suspicion beats the alive claim it doubts, death beats
+// suspicion, departure beats everything). Equal incarnation and equal
+// precedence is a no-op — there is nothing new to learn.
+func overrides(r, cur Member) bool {
+	if r.Incarnation != cur.Incarnation {
+		return r.Incarnation > cur.Incarnation
+	}
+	return r.State.precedence() > cur.State.precedence()
+}

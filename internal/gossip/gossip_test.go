@@ -1,0 +1,302 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+)
+
+func newTestView(t *testing.T, self string, seed int64, peers ...Member) *View {
+	t.Helper()
+	v, err := NewView(Config{SelfID: self, SelfURL: "http://" + self, Seed: seed})
+	if err != nil {
+		t.Fatalf("NewView: %v", err)
+	}
+	if len(peers) > 0 {
+		v.Merge(peers)
+	}
+	return v
+}
+
+func alive(id string, inc uint64) Member {
+	return Member{ID: id, URL: "http://" + id, State: StateAlive, Incarnation: inc}
+}
+
+func withState(m Member, s State) Member { m.State = s; return m }
+
+func stateOf(v *View, id string) (State, uint64) {
+	for _, m := range v.Records() {
+		if m.ID == id {
+			return m.State, m.Incarnation
+		}
+	}
+	return "", 0
+}
+
+func TestMergePrecedence(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, in   Member
+		wantState State
+		wantInc   uint64
+	}{
+		{"higher incarnation wins regardless of state",
+			withState(alive("b", 3), StateDead), alive("b", 4), StateAlive, 4},
+		{"lower incarnation loses regardless of state",
+			alive("b", 4), withState(alive("b", 2), StateDead), StateAlive, 4},
+		{"equal incarnation: suspect beats alive",
+			alive("b", 2), withState(alive("b", 2), StateSuspect), StateSuspect, 2},
+		{"equal incarnation: dead beats suspect",
+			withState(alive("b", 2), StateSuspect), withState(alive("b", 2), StateDead), StateDead, 2},
+		{"equal incarnation: left beats dead",
+			withState(alive("b", 2), StateDead), withState(alive("b", 2), StateLeft), StateLeft, 2},
+		{"equal incarnation: suspect beats draining",
+			withState(alive("b", 2), StateDraining), withState(alive("b", 2), StateSuspect), StateSuspect, 2},
+		{"equal incarnation: alive does not beat suspect",
+			withState(alive("b", 2), StateSuspect), alive("b", 2), StateSuspect, 2},
+		{"equal incarnation and state: no-op",
+			alive("b", 2), alive("b", 2), StateAlive, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := newTestView(t, "a", 1, tc.cur)
+			v.Merge([]Member{tc.in})
+			st, inc := stateOf(v, "b")
+			if st != tc.wantState || inc != tc.wantInc {
+				t.Fatalf("after merge: got %s@%d, want %s@%d", st, inc, tc.wantState, tc.wantInc)
+			}
+		})
+	}
+}
+
+func TestMergeRejectsInvalidRecords(t *testing.T) {
+	v := newTestView(t, "a", 1, alive("b", 1))
+	changed := v.Merge([]Member{
+		{ID: "", State: StateAlive, Incarnation: 9},
+		{ID: "b", State: State("zombie"), Incarnation: 9},
+	})
+	if changed {
+		t.Fatal("invalid records must not change the view")
+	}
+	if st, inc := stateOf(v, "b"); st != StateAlive || inc != 1 {
+		t.Fatalf("b corrupted by invalid record: %s@%d", st, inc)
+	}
+}
+
+func TestSelfRefutationBumpsIncarnation(t *testing.T) {
+	v := newTestView(t, "a", 1, alive("b", 1))
+	// A peer suspects us at our own incarnation: refute by bumping past.
+	v.Merge([]Member{withState(alive("a", 0), StateSuspect)})
+	self := v.Self()
+	if self.State != StateAlive || self.Incarnation != 1 {
+		t.Fatalf("self after refutation: %s@%d, want alive@1", self.State, self.Incarnation)
+	}
+	if v.Refutations() != 1 {
+		t.Fatalf("refutations = %d, want 1", v.Refutations())
+	}
+	// A stale claim below our incarnation is ignored outright.
+	v.Merge([]Member{withState(alive("a", 0), StateDead)})
+	if got := v.Self(); got.Incarnation != 1 || got.State != StateAlive {
+		t.Fatalf("stale self claim changed record: %s@%d", got.State, got.Incarnation)
+	}
+	if v.Refutations() != 1 {
+		t.Fatalf("stale claim counted as refutation: %d", v.Refutations())
+	}
+}
+
+func TestRejoinBumpsPastDeparture(t *testing.T) {
+	// A rebooted node starts at incarnation 0 and learns the cluster
+	// still remembers its previous life as left@5. It must outrank that
+	// verdict, not resurrect under it.
+	v := newTestView(t, "a", 1)
+	v.Merge([]Member{withState(alive("a", 5), StateLeft), alive("b", 2)})
+	self := v.Self()
+	if self.State != StateAlive || self.Incarnation != 6 {
+		t.Fatalf("rejoined self: %s@%d, want alive@6", self.State, self.Incarnation)
+	}
+}
+
+func TestStaleRecordCannotResurrectDeparted(t *testing.T) {
+	v := newTestView(t, "a", 1, alive("b", 1))
+	v.Merge([]Member{withState(alive("b", 5), StateLeft)})
+	if changed := v.Merge([]Member{alive("b", 3)}); changed {
+		t.Fatal("stale alive record resurrected a departed member")
+	}
+	if st, inc := stateOf(v, "b"); st != StateLeft || inc != 5 {
+		t.Fatalf("b = %s@%d, want left@5", st, inc)
+	}
+	// Departure verdicts about members we never knew are remembered for
+	// the same reason, without touching the ring.
+	gen := v.Gen()
+	v.Merge([]Member{withState(alive("c", 7), StateDead)})
+	if v.Gen() != gen {
+		t.Fatal("recording an unknown dead member changed the ring generation")
+	}
+	if changed := v.Merge([]Member{alive("c", 4)}); changed {
+		t.Fatal("stale alive record resurrected an unknown-dead member")
+	}
+}
+
+func TestProbeOrderDeterministicAndFair(t *testing.T) {
+	peers := []Member{alive("b", 0), alive("c", 0), alive("d", 0), alive("e", 0)}
+	seq := func(seed int64, rounds int) []string {
+		v := newTestView(t, "a", seed, peers...)
+		var out []string
+		for i := 0; i < rounds; i++ {
+			_, tgt, ok := v.BeginRound()
+			if !ok {
+				t.Fatal("no probe target with four routable peers")
+			}
+			out = append(out, tgt.ID)
+		}
+		return out
+	}
+	a, b := seq(42, 12), seq(42, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	// Round-robin fairness: each full cycle visits every peer once.
+	for cycle := 0; cycle < 3; cycle++ {
+		seen := map[string]int{}
+		for _, id := range a[cycle*4 : cycle*4+4] {
+			seen[id]++
+		}
+		if len(seen) != 4 {
+			t.Fatalf("cycle %d did not visit all peers once: %v", cycle, a[cycle*4:cycle*4+4])
+		}
+	}
+	if other := seq(7, 12); reflect.DeepEqual(a, other) {
+		t.Fatalf("seeds 42 and 7 produced identical 12-round orders: %v", a)
+	}
+}
+
+func TestSuspectExpiresToDeadAfterWindow(t *testing.T) {
+	v, err := NewView(Config{SelfID: "a", Seed: 1, SuspectRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Merge([]Member{alive("b", 0), alive("c", 0)})
+	v.BeginRound()
+	if !v.ObserveFailure("b") {
+		t.Fatal("ObserveFailure did not suspect b")
+	}
+	if st, _ := stateOf(v, "b"); st != StateSuspect {
+		t.Fatalf("b = %s, want suspect", st)
+	}
+	gen := v.Gen()
+	v.BeginRound()
+	v.BeginRound()
+	if st, _ := stateOf(v, "b"); st != StateSuspect {
+		t.Fatal("b expired before the suspicion window closed")
+	}
+	v.BeginRound()
+	if st, _ := stateOf(v, "b"); st != StateDead {
+		t.Fatalf("b = %s after window, want dead", st)
+	}
+	if v.Gen() == gen {
+		t.Fatal("declaring a member dead must bump the ring generation")
+	}
+	if v.Suspected() != 1 {
+		t.Fatalf("suspected = %d, want 1", v.Suspected())
+	}
+}
+
+func TestObserveAliveClearsLocalSuspicion(t *testing.T) {
+	v, err := NewView(Config{SelfID: "a", Seed: 1, SuspectRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Merge([]Member{alive("b", 0)})
+	v.BeginRound()
+	v.ObserveFailure("b")
+	v.ObserveAlive("b")
+	if st, _ := stateOf(v, "b"); st != StateAlive {
+		t.Fatalf("b = %s after direct ack, want alive", st)
+	}
+	v.BeginRound()
+	v.BeginRound()
+	v.BeginRound()
+	if st, _ := stateOf(v, "b"); st != StateAlive {
+		t.Fatal("cleared suspicion still expired to dead")
+	}
+}
+
+func TestDrainAndLeaveAnnouncements(t *testing.T) {
+	v := newTestView(t, "a", 1, alive("b", 0))
+	gen := v.Gen()
+	d := v.Drain()
+	if d.State != StateDraining || d.Incarnation != 1 {
+		t.Fatalf("drain announcement = %s@%d, want draining@1", d.State, d.Incarnation)
+	}
+	if v.Gen() == gen {
+		t.Fatal("drain must change the ring generation")
+	}
+	for _, m := range v.RingMembers() {
+		if m.ID == "a" {
+			t.Fatal("draining self still in RingMembers")
+		}
+	}
+	// Idempotent: a second drain does not burn another incarnation.
+	if again := v.Drain(); again.Incarnation != 1 {
+		t.Fatalf("second drain bumped incarnation to %d", again.Incarnation)
+	}
+	l := v.Leave()
+	if l.State != StateLeft || l.Incarnation != 2 {
+		t.Fatalf("leave announcement = %s@%d, want left@2", l.State, l.Incarnation)
+	}
+}
+
+func TestPingReqProxiesExcludeSelfAndTarget(t *testing.T) {
+	v, err := NewView(Config{SelfID: "a", Seed: 9, PingReqFanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Merge([]Member{alive("b", 0), alive("c", 0), alive("d", 0), alive("e", 0)})
+	v.BeginRound()
+	p1 := v.PingReqProxies("b")
+	p2 := v.PingReqProxies("b")
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("proxy pick not deterministic within a round: %v vs %v", p1, p2)
+	}
+	if len(p1) != 2 {
+		t.Fatalf("fanout = %d, want 2", len(p1))
+	}
+	for _, m := range p1 {
+		if m.ID == "a" || m.ID == "b" {
+			t.Fatalf("proxy set contains self or target: %v", p1)
+		}
+	}
+}
+
+func TestRingMembersIncludesSuspects(t *testing.T) {
+	// Suspicion alone must not evict an owner — that is the flap the
+	// incarnation machinery damps. Only death/drain/leave re-rank.
+	v := newTestView(t, "a", 1, alive("b", 0), alive("c", 0))
+	gen := v.Gen()
+	v.BeginRound()
+	v.ObserveFailure("b")
+	ids := map[string]bool{}
+	for _, m := range v.RingMembers() {
+		ids[m.ID] = true
+	}
+	if !ids["a"] || !ids["b"] || !ids["c"] {
+		t.Fatalf("ring after suspicion = %v, want all three", ids)
+	}
+	if v.Gen() != gen {
+		t.Fatal("suspicion changed the ring generation")
+	}
+}
+
+func TestSnapshotReportsLastHeardRound(t *testing.T) {
+	v := newTestView(t, "a", 1, alive("b", 0))
+	v.BeginRound()
+	v.BeginRound()
+	v.ObserveAlive("b")
+	for _, row := range v.Snapshot() {
+		if row.ID == "b" && row.LastHeardRound != 2 {
+			t.Fatalf("b last heard round = %d, want 2", row.LastHeardRound)
+		}
+		if row.AsOf.IsZero() {
+			t.Fatal("snapshot row missing display timestamp")
+		}
+	}
+}

@@ -43,6 +43,10 @@ type TargetInfo struct {
 	Build         map[string]any `json:"build_info,omitempty"`
 	UptimeSeconds float64        `json:"uptime_seconds,omitempty"`
 	Nodes         int            `json:"nodes,omitempty"`
+	// Membership records how the measured cluster tracked its members
+	// ("static" or "gossip"); Nodes under gossip counts the routable
+	// members of the live view at measurement time.
+	Membership string `json:"membership,omitempty"`
 }
 
 // RequestCounts are the run's volume numbers.

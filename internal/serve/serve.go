@@ -78,9 +78,46 @@ type handler struct {
 	// incarnation (a restart resets it along with the cache).
 	start time.Time
 
+	// draining flips when this node announces a drain (POST /v1/drain
+	// or the SIGTERM hook): /healthz answers 503 with Retry-After, new
+	// work is shed to the next rendezvous rank (or refused), and only
+	// in-flight jobs and cache/replica reads are still served.
+	draining atomic.Bool
+
 	mu        sync.Mutex
 	perClient map[string]int
 }
+
+// Handler is the gapd HTTP handler plus its operational controls. It
+// serves the route table NewHandler documents; StartDrain switches the
+// node into drain mode for zero-loss shutdown.
+type Handler struct {
+	inner *handler
+	mux   *http.ServeMux
+}
+
+// ServeHTTP implements http.Handler.
+func (hd *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hd.mux.ServeHTTP(w, r)
+}
+
+// StartDrain puts the node into drain mode: /healthz degrades to 503,
+// fresh submissions are forwarded to the next rendezvous rank (refused
+// with 503 when no peer can take them), in-flight jobs keep running,
+// and — under gossip membership — the drain is announced to the cluster
+// and every held result is migrated to its new home. Returns the number
+// of results newly placed elsewhere. Idempotent.
+func (hd *Handler) StartDrain(ctx context.Context) (int, error) {
+	hd.inner.draining.Store(true)
+	cl := hd.inner.cluster
+	if cl == nil || !cl.GossipEnabled() {
+		return 0, nil
+	}
+	return cl.Drain(ctx)
+}
+
+// Draining reports whether the node is in drain mode.
+func (hd *Handler) Draining() bool { return hd.inner.draining.Load() }
 
 // NewHandler builds the gapd route table:
 //
@@ -90,11 +127,13 @@ type handler struct {
 //	GET  /v1/jobs/{id} job status by canonical spec hash
 //	GET  /v1/results/{id} stored result by content address (replica reads)
 //	PUT  /v1/results/{id} store a replica pushed by a peer (digest-checked)
+//	POST /v1/gossip    membership exchange (gossip mode; see cluster.GossipMsg)
+//	POST /v1/drain     announce drain + migrate held results (?wait=1 blocks)
 //	GET  /v1/cluster   cluster membership, health, and ownership stats
 //	GET  /v1/version   build info (module, version, Go toolchain, VCS)
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (503 + Retry-After while draining)
 //	GET  /metrics      counters, cache traffic, latency histograms (JSON)
-func NewHandler(opt Options) http.Handler {
+func NewHandler(opt Options) *Handler {
 	if opt.Pool == nil {
 		panic("serve: Options.Pool is required")
 	}
@@ -135,11 +174,13 @@ func NewHandler(opt Options) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
 	mux.HandleFunc("GET /v1/results/{id}", h.getResult)
 	mux.HandleFunc("PUT /v1/results/{id}", h.putResult)
+	mux.HandleFunc("POST /v1/gossip", h.gossip)
+	mux.HandleFunc("POST /v1/drain", h.drain)
 	mux.HandleFunc("GET /v1/cluster", h.clusterStatus)
 	mux.HandleFunc("GET /v1/version", h.version)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
-	return mux
+	return &Handler{inner: h, mux: mux}
 }
 
 // submit returns the handler for one job-kind endpoint. The body is a
@@ -193,14 +234,38 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 
 		// Forward-or-serve: with clustering on, a spec owned by a peer
 		// is proxied to it (hedged); the loop guard serves already-
-		// forwarded requests locally no matter who owns them.
+		// forwarded requests locally no matter who owns them. While
+		// draining, the gossip ring already excludes this node, so the
+		// same path sheds fresh work to the next rendezvous rank.
 		if h.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
 			if done := h.tryForward(ctx, w, spec, r.URL.Path); done {
 				return
 			}
 		}
+		// Drain gate: in-flight jobs (admitted before the drain) finish,
+		// and already-finished work is still served from the cache, but
+		// nothing new is computed — a request no peer could take is
+		// refused with 503 + Retry-After rather than admitted.
+		if h.draining.Load() {
+			if _, cached := h.pool.Cache().Get(spec.Hash()); !cached {
+				h.setRetryAfter(w)
+				writeError(w, http.StatusServiceUnavailable,
+					errors.New("node is draining; retry against another node"))
+				return
+			}
+		}
 		if h.cluster != nil {
 			h.cluster.Metrics().Local.Add(1)
+			// Before computing under gossip membership, ask the result's
+			// replica set for an already-finished copy: a node that just
+			// joined (or rejoined after a restart) owns addresses whose
+			// results live on the previous owners until handoff converges,
+			// and fetching one replica read beats recomputing the job.
+			if h.cluster.GossipEnabled() {
+				if h.serveReplica(ctx, w, spec.Hash()) {
+					return
+				}
+			}
 		}
 		res, err := h.pool.Do(ctx, spec)
 		if err != nil {
@@ -306,6 +371,65 @@ func (h *handler) serveReplica(ctx context.Context, w http.ResponseWriter, hash 
 	out.Cached = true
 	writeJSON(w, http.StatusOK, out)
 	return true
+}
+
+// gossip serves POST /v1/gossip: one SWIM membership exchange. The
+// sender's records are merged into this node's view and the full view
+// is returned, so a single round-trip converges both sides.
+func (h *handler) gossip(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil || !h.cluster.GossipEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("gossip membership disabled (static -peers)"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	var msg cluster.GossipMsg
+	if err := json.Unmarshal(body, &msg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid gossip body: %w", err))
+		return
+	}
+	ack, err := h.cluster.HandleGossip(r.Context(), msg)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// drain serves POST /v1/drain: flip the node into drain mode, announce
+// it to the cluster, and migrate held results to their new owners. The
+// default is asynchronous (202 immediately, handoff in the background);
+// ?wait=1 blocks until the handoff sweep is clean and reports how many
+// results migrated — what a rolling-restart orchestrator polls before
+// killing the process.
+func (h *handler) drain(w http.ResponseWriter, r *http.Request) {
+	if h.cluster == nil || !h.cluster.GossipEnabled() {
+		writeError(w, http.StatusNotFound, errors.New("drain requires gossip membership"))
+		return
+	}
+	h.draining.Store(true)
+	if r.URL.Query().Get("wait") == "1" {
+		ctx, cancel := context.WithTimeout(r.Context(), h.requestTimeout)
+		defer cancel()
+		migrated, err := h.cluster.Drain(ctx)
+		if err != nil {
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"status": "draining", "migrated": migrated, "error": err.Error(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "drained", "migrated": migrated})
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), h.requestTimeout)
+		defer cancel()
+		_, _ = h.cluster.Drain(ctx)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
 }
 
 // clusterStatus serves GET /v1/cluster.
@@ -540,6 +664,14 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	if !h.pool.Journal().Healthy() {
 		body["status"] = "degraded"
 		status = http.StatusServiceUnavailable
+	}
+	if h.draining.Load() {
+		// Draining outranks degraded: load balancers and gossip probes
+		// should route around this node while it finishes in-flight work,
+		// and the Retry-After hint says when to look again.
+		body["status"] = "draining"
+		status = http.StatusServiceUnavailable
+		h.setRetryAfter(w)
 	}
 	writeJSON(w, status, body)
 }
