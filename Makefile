@@ -21,9 +21,9 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net chaos-rolling fuzz gapd load-smoke
+.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net chaos-rolling chaos-cas fuzz gapd load-smoke
 
-tier1: fmt vet lint build race load-smoke chaos chaos-net chaos-rolling
+tier1: fmt vet lint build race load-smoke chaos chaos-net chaos-rolling chaos-cas
 
 fmt:
 	@out=$$(gofmt -s -l .); \
@@ -85,14 +85,26 @@ chaos-rolling:
 		-run 'TestChaosRollingRestart|TestGossip' \
 		./internal/cluster/
 
+# The result-store chaos suite under the race detector: the tiered CAS
+# (internal/cas) unit and crash tests, plus the pool-level drills — a
+# cache-cold restart serving a corpus 4x the RAM cache with exactly zero
+# recomputes and >90% combined-tier hits, a kill mid-segment-write
+# recovered by torn-tail truncation, and the crash window between the
+# CAS fsync and the journal's stored pointer. Seeds {1, 7, 42}.
+chaos-cas:
+	$(GO) test -race -count=1 ./internal/cas/
+	$(GO) test -race -count=1 -run 'TestChaosCAS' ./internal/jobs/
+
 # Short fuzz passes over the hardened trust boundaries: the
-# structural-Verilog reader, job-spec canonicalization, and the peer
-# response decoder (every byte a peer sends crosses it). CI-sized;
-# raise -fuzztime for a real hunt.
+# structural-Verilog reader, job-spec canonicalization, the peer
+# response decoder (every byte a peer sends crosses it), and the CAS
+# segment-record decoder (every byte the boot scan and compaction read
+# crosses it). CI-sized; raise -fuzztime for a real hunt.
 fuzz:
 	$(GO) test ./internal/netlist/ -run '^$$' -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/jobs/ -run '^$$' -fuzz FuzzJobSpecCanonical -fuzztime 30s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzPeerResponseDecode -fuzztime 30s
+	$(GO) test ./internal/cas/ -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 30s
 
 # The load-generator smoke gate: a seeded closed-loop gapload run over
 # the mixed corpus against an in-process gapd (capped at 5 s), asserting

@@ -7,10 +7,12 @@
 // Usage:
 //
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
-//	     [-journal DIR] [-drain-timeout 30s] [-max-queue N] [-max-per-client N]
-//	     [-node-id ID -peers ID=URL,...] [-hedge-after 50ms] [-replicas N]
-//	     [-antientropy-interval 30s] [-gossip -advertise URL]
-//	     [-gossip-interval 250ms] [-gossip-seed N] [-version]
+//	     [-journal DIR] [-store-dir DIR] [-store-segment-bytes N]
+//	     [-store-max-bytes N] [-drain-timeout 30s] [-max-queue N]
+//	     [-max-per-client N] [-node-id ID -peers ID=URL,...]
+//	     [-hedge-after 50ms] [-replicas N] [-antientropy-interval 30s]
+//	     [-gossip -advertise URL] [-gossip-interval 250ms]
+//	     [-gossip-seed N] [-version]
 //
 // With -journal, every accepted job is written ahead to an fsynced JSONL
 // log in DIR; on boot the journal is replayed — completed results re-warm
@@ -19,6 +21,16 @@
 // server drains in-flight jobs and exits cleanly on SIGINT/SIGTERM,
 // syncing the journal and logging the count of jobs still in flight when
 // the drain deadline expires.
+//
+// With -store-dir, completed results also persist to a content-addressed
+// segment store (internal/cas): the RAM cache becomes a promotion tier
+// over the disk tier, cache misses consult the store before recomputing,
+// and a warm restart rebuilds the full result corpus by scanning the
+// segment index — no recompute, regardless of cache size. The journal
+// then records slim "stored" pointers instead of full result bodies.
+// -store-segment-bytes sets the rolling-segment size; -store-max-bytes
+// budgets the store (compaction evicts the coldest records past it;
+// 0 = unlimited).
 //
 // With -peers (a static membership of id=url pairs including this node,
 // named by -node-id), N gapd processes become one sharded service: each
@@ -61,6 +73,7 @@ import (
 
 	"net/url"
 
+	"repro/internal/cas"
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/netfault"
@@ -76,6 +89,9 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 5*time.Minute, "per-request wait limit")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	journalDir := flag.String("journal", "", "crash-safe job journal directory (empty disables)")
+	storeDir := flag.String("store-dir", "", "content-addressed result store directory: disk tier under the RAM cache (empty disables)")
+	storeSegBytes := flag.Int64("store-segment-bytes", 0, "store rolling-segment size in bytes (0 = 64 MiB)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store live-byte budget; compaction evicts the coldest records past it (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain limit for in-flight jobs")
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond workers before shedding 429s (0 = 4x workers, negative disables)")
 	maxPerClient := flag.Int("max-per-client", 0, "concurrent submissions per client (0 = 2x workers, negative disables)")
@@ -117,6 +133,27 @@ func main() {
 		defer journal.Close()
 	}
 
+	// Open the disk tier before the pool: boot is an index rebuild (a
+	// header scan over the segment files), after which every result the
+	// store holds is servable without recompute — the warm-restart path.
+	var store *cas.Store
+	if *storeDir != "" {
+		s, err := cas.Open(cas.Options{
+			Dir:          *storeDir,
+			SegmentBytes: *storeSegBytes,
+			MaxBytes:     *storeMaxBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
+			os.Exit(1)
+		}
+		store = s
+		defer store.Close()
+		st := store.Stats()
+		log.Printf("gapd: result store: %d records in %d segments (%d bytes live, %d torn tails truncated) at %s",
+			st.Records, st.Segments, st.LiveBytes, st.TornTails, *storeDir)
+	}
+
 	pool := jobs.NewPool(jobs.Options{
 		Workers:      *workers,
 		Parallelism:  *parallel,
@@ -124,6 +161,7 @@ func main() {
 		JobTimeout:   *timeout,
 		MaxAttempts:  *maxAttempts,
 		Journal:      journal,
+		Store:        store,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,9 +177,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gapd: journal recovery: %v\n", err)
 			os.Exit(1)
 		}
-		if stats.WarmedCache+stats.Resubmitted+stats.SkippedTerminal+stats.ReplaysExhausted > 0 || stats.Truncated {
-			log.Printf("gapd: journal replay: %d results re-warmed, %d interrupted jobs re-run (%d failed again), %d terminal failures skipped, %d poison jobs failed terminally, truncated=%v",
-				stats.WarmedCache, stats.Resubmitted, stats.FailedReplays,
+		if stats.WarmedCache+stats.WarmedStore+stats.Resubmitted+stats.SkippedTerminal+stats.ReplaysExhausted > 0 || stats.Truncated {
+			log.Printf("gapd: journal replay: %d results re-warmed, %d resolved from the store, %d interrupted jobs re-run (%d failed again), %d terminal failures skipped, %d poison jobs failed terminally, truncated=%v",
+				stats.WarmedCache, stats.WarmedStore, stats.Resubmitted, stats.FailedReplays,
 				stats.SkippedTerminal, stats.ReplaysExhausted, stats.Truncated)
 		}
 	}
@@ -184,7 +222,10 @@ func main() {
 			RequestTimeout:      *reqTimeout,
 			Replicas:            *replicas,
 			AntiEntropyInterval: *aeInterval,
-			Results:             pool.Cache(),
+			// The cluster's result set is the union of RAM and disk:
+			// anti-entropy repair and drain handoff must cover results
+			// the cache has evicted but the store still holds.
+			Results: pool.StoredView(),
 		}
 		if *gossipOn {
 			opts.Gossip = &cluster.GossipOptions{

@@ -25,6 +25,15 @@ var ServicePackages = []string{"jobs", "serve", "cluster"}
 // seam — latency measurement — is annotated in loadgen/clock.go.
 var MeasurementPackages = []string{"loadgen"}
 
+// StoragePackages extend the determinism guarantee to the result
+// store: segment layout, record encoding, admission estimates, and
+// compaction order must be pure functions of the operation sequence, so
+// two stores that saw the same Puts compact to byte-identical segments
+// and a restart rebuilds the identical index. The single sanctioned
+// wall-clock seam — the opened_at display timestamp on Stats — is
+// annotated in cas/clock.go.
+var StoragePackages = []string{"cas"}
+
 // MembershipPackages extend the determinism guarantee to the gossip
 // membership protocol: probe order, ping-req proxy picks, and state
 // transitions are driven by rounds, not wall time, and must be pure
@@ -45,8 +54,9 @@ func RepoAnalyzers(modPath string) []Analyzer {
 		return out
 	}
 	return []Analyzer{
-		NewDeterminism(append(append(prefix(CorePackages),
-			prefix(MeasurementPackages)...), prefix(MembershipPackages)...)...),
+		NewDeterminism(append(append(append(prefix(CorePackages),
+			prefix(MeasurementPackages)...), prefix(MembershipPackages)...),
+			prefix(StoragePackages)...)...),
 		NewErrTaxonomy(prefix(ServicePackages)...),
 		NewCtxFlow(),
 		NewMetricName(),

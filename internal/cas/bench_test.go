@@ -1,0 +1,105 @@
+package cas
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBody is a realistic normalized-result envelope size (~1 KiB).
+var benchBody = func() []byte {
+	b := []byte(`{"id":"bench","kind":"evaluate","payload":"`)
+	for len(b) < 1024 {
+		b = append(b, "0123456789abcdef"...)
+	}
+	return append(b, '"', '}')
+}()
+
+// BenchmarkStorePut measures the durable append path (group-committed
+// fsync included — this is the write cost a computed result pays).
+func BenchmarkStorePut(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(testAddr(fmt.Sprintf("p-%d", i)), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures a disk-tier read: index lookup, ReadAt,
+// CRC + SHA-256 verification, body copy.
+func BenchmarkStoreGet(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		if err := s.Put(testAddr(fmt.Sprintf("g-%d", i)), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(testAddr(fmt.Sprintf("g-%d", i%n))); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreOpen measures warm-restart cost — the index rebuild by
+// header scan — as a function of store size. This is the number that
+// replaces journal replay time: it grows with record count, not with
+// recompute cost.
+func BenchmarkStoreOpen(b *testing.B) {
+	for _, records := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("records%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			s, err := Open(Options{Dir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				if err := s.Put(testAddr(fmt.Sprintf("o-%d", i)), benchBody); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := Open(Options{Dir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Len() != records {
+					b.Fatalf("index rebuilt %d records, want %d", s2.Len(), records)
+				}
+				b.StopTimer()
+				s2.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkSketchTouch measures the admission sketch's hot-path cost.
+func BenchmarkSketchTouch(b *testing.B) {
+	s := NewSketch(4096)
+	addrs := make([]string, 256)
+	for i := range addrs {
+		addrs[i] = testAddr(fmt.Sprintf("s-%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Touch(addrs[i%len(addrs)])
+	}
+}

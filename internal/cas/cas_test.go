@@ -1,0 +1,234 @@
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testAddr derives a deterministic content address from a label — the
+// same way real addresses arise (SHA-256 of canonical content).
+func testAddr(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+// testBody builds a distinctive body for a label.
+func testBody(label string) []byte {
+	return []byte(fmt.Sprintf(`{"id":%q,"payload":"body of %s"}`, testAddr(label), label))
+}
+
+func openTest(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	opt.Dir = dir
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	for i := 0; i < 20; i++ {
+		label := fmt.Sprintf("rec-%d", i)
+		if err := s.Put(testAddr(label), testBody(label)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		label := fmt.Sprintf("rec-%d", i)
+		body, ok := s.Get(testAddr(label))
+		if !ok {
+			t.Fatalf("get %d: missing", i)
+		}
+		if string(body) != string(testBody(label)) {
+			t.Fatalf("get %d: body mismatch", i)
+		}
+	}
+	if _, ok := s.Get(testAddr("never-stored")); ok {
+		t.Error("get of absent address reported a hit")
+	}
+	if got := s.Len(); got != 20 {
+		t.Errorf("len = %d, want 20", got)
+	}
+}
+
+func TestPutIdempotentAndSupersede(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	addr := testAddr("x")
+	if err := s.Put(addr, testBody("x")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	// Same digest: a no-op, no new bytes.
+	if err := s.Put(addr, testBody("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got.LiveBytes != before.LiveBytes || got.DeadBytes != before.DeadBytes {
+		t.Errorf("idempotent put changed accounting: %+v -> %+v", before, got)
+	}
+	// Different body under the same address supersedes: old bytes die.
+	if err := s.Put(addr, []byte(`{"new":"body"}`)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.DeadBytes == 0 {
+		t.Error("supersede left no dead bytes")
+	}
+	if after.Rewrites != 1 {
+		t.Errorf("rewrites = %d, want 1", after.Rewrites)
+	}
+	body, ok := s.Get(addr)
+	if !ok || string(body) != `{"new":"body"}` {
+		t.Errorf("get after supersede = %q, %v", body, ok)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 512}) // force several segments
+	const n = 40
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("rec-%d", i)
+		if err := s.Put(testAddr(label), testBody(label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := s.Stats().Segments
+	if segsBefore < 3 {
+		t.Fatalf("expected several segments, got %d", segsBefore)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{SegmentBytes: 512})
+	if got := s2.Len(); got != n {
+		t.Fatalf("reopened index holds %d records, want %d", got, n)
+	}
+	if got := s2.Stats().BootRecords; got != int64(n) {
+		t.Errorf("boot_records = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("rec-%d", i)
+		body, ok := s2.Get(testAddr(label))
+		if !ok || string(body) != string(testBody(label)) {
+			t.Fatalf("rec %d lost or corrupted across reopen", i)
+		}
+	}
+	// The reopened store keeps appending into the same lineage.
+	if err := s2.Put(testAddr("post-reopen"), testBody("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(testAddr("post-reopen")); !ok {
+		t.Error("post-reopen put not readable")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{SegmentBytes: 4096})
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				label := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Put(testAddr(label), testBody(label)); err != nil {
+					t.Errorf("put %s: %v", label, err)
+					return
+				}
+				if body, ok := s.Get(testAddr(label)); !ok || string(body) != string(testBody(label)) {
+					t.Errorf("read-own-write failed for %s", label)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != writers*perWriter {
+		t.Errorf("len = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestCorruptBodyDetectedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	addr := testAddr("victim")
+	if err := s.Put(addr, testBody("victim")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testAddr("bystander"), testBody("bystander")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one body byte of the first record on disk.
+	path := filepath.Join(dir, fmt.Sprintf(segPattern, uint32(0)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	// Boot indexes by header only, so the record is present — but Get
+	// verifies and refuses to serve it.
+	if _, ok := s2.Get(addr); ok {
+		t.Fatal("corrupt body served")
+	}
+	if got := s2.Stats().CorruptDropped; got != 1 {
+		t.Errorf("corrupt_dropped = %d, want 1", got)
+	}
+	// Dropped from the index: the next Get misses fast.
+	if s2.Has(addr) {
+		t.Error("corrupt record still indexed")
+	}
+	// The bystander record is unaffected.
+	if _, ok := s2.Get(testAddr("bystander")); !ok {
+		t.Error("bystander record lost")
+	}
+}
+
+func TestKeysSortedDeterministic(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	want := []string{}
+	for i := 0; i < 10; i++ {
+		label := fmt.Sprintf("k-%d", i)
+		if err := s.Put(testAddr(label), testBody(label)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, testAddr(label))
+	}
+	keys := s.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %d, want %d", len(keys), len(want))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted at %d", i)
+		}
+	}
+}
+
+func TestPutRejectsBadAddress(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	for _, addr := range []string{
+		"", "abc", testAddr("x")[:63],
+		"G" + testAddr("x")[1:], // non-hex
+	} {
+		if err := s.Put(addr, []byte("body")); err == nil {
+			t.Errorf("put with address %q accepted", addr)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package cas
+
+import "time"
+
+// This file is the package's only wall-clock seam, mirroring
+// loadgen/clock.go and gossip/clock.go. The store's behaviour — what
+// gets written, indexed, compacted, evicted, admitted — is a pure
+// function of the operation sequence and the sketch state, proven by
+// gaplint's determinism analyzer covering this package
+// (analysis.StoragePackages). The clock appears exactly once, to stamp
+// the human-facing opened_at field in Stats; no storage decision reads
+// it.
+
+// displayNow reads the wall clock for display timestamps only.
+func displayNow() string {
+	//gaplint:allow determinism — the sanctioned wall-clock seam: Stats carries an opened_at display timestamp; no storage decision reads the clock
+	return time.Now().UTC().Format(time.RFC3339Nano)
+}

@@ -1,0 +1,180 @@
+package cas
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompactReclaimsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 1024})
+	// Write each address twice: half the bytes are superseded.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 20; i++ {
+			addr := testAddr(fmt.Sprintf("cr-%d", i))
+			body := []byte(fmt.Sprintf(`{"round":%d,"i":%d}`, round, i))
+			if err := s.Put(addr, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("no dead bytes to reclaim; test is vacuous")
+	}
+	st, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.TotalBytes >= before.TotalBytes {
+		t.Errorf("compaction did not shrink the store: %d -> %d", before.TotalBytes, after.TotalBytes)
+	}
+	if st.Rewritten == 0 || st.ReclaimedBytes == 0 {
+		t.Errorf("compact stats look wrong: %+v", st)
+	}
+	if after.Compactions != 1 {
+		t.Errorf("compactions = %d, want 1", after.Compactions)
+	}
+	// Every record still serves its newest body.
+	for i := 0; i < 20; i++ {
+		addr := testAddr(fmt.Sprintf("cr-%d", i))
+		body, ok := s.Get(addr)
+		if !ok {
+			t.Fatalf("record %d lost by compaction", i)
+		}
+		if want := fmt.Sprintf(`{"round":1,"i":%d}`, i); string(body) != want {
+			t.Fatalf("record %d: got %s, want %s", i, body, want)
+		}
+	}
+	// And survives a reopen of the compacted layout.
+	s.Close()
+	s2 := openTest(t, dir, Options{SegmentBytes: 1024})
+	for i := 0; i < 20; i++ {
+		if _, ok := s2.Get(testAddr(fmt.Sprintf("cr-%d", i))); !ok {
+			t.Fatalf("record %d lost across reopen after compaction", i)
+		}
+	}
+}
+
+func TestCompactDropsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 1 << 20})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testAddr(fmt.Sprintf("cc-%d", i)), testBody(fmt.Sprintf("cc-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Rot one body on disk (CRC and digest both now lie).
+	path := filepath.Join(dir, fmt.Sprintf(segPattern, uint32(0)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+3] ^= 0x10 // first record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{SegmentBytes: 1 << 20})
+	st, err := s2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedCorrupt != 1 {
+		t.Errorf("dropped_corrupt = %d, want 1", st.DroppedCorrupt)
+	}
+	if st.Rewritten != 4 {
+		t.Errorf("rewritten = %d, want 4", st.Rewritten)
+	}
+	if s2.Has(testAddr("cc-0")) {
+		t.Error("corrupt record survived compaction")
+	}
+	for i := 1; i < 5; i++ {
+		if _, ok := s2.Get(testAddr(fmt.Sprintf("cc-%d", i))); !ok {
+			t.Errorf("healthy record %d lost", i)
+		}
+	}
+}
+
+func TestCompactEnforcesMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	body := []byte(strings.Repeat("x", 256))
+	recSize := recordSize(len(body))
+	// Budget for ~6 records; write 12, touching half of them hot.
+	// Automatic compaction is disabled (CompactDeadFrac < 0) so the
+	// explicit Compact below is the only pass — otherwise a background
+	// pass could evict before the hot set is touched.
+	s := openTest(t, dir, Options{
+		SegmentBytes:    16 << 10,
+		MaxBytes:        6 * recSize,
+		CompactDeadFrac: -1,
+	})
+	for i := 0; i < 12; i++ {
+		addr := testAddr(fmt.Sprintf("mb-%d", i))
+		if err := s.Put(addr, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ { // heat the even records
+		for j := 0; j < 8; j++ {
+			s.Touch(testAddr(fmt.Sprintf("mb-%d", 2*i)))
+		}
+	}
+	st, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted == 0 {
+		t.Fatalf("budget eviction did not trigger: %+v", st)
+	}
+	after := s.Stats()
+	if after.LiveBytes > 6*recSize {
+		t.Errorf("live bytes %d still over budget %d", after.LiveBytes, 6*recSize)
+	}
+	// The hot (touched) records survived; evictions came from the cold.
+	survivingHot := 0
+	for i := 0; i < 6; i++ {
+		if s.Has(testAddr(fmt.Sprintf("mb-%d", 2*i))) {
+			survivingHot++
+		}
+	}
+	if survivingHot != 6 {
+		t.Errorf("only %d/6 hot records survived the budget eviction", survivingHot)
+	}
+}
+
+func TestBackgroundCompactionTrigger(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{
+		SegmentBytes:    2048,
+		CompactDeadFrac: 0.3,
+	})
+	// Supersede the same addresses repeatedly until most bytes are dead;
+	// the Put path should fire the background pass on its own.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 8; i++ {
+			addr := testAddr(fmt.Sprintf("bg-%d", i))
+			body := []byte(fmt.Sprintf(`{"round":%d,"i":%d,"pad":"0123456789abcdef"}`, round, i))
+			if err := s.Put(addr, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Wait for any in-flight background pass, then check at least one ran.
+	s.compactMu.Lock()
+	s.compactMu.Unlock()
+	if s.Compactions() == 0 {
+		t.Error("background compaction never triggered despite heavy dead bytes")
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := s.Get(testAddr(fmt.Sprintf("bg-%d", i))); !ok {
+			t.Errorf("record %d lost under background compaction", i)
+		}
+	}
+}

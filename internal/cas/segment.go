@@ -1,0 +1,241 @@
+package cas
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Segment record layout (little-endian), append-only:
+//
+//	magic    [4]byte   "GCS1"
+//	addr     [32]byte  content address (SHA-256 of the canonical spec)
+//	digest   [32]byte  SHA-256 of the body bytes
+//	bodyLen  uint32
+//	headCRC  uint32    CRC32 (IEEE) of the 72 bytes above
+//	body     [bodyLen]byte
+//	bodyCRC  uint32    CRC32 (IEEE) of the body
+//
+// The header CRC makes a record boundary self-validating, so a boot
+// scan can index a segment without reading bodies (it seeks past them),
+// and a tail torn at any byte — the crash-mid-append signature — is
+// detected as an incomplete record, never misread as data. The body CRC
+// catches bit rot cheaply on read; the digest is the end-to-end check
+// shared with the replication layer, recomputed on every Get and during
+// compaction.
+
+// Codec errors, ordered from "incomplete" to "provably corrupt". Only
+// ErrShortRecord is recoverable by waiting for more bytes; everything
+// else means the record can never be served.
+var (
+	// ErrShortRecord means the buffer ends before the record does — the
+	// torn-tail case. More bytes could complete it.
+	ErrShortRecord = errors.New("cas: short record")
+	// ErrBadMagic means the bytes at this offset are not a record start.
+	ErrBadMagic = errors.New("cas: bad record magic")
+	// ErrHeaderCRC means the header bytes fail their CRC.
+	ErrHeaderCRC = errors.New("cas: header crc mismatch")
+	// ErrBodyCRC means the body bytes fail their CRC.
+	ErrBodyCRC = errors.New("cas: body crc mismatch")
+	// ErrDigestMismatch means the body hashes to a different SHA-256
+	// than the record claims — the end-to-end integrity failure.
+	ErrDigestMismatch = errors.New("cas: body digest mismatch")
+	// ErrBadAddress means the content address is not 64 lowercase hex.
+	ErrBadAddress = errors.New("cas: bad content address")
+)
+
+var recordMagic = [4]byte{'G', 'C', 'S', '1'}
+
+const (
+	headerSize  = 4 + 32 + 32 + 4 + 4
+	trailerSize = 4
+	// maxBodyLen bounds one stored body (same order as the replica-body
+	// cap at the HTTP layer); a header declaring more is corrupt, not
+	// merely short, so a flipped length bit cannot stall a boot scan
+	// waiting for gigabytes that never come.
+	maxBodyLen = 64 << 20
+)
+
+// Record is one decoded segment entry.
+type Record struct {
+	// Addr is the content address as 64 lowercase hex characters.
+	Addr string
+	// Digest is the SHA-256 of Body.
+	Digest [32]byte
+	// Body is the stored payload (a normalized result envelope, JSON).
+	Body []byte
+}
+
+// recordSize is the encoded length of a record with the given body.
+func recordSize(bodyLen int) int64 {
+	return int64(headerSize + bodyLen + trailerSize)
+}
+
+// EncodeRecord renders one record. addr must be a 64-hex content
+// address; the digest is computed from body.
+func EncodeRecord(addr string, body []byte) ([]byte, error) {
+	raw, err := parseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyLen {
+		return nil, fmt.Errorf("%w: body %d bytes exceeds %d", ErrBadAddress, len(body), maxBodyLen)
+	}
+	buf := make([]byte, recordSize(len(body)))
+	copy(buf[0:4], recordMagic[:])
+	copy(buf[4:36], raw[:])
+	digest := sha256.Sum256(body)
+	copy(buf[36:68], digest[:])
+	binary.LittleEndian.PutUint32(buf[68:72], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[72:76], crc32.ChecksumIEEE(buf[:72]))
+	copy(buf[76:], body)
+	binary.LittleEndian.PutUint32(buf[76+len(body):], crc32.ChecksumIEEE(body))
+	return buf, nil
+}
+
+// DecodeRecord decodes the record at the start of b, returning the
+// bytes consumed. The body is copied out of b. Errors classify the
+// failure: ErrShortRecord (incomplete — a torn tail), ErrBadMagic /
+// ErrHeaderCRC (not a record boundary), ErrBodyCRC / ErrDigestMismatch
+// (a complete but corrupt record).
+func DecodeRecord(b []byte) (Record, int, error) {
+	hdr, err := decodeHeader(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	total := int(recordSize(int(hdr.bodyLen)))
+	if len(b) < total {
+		return Record{}, 0, ErrShortRecord
+	}
+	body := make([]byte, hdr.bodyLen)
+	copy(body, b[headerSize:headerSize+int(hdr.bodyLen)])
+	stored := binary.LittleEndian.Uint32(b[headerSize+int(hdr.bodyLen) : total])
+	if crc32.ChecksumIEEE(body) != stored {
+		return Record{}, 0, ErrBodyCRC
+	}
+	if sha256.Sum256(body) != hdr.digest {
+		return Record{}, 0, ErrDigestMismatch
+	}
+	return Record{Addr: hdr.addr, Digest: hdr.digest, Body: body}, total, nil
+}
+
+// header is the parsed fixed-size record prefix.
+type header struct {
+	addr    string
+	digest  [32]byte
+	bodyLen uint32
+}
+
+// decodeHeader validates the fixed-size prefix of a record.
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < headerSize {
+		return header{}, ErrShortRecord
+	}
+	if [4]byte(b[0:4]) != recordMagic {
+		return header{}, ErrBadMagic
+	}
+	if crc32.ChecksumIEEE(b[:72]) != binary.LittleEndian.Uint32(b[72:76]) {
+		return header{}, ErrHeaderCRC
+	}
+	var h header
+	h.addr = hex.EncodeToString(b[4:36])
+	copy(h.digest[:], b[36:68])
+	h.bodyLen = binary.LittleEndian.Uint32(b[68:72])
+	if h.bodyLen > maxBodyLen {
+		return header{}, ErrHeaderCRC
+	}
+	return h, nil
+}
+
+// parseAddr validates and decodes a 64-hex content address.
+func parseAddr(addr string) ([32]byte, error) {
+	var raw [32]byte
+	if len(addr) != 64 {
+		return raw, fmt.Errorf("%w: %q", ErrBadAddress, addr)
+	}
+	b, err := hex.DecodeString(addr)
+	if err != nil {
+		return raw, fmt.Errorf("%w: %q", ErrBadAddress, addr)
+	}
+	for _, c := range addr {
+		if c >= 'A' && c <= 'F' {
+			return raw, fmt.Errorf("%w: uppercase hex in %q", ErrBadAddress, addr)
+		}
+	}
+	copy(raw[:], b)
+	return raw, nil
+}
+
+// indexedRecord is what a boot scan learns about one record without
+// reading its body: where it lives and what it claims to hold.
+type indexedRecord struct {
+	addr   string
+	digest [32]byte
+	off    int64
+	size   int64 // full encoded size including header and trailer
+}
+
+// scanResult summarizes one segment scan.
+type scanResult struct {
+	records []indexedRecord
+	// cleanEnd is the offset just past the last complete record; bytes
+	// beyond it are a torn tail (or mid-file corruption — scanning stops
+	// either way, because record boundaries after a bad header cannot be
+	// trusted).
+	cleanEnd int64
+	// torn reports that the file extended past cleanEnd.
+	torn bool
+}
+
+// scanSegment indexes one segment file by walking record headers and
+// seeking past bodies; bodies are verified lazily on Get and during
+// compaction, keeping a warm restart proportional to the record count,
+// not the store size. The scan stops at the first incomplete or invalid
+// header — everything before it is indexed, everything after is
+// ignored.
+func scanSegment(path string) (scanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scanResult{}, fmt.Errorf("cas: scan %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return scanResult{}, fmt.Errorf("cas: scan %s: %w", path, err)
+	}
+	size := fi.Size()
+
+	var res scanResult
+	r := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, headerSize)
+	off := int64(0)
+	for off < size {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			break // short header: torn tail
+		}
+		h, err := decodeHeader(hdr)
+		if err != nil {
+			break // not a valid boundary: stop indexing here
+		}
+		total := recordSize(int(h.bodyLen))
+		if off+total > size {
+			break // body or trailer torn off
+		}
+		if _, err := r.Discard(int(h.bodyLen) + trailerSize); err != nil {
+			break
+		}
+		res.records = append(res.records, indexedRecord{
+			addr: h.addr, digest: h.digest, off: off, size: total,
+		})
+		off += total
+	}
+	res.cleanEnd = off
+	res.torn = off < size
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package cas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	addr := testAddr("round-trip")
+	body := testBody("round-trip")
+	enc, err := EncodeRecord(addr, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(enc)) != recordSize(len(body)) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), recordSize(len(body)))
+	}
+	rec, n, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d, want %d", n, len(enc))
+	}
+	if rec.Addr != addr || string(rec.Body) != string(body) {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	addr := testAddr("c")
+	body := testBody("c")
+	enc, err := EncodeRecord(addr, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mangle func([]byte)
+		want   error
+	}{
+		{"bad magic", func(b []byte) { b[0] ^= 0xff }, ErrBadMagic},
+		{"flipped addr bit", func(b []byte) { b[10] ^= 0x01 }, ErrHeaderCRC},
+		{"flipped digest bit", func(b []byte) { b[40] ^= 0x01 }, ErrHeaderCRC},
+		{"flipped length", func(b []byte) { b[68] ^= 0x01 }, ErrHeaderCRC},
+		{"flipped header crc", func(b []byte) { b[72] ^= 0x01 }, ErrHeaderCRC},
+		{"flipped body bit", func(b []byte) { b[headerSize+1] ^= 0x01 }, ErrBodyCRC},
+		{"flipped body crc", func(b []byte) { b[len(b)-1] ^= 0x01 }, ErrBodyCRC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mangled := append([]byte(nil), enc...)
+			tc.mangle(mangled)
+			if _, _, err := DecodeRecord(mangled); !errors.Is(err, tc.want) {
+				t.Errorf("decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeDigestMismatch crafts a record whose CRCs are valid but
+// whose digest field lies about the body — the case only the SHA-256
+// end-to-end check catches.
+func TestDecodeDigestMismatch(t *testing.T) {
+	addr := testAddr("d")
+	body := testBody("d")
+	enc, err := EncodeRecord(addr, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the digest, then re-seal the header CRC so the header
+	// parses clean.
+	enc[40] ^= 0x01
+	binary.LittleEndian.PutUint32(enc[72:76], crc32.ChecksumIEEE(enc[:72]))
+	if _, _, err := DecodeRecord(enc); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("decode = %v, want ErrDigestMismatch", err)
+	}
+}
+
+func TestDecodeShortInputs(t *testing.T) {
+	enc, err := EncodeRecord(testAddr("s"), testBody("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, derr := DecodeRecord(enc[:cut]); !errors.Is(derr, ErrShortRecord) {
+			t.Fatalf("decode of %d/%d bytes = %v, want ErrShortRecord", cut, len(enc), derr)
+		}
+	}
+}
+
+// TestSegmentTornTail is the satellite acceptance test: a segment
+// truncated mid-record at any byte boundary must boot cleanly, indexing
+// only the complete records before the tear — mirroring the journal's
+// torn-tail handling. The table walks every truncation point inside the
+// final record (header bytes, body bytes, trailer bytes) plus exact
+// record boundaries.
+func TestSegmentTornTail(t *testing.T) {
+	// Build a reference segment of three records in memory.
+	labels := []string{"tt-0", "tt-1", "tt-2"}
+	var full []byte
+	var bounds []int64 // clean end after each record
+	for _, l := range labels {
+		enc, err := EncodeRecord(testAddr(l), testBody(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full = append(full, enc...)
+		bounds = append(bounds, int64(len(full)))
+	}
+
+	// Truncation points: every byte of the last record, plus each exact
+	// boundary. wantRecords is how many complete records survive.
+	type tornCase struct {
+		cut  int64
+		want int
+	}
+	var cases []tornCase
+	for cut := bounds[1]; cut <= bounds[2]; cut++ {
+		want := 2
+		if cut == bounds[2] {
+			want = 3
+		}
+		cases = append(cases, tornCase{cut, want})
+	}
+	cases = append(cases,
+		tornCase{0, 0},
+		tornCase{1, 0},
+		tornCase{bounds[0] - 1, 0},
+		tornCase{bounds[0], 1},
+		tornCase{bounds[0] + headerSize/2, 1},
+	)
+
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("cut%d", tc.cut), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, fmt.Sprintf(segPattern, uint32(0)))
+			if err := os.WriteFile(path, full[:tc.cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("boot with tail torn at %d failed: %v", tc.cut, err)
+			}
+			defer s.Close()
+			if got := s.Len(); got != tc.want {
+				t.Fatalf("indexed %d records, want %d", got, tc.want)
+			}
+			for i := 0; i < tc.want; i++ {
+				body, ok := s.Get(testAddr(labels[i]))
+				if !ok || string(body) != string(testBody(labels[i])) {
+					t.Fatalf("record %d unreadable after torn-tail boot", i)
+				}
+			}
+			torn := tc.cut != 0 && tc.cut != bounds[len(bounds)-1] &&
+				!(tc.want > 0 && tc.cut == bounds[tc.want-1])
+			if got := s.Stats().TornTails > 0; got != torn {
+				t.Errorf("torn_tails reported %v, want %v (cut %d)", got, torn, tc.cut)
+			}
+			// The tear was physically truncated: appending lands on a
+			// clean boundary and survives another reopen.
+			if err := s.Put(testAddr("after-tear"), testBody("after-tear")); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			s2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if got := s2.Len(); got != tc.want+1 {
+				t.Fatalf("after append+reopen: %d records, want %d", got, tc.want+1)
+			}
+			if _, ok := s2.Get(testAddr("after-tear")); !ok {
+				t.Error("append after tear lost on reopen")
+			}
+		})
+	}
+}
+
+// TestMidFileCorruptionStopsScan: a corrupted header mid-file means
+// later boundaries cannot be trusted; boot indexes the clean prefix
+// only.
+func TestMidFileCorruptionStopsScan(t *testing.T) {
+	labels := []string{"m-0", "m-1", "m-2"}
+	var full []byte
+	var bounds []int
+	for _, l := range labels {
+		enc, err := EncodeRecord(testAddr(l), testBody(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full = append(full, enc...)
+		bounds = append(bounds, len(full))
+	}
+	// Smash record 1's magic.
+	full[bounds[0]] ^= 0xff
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, fmt.Sprintf(segPattern, uint32(0)))
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 1 {
+		t.Fatalf("indexed %d records past corruption, want 1", got)
+	}
+	if _, ok := s.Get(testAddr("m-0")); !ok {
+		t.Error("clean prefix record lost")
+	}
+}

@@ -1,0 +1,134 @@
+package cas
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Sketch is a TinyLFU-style frequency sketch: a 4-bit count-min sketch
+// with periodic halving. Touch records one access to a content address;
+// Estimate answers "how hot is this address?" with a small, bounded
+// overestimate. The RAM-tier admission policy compares a candidate's
+// estimate against the LRU victim's, so one-shot scans cannot flush the
+// cache of genuinely hot entries.
+//
+// Counters saturate at 15 (4 bits, two packed per byte). After
+// sampleSize touches every counter is halved — the aging step that lets
+// yesterday's hot set decay — which keeps estimates a property of the
+// recent access stream. Everything is a pure function of the touch
+// sequence: no clock, no randomness, so a seeded replay drives the
+// sketch through identical states.
+type Sketch struct {
+	mu      sync.Mutex
+	rows    [sketchRows][]byte // 4-bit counters, two per byte
+	mask    uint64
+	touches int
+	sample  int
+}
+
+const sketchRows = 4
+
+// NewSketch sizes a sketch for roughly capacity distinct hot entries.
+// Width rounds up to a power of two with ~8 counters per expected entry;
+// halving triggers every 10×capacity touches.
+func NewSketch(capacity int) *Sketch {
+	if capacity < 64 {
+		capacity = 64
+	}
+	width := uint64(1)
+	for width < uint64(capacity)*8 {
+		width <<= 1
+	}
+	s := &Sketch{mask: width - 1, sample: capacity * 10}
+	for i := range s.rows {
+		s.rows[i] = make([]byte, width/2)
+	}
+	return s
+}
+
+// Touch records one access to addr.
+func (s *Sketch) Touch(addr string) {
+	if s == nil {
+		return
+	}
+	h := sketchHash(addr)
+	s.mu.Lock()
+	for i := range s.rows {
+		idx := sketchIndex(h, i) & s.mask
+		if v := s.get(i, idx); v < 15 {
+			s.set(i, idx, v+1)
+		}
+	}
+	s.touches++
+	if s.touches >= s.sample {
+		s.halveLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Estimate reports the sketch's frequency estimate for addr (0-15).
+func (s *Sketch) Estimate(addr string) uint8 {
+	if s == nil {
+		return 0
+	}
+	h := sketchHash(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est := uint8(15)
+	for i := range s.rows {
+		if v := s.get(i, sketchIndex(h, i)&s.mask); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// get reads the 4-bit counter at idx in row r. Caller holds s.mu.
+func (s *Sketch) get(r int, idx uint64) uint8 {
+	b := s.rows[r][idx>>1]
+	if idx&1 == 0 {
+		return b & 0x0f
+	}
+	return b >> 4
+}
+
+// set writes the 4-bit counter at idx in row r. Caller holds s.mu.
+func (s *Sketch) set(r int, idx uint64, v uint8) {
+	p := &s.rows[r][idx>>1]
+	if idx&1 == 0 {
+		*p = (*p &^ 0x0f) | (v & 0x0f)
+	} else {
+		*p = (*p &^ 0xf0) | (v << 4)
+	}
+}
+
+// halveLocked ages every counter by dividing it by two — the TinyLFU
+// reset that keeps the sketch tracking the recent stream. Caller holds
+// s.mu.
+func (s *Sketch) halveLocked() {
+	for r := range s.rows {
+		row := s.rows[r]
+		for i, b := range row {
+			// Halve both packed counters in place: clear the bits that
+			// would shift across the nibble boundary, then shift.
+			row[i] = (b >> 1) & 0x77
+		}
+	}
+	s.touches /= 2
+}
+
+// sketchHash derives the base 64-bit hash for an address.
+func sketchHash(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// sketchIndex derives row i's counter index from the base hash via a
+// splitmix64-style finalizer, so the rows probe independent positions.
+func sketchIndex(h uint64, i int) uint64 {
+	z := h + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,102 @@
+package cas
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSketchCountsAndSaturates(t *testing.T) {
+	s := NewSketch(256)
+	hot := testAddr("hot")
+	if got := s.Estimate(hot); got != 0 {
+		t.Fatalf("fresh estimate = %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Touch(hot)
+	}
+	if got := s.Estimate(hot); got != 5 {
+		t.Errorf("estimate after 5 touches = %d, want 5", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Touch(hot)
+	}
+	if got := s.Estimate(hot); got != 15 {
+		t.Errorf("estimate after saturation = %d, want 15 (4-bit cap)", got)
+	}
+}
+
+func TestSketchDistinguishesHotFromCold(t *testing.T) {
+	s := NewSketch(1024)
+	hot, cold := testAddr("hot-key"), testAddr("cold-key")
+	for i := 0; i < 12; i++ {
+		s.Touch(hot)
+	}
+	s.Touch(cold)
+	if he, ce := s.Estimate(hot), s.Estimate(cold); he <= ce {
+		t.Errorf("hot estimate %d not above cold %d", he, ce)
+	}
+}
+
+func TestSketchHalving(t *testing.T) {
+	// capacity 64 → sample threshold 640 touches triggers halving.
+	s := NewSketch(64)
+	key := testAddr("aging")
+	for i := 0; i < 14; i++ {
+		s.Touch(key)
+	}
+	before := s.Estimate(key)
+	// Drive unrelated traffic past the sample threshold.
+	for i := 0; i < 640; i++ {
+		s.Touch(testAddr(fmt.Sprintf("filler-%d", i)))
+	}
+	after := s.Estimate(key)
+	if after >= before {
+		t.Errorf("halving did not age the counter: %d -> %d", before, after)
+	}
+	if after < before/2 {
+		// One halving at most in this window (collisions can add noise
+		// upward, never land below half).
+		t.Errorf("counter aged too far: %d -> %d", before, after)
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	// Two sketches fed the identical touch sequence report identical
+	// estimates — the property gaplint's determinism policy leans on.
+	a, b := NewSketch(256), NewSketch(256)
+	seq := []string{}
+	for i := 0; i < 500; i++ {
+		seq = append(seq, testAddr(fmt.Sprintf("k-%d", i%37)))
+	}
+	for _, k := range seq {
+		a.Touch(k)
+		b.Touch(k)
+	}
+	for i := 0; i < 37; i++ {
+		k := testAddr(fmt.Sprintf("k-%d", i))
+		if a.Estimate(k) != b.Estimate(k) {
+			t.Fatalf("estimates diverge for %s: %d vs %d", k[:12], a.Estimate(k), b.Estimate(k))
+		}
+	}
+}
+
+func TestAdmitPrefersHot(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SketchEntries: 256})
+	hot, cold := testAddr("admit-hot"), testAddr("admit-cold")
+	for i := 0; i < 10; i++ {
+		s.Touch(hot)
+	}
+	s.Touch(cold)
+	if !s.Admit(hot, cold) {
+		t.Error("hot candidate rejected against cold victim")
+	}
+	if s.Admit(cold, hot) {
+		t.Error("cold candidate admitted against hot victim")
+	}
+	// Ties admit (cold boot must not wedge the cache shut).
+	fresh1, fresh2 := testAddr("f1"), testAddr("f2")
+	if !s.Admit(fresh1, fresh2) {
+		t.Error("tie did not admit")
+	}
+}

@@ -14,6 +14,10 @@ type Cache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+	// admit, when set, gates inserts at capacity: the candidate key is
+	// admitted only if admit(candidate, victim) is true, where victim is
+	// the LRU entry it would displace. Nil admits everything (plain LRU).
+	admit func(candidate, victim string) bool
 }
 
 type cacheEntry struct {
@@ -60,12 +64,31 @@ func (c *Cache) Put(key string, res *Result) {
 		c.order.MoveToFront(el)
 		return
 	}
+	if c.admit != nil && c.order.Len() >= c.cap {
+		if victim := c.order.Back(); victim != nil &&
+			!c.admit(key, victim.Value.(*cacheEntry).key) {
+			return // the victim is hotter; the candidate stays disk-only
+		}
+	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// SetAdmission installs the admission policy consulted when a Put at
+// capacity would evict the LRU victim (TinyLFU-style: the disk tier's
+// frequency sketch decides promotion). Call before the cache is shared;
+// nil restores plain LRU.
+func (c *Cache) SetAdmission(admit func(candidate, victim string) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.admit = admit
+	c.mu.Unlock()
 }
 
 // Keys snapshots the cached content addresses, most recently used

@@ -24,9 +24,12 @@ const journalFile = "journal.jsonl"
 // records carry the full result, so replay re-warms the cache without
 // recomputing anything; "fail" records close out jobs whose failure was
 // terminal (spec errors, exhausted retries) so replay does not chase
-// them forever.
+// them forever. "stored" records are slim terminal pointers written
+// when the result body is durable in the CAS store instead: the journal
+// then carries only the content address, and replay resolves the body
+// from the store's own index.
 type JournalRecord struct {
-	Op     string  `json:"op"` // accept | done | fail
+	Op     string  `json:"op"` // accept | done | fail | stored
 	ID     string  `json:"id"`
 	Spec   *Spec   `json:"spec,omitempty"`
 	Result *Result `json:"result,omitempty"`
@@ -85,6 +88,15 @@ func (j *Journal) Accept(id string, spec Spec) error {
 // restart can re-warm the cache entry instead of recomputing.
 func (j *Journal) Done(id string, res *Result) error {
 	return j.append(JournalRecord{Op: "done", ID: id, Result: res}, true)
+}
+
+// Stored journals that a job's result is durable in the CAS store — a
+// pointer, not a body. Unsynced by design: the CAS record it references
+// already hit disk (the store group-commits its fsyncs), and recovery
+// consults the store before re-running any pending accept, so a lost
+// stored line is re-derived from the store index, never recomputed.
+func (j *Journal) Stored(id string) error {
+	return j.append(JournalRecord{Op: "stored", ID: id}, false)
 }
 
 // Fail journals a terminal failure so replay does not resubmit a job
@@ -181,6 +193,9 @@ type Replayed struct {
 	// Completed are finished results, newest record winning, in
 	// completion order; replaying them re-warms the cache.
 	Completed []*Result
+	// StoredIDs are jobs whose terminal record is a slim CAS pointer:
+	// the result body lives in the store, keyed by this content address.
+	StoredIDs []string
 	// Failed counts jobs whose terminal record was a failure.
 	Failed int
 	// Truncated reports that the final line was a partial write (the
@@ -206,6 +221,7 @@ func ReplayJournal(dir string) (Replayed, error) {
 		spec     *Spec
 		result   *Result
 		failed   bool
+		stored   bool
 		order    int
 		terminal bool
 		accepts  int
@@ -242,6 +258,10 @@ func ReplayJournal(dir string) (Replayed, error) {
 			e.result = rec.Result
 			e.failed = false
 			e.terminal = true
+		case "stored":
+			e.stored = true
+			e.failed = false
+			e.terminal = true
 		case "fail":
 			e.failed = true
 			e.terminal = true
@@ -262,6 +282,8 @@ func ReplayJournal(dir string) (Replayed, error) {
 			rep.Failed++
 		case e.terminal && e.result != nil:
 			rep.Completed = append(rep.Completed, e.result)
+		case e.stored:
+			rep.StoredIDs = append(rep.StoredIDs, id)
 		case e.spec != nil:
 			rep.Pending = append(rep.Pending, *e.spec)
 			rep.PendingAccepts = append(rep.PendingAccepts, e.accepts)
@@ -294,20 +316,39 @@ func (j *Journal) FindResult(id string) (*Result, bool) {
 }
 
 // Compact atomically rewrites the journal to hold only done records for
-// the given results (the warm-cache state worth keeping), dropping the
-// acceptance/failure history. Called after a successful replay so the
-// journal does not grow without bound across restarts.
-func (j *Journal) Compact(completed []*Result) error {
+// the given results plus slim stored pointers for results durable in
+// the CAS store, dropping the acceptance/failure history. Called after
+// a successful replay so the journal does not grow without bound across
+// restarts — with a store attached, the rewrite is mostly pointers.
+func (j *Journal) Compact(completed []*Result, storedIDs []string) error {
 	if j == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	lines, err := doneLines(completed, time.Now().UTC().Format(time.RFC3339Nano))
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+	lines, err := doneLines(completed, now)
 	if err != nil {
 		return err
 	}
-	return j.rewriteLocked(lines)
+	stored, err := storedLines(storedIDs, now)
+	if err != nil {
+		return err
+	}
+	return j.rewriteLocked(append(lines, stored...))
+}
+
+// storedLines marshals slim stored-pointer records.
+func storedLines(ids []string, now string) ([][]byte, error) {
+	lines := make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		line, err := json.Marshal(JournalRecord{Op: "stored", ID: id, T: now})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: journal compact: %w", err)
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
 }
 
 // doneLines marshals done records for the completed results.
@@ -374,6 +415,8 @@ type CompactStats struct {
 	// Completed counts done records kept (one per completed job, the
 	// newest result winning).
 	Completed int
+	// StoredKept counts slim CAS-pointer records carried through.
+	StoredKept int
 	// PendingKept counts in-flight jobs whose accept records were
 	// preserved — compacting a live journal must not orphan work a
 	// crash would need to recover.
@@ -408,6 +451,11 @@ func (j *Journal) CompactNow() (CompactStats, error) {
 	if err != nil {
 		return st, err
 	}
+	stored, err := storedLines(rep.StoredIDs, now)
+	if err != nil {
+		return st, err
+	}
+	lines = append(lines, stored...)
 	for i := range rep.Pending {
 		spec := rep.Pending[i]
 		line, err := json.Marshal(JournalRecord{Op: "accept", ID: rep.PendingIDs[i], Spec: &spec, T: now})
@@ -419,6 +467,7 @@ func (j *Journal) CompactNow() (CompactStats, error) {
 		}
 	}
 	st.Completed = len(rep.Completed)
+	st.StoredKept = len(rep.StoredIDs)
 	st.PendingKept = len(rep.Pending)
 	st.DroppedFailed = rep.Failed
 	if err := j.rewriteLocked(lines); err != nil {
@@ -434,6 +483,10 @@ func (j *Journal) CompactNow() (CompactStats, error) {
 type RecoverStats struct {
 	// WarmedCache counts completed results replayed into the cache.
 	WarmedCache int
+	// WarmedStore counts results resolved from the CAS store during
+	// recovery — stored pointers re-warmed and pending jobs whose
+	// bodies were already durable on disk (no recompute needed).
+	WarmedStore int
 	// Resubmitted counts pending jobs re-run through the pool.
 	Resubmitted int
 	// FailedReplays counts resubmitted jobs that failed again.
@@ -470,9 +523,30 @@ func RecoverFromJournal(ctx context.Context, p *Pool, dir string) (RecoverStats,
 		p.metrics.JournalReplayedDone.Add(1)
 		stats.WarmedCache++
 	}
+	// Stored pointers resolve through the CAS index — the body never
+	// left disk, so warming is a read, not a recompute. A pointer whose
+	// body the store no longer holds (budget-evicted, dropped corrupt)
+	// is silently released: the job recomputes on next demand.
+	for _, id := range rep.StoredIDs {
+		if res, ok := p.storeGet(id); ok {
+			p.Cache().Put(id, res)
+			p.metrics.JournalReplayedDone.Add(1)
+			stats.WarmedStore++
+		}
+	}
 	for i, spec := range rep.Pending {
 		if err := ctx.Err(); err != nil {
 			return stats, err
+		}
+		// A crash can land between the CAS fsync and the stored journal
+		// line: the accept looks pending but the body is already
+		// durable. Check the store before re-running.
+		if res, ok := p.storeGet(spec.Hash()); ok {
+			p.Cache().Put(res.ID, res)
+			p.journalStored(res.ID)
+			p.metrics.JournalReplayedDone.Add(1)
+			stats.WarmedStore++
+			continue
 		}
 		// A pending job whose accept count already shows
 		// MaxReplayGenerations replays is crash-looping the boot path:
@@ -495,15 +569,42 @@ func RecoverFromJournal(ctx context.Context, p *Pool, dir string) (RecoverStats,
 	// Compact the journal to the surviving state: the replayed results
 	// plus whatever the resubmissions just completed, dropping the
 	// pre-crash accept/fail history so the file does not grow without
-	// bound across restarts.
+	// bound across restarts. With a store attached, every survivor is
+	// migrated into the CAS and the journal keeps only slim pointers —
+	// the write-ahead log truncates to the store index.
 	if j := p.opt.Journal; j != nil && j.Dir() == dir {
-		keep := append([]*Result(nil), rep.Completed...)
+		var keep []*Result
+		var storedIDs []string
+		seen := map[string]bool{}
+		add := func(res *Result) {
+			if res == nil || res.ID == "" || seen[res.ID] {
+				return
+			}
+			seen[res.ID] = true
+			if p.store != nil {
+				if err := p.storePut(res); err == nil {
+					storedIDs = append(storedIDs, res.ID)
+					return
+				}
+				p.metrics.CASErrors.Add(1)
+			}
+			keep = append(keep, res)
+		}
+		for _, res := range rep.Completed {
+			add(res)
+		}
 		for _, spec := range rep.Pending {
 			if res, ok := p.Cache().Get(spec.Hash()); ok {
-				keep = append(keep, res)
+				add(res)
 			}
 		}
-		if err := j.Compact(keep); err != nil {
+		for _, id := range rep.StoredIDs {
+			if !seen[id] && p.store != nil && p.store.Has(id) {
+				seen[id] = true
+				storedIDs = append(storedIDs, id)
+			}
+		}
+		if err := j.Compact(keep, storedIDs); err != nil {
 			return stats, err
 		}
 	}

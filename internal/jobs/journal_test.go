@@ -117,7 +117,7 @@ func TestJournalCompact(t *testing.T) {
 	j.Done(specA.Hash(), resA)
 	j.Fail(specB.Hash(), "gone", ClassFatal)
 
-	if err := j.Compact([]*Result{resA}); err != nil {
+	if err := j.Compact([]*Result{resA}, nil); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := ReplayJournal(dir)

@@ -22,6 +22,14 @@ type Metrics struct {
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
 
+	// Disk-tier (CAS store) counters: a CacheMiss that resolves from
+	// the store is a CASHit (no recompute); CASMisses proceed to
+	// compute; CASErrors count store reads/writes that failed or
+	// decoded to a mismatched envelope.
+	CASHits   atomic.Int64
+	CASMisses atomic.Int64
+	CASErrors atomic.Int64
+
 	// Fault-handling counters (retry/backoff, watchdog, admission
 	// control, circuit breaker, journal).
 	JobsRetried   atomic.Int64 // transient failures given another attempt
@@ -33,6 +41,7 @@ type Metrics struct {
 
 	JournalAccepted         atomic.Int64 // accept records fsynced
 	JournalCompleted        atomic.Int64 // done records written
+	JournalStored           atomic.Int64 // slim CAS-pointer records written
 	JournalFailed           atomic.Int64 // terminal fail records written
 	JournalErrors           atomic.Int64 // journal writes that failed (degraded durability)
 	JournalReplayedDone     atomic.Int64 // completed results re-warmed from the journal
@@ -95,6 +104,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"misses":          m.CacheMisses.Load(),
 		"replicas_stored": m.ReplicasStored.Load(),
 	}
+	cas := map[string]any{
+		"hits":   m.CASHits.Load(),
+		"misses": m.CASMisses.Load(),
+		"errors": m.CASErrors.Load(),
+	}
 	breaker := map[string]any{
 		"trips":          m.BreakerTrips.Load(),
 		"short_circuits": m.BreakerShortCircuits.Load(),
@@ -102,6 +116,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	journal := map[string]any{
 		"accepted":          m.JournalAccepted.Load(),
 		"completed":         m.JournalCompleted.Load(),
+		"stored":            m.JournalStored.Load(),
 		"failed":            m.JournalFailed.Load(),
 		"errors":            m.JournalErrors.Load(),
 		"replayed_done":     m.JournalReplayedDone.Load(),
@@ -122,6 +137,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	return map[string]any{
 		"jobs":       jobs,
 		"cache":      cache,
+		"cas":        cas,
 		"breaker":    breaker,
 		"journal":    journal,
 		"latency_ms": lat,

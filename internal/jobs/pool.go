@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 )
@@ -75,6 +76,12 @@ type Options struct {
 	// run) and their outcomes, so a restart can recover pending work
 	// and warm cache keys via RecoverFromJournal.
 	Journal *Journal
+	// Store, when set, adds a disk tier under the RAM cache: completed
+	// results persist as content-addressed records, cache misses
+	// consult the store before recomputing, and the store's admission
+	// sketch gates RAM promotion (TinyLFU). With a store, the journal
+	// records slim "stored" pointers instead of full result bodies.
+	Store *cas.Store
 	// Injector, when set, injects deterministic faults at the pool and
 	// flow-stage seams (chaos testing).
 	Injector *faultinject.Injector
@@ -89,6 +96,7 @@ type Pool struct {
 	opt     Options
 	slots   chan struct{}
 	cache   *Cache
+	store   *cas.Store
 	metrics *Metrics
 	backoff *Backoff
 
@@ -225,10 +233,18 @@ func NewPool(opt Options) *Pool {
 		opt:      opt,
 		slots:    make(chan struct{}, opt.Workers),
 		cache:    NewCache(opt.CacheEntries),
+		store:    opt.Store,
 		metrics:  opt.Metrics,
 		backoff:  NewBackoff(opt.RetryBase, opt.RetryMax, opt.RetryJitter, 1),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if p.store != nil {
+		// RAM promotion is TinyLFU-gated: a candidate displaces the LRU
+		// victim only when the store's frequency sketch rates it at
+		// least as hot, so a scan over cold keys cannot flush the
+		// working set out of RAM.
+		p.cache.SetAdmission(p.store.Admit)
 	}
 	if opt.BreakerThreshold > 0 {
 		p.breakers = map[Kind]*breaker{
@@ -279,14 +295,36 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	}
 	id := c.Hash()
 
+	// Tiered lookup: RAM cache, then the disk store, then compute. The
+	// sketch touch records this access's frequency whichever tier
+	// answers — it is what admission and budget eviction rank on.
+	lookupStart := time.Now()
+	if p.store != nil {
+		p.store.Touch(id)
+	}
 	if res, ok := p.cache.Get(id); ok {
 		p.metrics.CacheHits.Add(1)
+		p.metrics.Observe("tier_hit_ram", time.Since(lookupStart))
 		hit := res.shallowCopy()
 		hit.Cached = true
 		hit.Service = p.metrics.ServiceCounters()
 		return hit, nil
 	}
 	p.metrics.CacheMisses.Add(1)
+	if p.store != nil {
+		if res, ok := p.storeGet(id); ok {
+			p.metrics.CASHits.Add(1)
+			p.metrics.Observe("tier_hit_cas", time.Since(lookupStart))
+			// Promote to RAM (admission-gated) so a second hit is a RAM
+			// hit; the stored body stays the durable copy either way.
+			p.cache.Put(id, res)
+			hit := res.shallowCopy()
+			hit.Cached = true
+			hit.Service = p.metrics.ServiceCounters()
+			return hit, nil
+		}
+		p.metrics.CASMisses.Add(1)
+	}
 
 	// An open breaker rejects the kind before any state is created. If
 	// this submission took the half-open probe slot, it must end the
@@ -365,7 +403,7 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 			p.metrics.JobsCompleted.Add(1)
 			p.metrics.Observe("job_"+string(c.Kind), time.Duration(res.ElapsedMS*float64(time.Millisecond)))
 			p.cache.Put(id, res)
-			p.journalDone(id, res)
+			p.persistResult(id, res)
 			p.finish(j, res, nil)
 			return res, nil
 		}
@@ -536,12 +574,15 @@ func (p *Pool) StoreResult(res *Result) (created bool, err error) {
 	if _, ok := p.cache.Get(res.ID); ok {
 		return false, nil
 	}
+	if p.store != nil && p.store.Has(res.ID) {
+		return false, nil
+	}
 	// Store an envelope scrubbed of the origin's run bookkeeping: the
 	// replica serves the deterministic content; Cached/Attempts/Service
 	// are per-serving-node facts.
 	cp := res.Normalized()
 	p.cache.Put(cp.ID, cp)
-	p.journalDone(cp.ID, cp)
+	p.persistResult(cp.ID, cp)
 	p.metrics.ReplicasStored.Add(1)
 	return true, nil
 }
@@ -624,6 +665,23 @@ func (p *Pool) journalDone(id string, res *Result) {
 		return
 	}
 	p.metrics.JournalCompleted.Add(1)
+}
+
+// journalStored records that a job's result is durable in the CAS
+// store — a slim pointer instead of a done record with the full body.
+// The record is unsynced: the CAS write it points at already fsynced,
+// and recovery checks the store before re-running a pending accept, so
+// losing the pointer costs an index lookup, never a recompute.
+func (p *Pool) journalStored(id string) {
+	j := p.opt.Journal
+	if j == nil {
+		return
+	}
+	if err := j.Stored(id); err != nil {
+		p.metrics.JournalErrors.Add(1)
+		return
+	}
+	p.metrics.JournalStored.Add(1)
 }
 
 // journalFail closes out a terminally failed job.

@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/cas"
+)
+
+// This file is the glue between the pool and the disk tier
+// (internal/cas): results are persisted as content-addressed records —
+// the canonical spec hash is the address, the normalized JSON envelope
+// is the body — so a restart rebuilds the full result corpus from the
+// segment index without recomputing anything, and the RAM cache
+// becomes a promotion tier over the store rather than the only copy.
+
+// Store returns the pool's disk-tier result store, or nil when the
+// pool runs RAM-only.
+func (p *Pool) Store() *cas.Store { return p.store }
+
+// storeGet reads and decodes the stored result for a content address.
+// The store verifies CRC and SHA-256 on read; this layer additionally
+// rejects an envelope whose ID disagrees with its address, so a stored
+// body can never surface under the wrong key.
+func (p *Pool) storeGet(id string) (*Result, bool) {
+	if p.store == nil {
+		return nil, false
+	}
+	body, ok := p.store.Get(id)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil || res.ID != id {
+		p.metrics.CASErrors.Add(1)
+		return nil, false
+	}
+	return &res, true
+}
+
+// storePut persists the result's normalized envelope under its content
+// address. Returns after the record is durably on disk (group-committed
+// fsync inside the store).
+func (p *Pool) storePut(res *Result) error {
+	if p.store == nil || res == nil || res.ID == "" {
+		return nil
+	}
+	body, err := json.Marshal(res.Normalized())
+	if err != nil {
+		return err
+	}
+	return p.store.Put(res.ID, body)
+}
+
+// persistResult makes a completed result durable. With a store, the
+// body goes into the CAS (fsynced) and the journal records only a slim
+// "stored" line — the journal is then a write-ahead log, not the result
+// archive, and compaction can truncate it to pointers. Without a store
+// (or when the store write fails) the full result is journaled as a
+// done record, the pre-store behavior.
+func (p *Pool) persistResult(id string, res *Result) {
+	if p.store != nil {
+		if err := p.storePut(res); err == nil {
+			p.journalStored(id)
+			return
+		}
+		p.metrics.CASErrors.Add(1)
+	}
+	p.journalDone(id, res)
+}
+
+// FindStored resolves a content address through every durable tier:
+// RAM cache, then the CAS store, then the journal's done records. The
+// read path behind GET /v1/results/{id} and replica fetches.
+func (p *Pool) FindStored(id string) (*Result, bool) {
+	if res, ok := p.cache.Get(id); ok {
+		return res, true
+	}
+	if res, ok := p.storeGet(id); ok {
+		return res, true
+	}
+	if j := p.opt.Journal; j != nil {
+		return j.FindResult(id)
+	}
+	return nil, false
+}
+
+// HasStored reports whether the id resolves in RAM or on disk without
+// reading the body — the cheap membership check replica GETs use.
+func (p *Pool) HasStored(id string) bool {
+	if _, ok := p.cache.Get(id); ok {
+		return true
+	}
+	return p.store != nil && p.store.Has(id)
+}
+
+// StoredView is the cluster-facing result set: the union of the RAM
+// cache and the disk store. It satisfies the cluster layer's ResultStore
+// contract structurally (jobs does not import cluster), so anti-entropy
+// repair and ownership handoff walk the full durable corpus, not just
+// what happens to be hot in RAM.
+type StoredView struct{ p *Pool }
+
+// StoredView returns the pool's cluster-facing result set.
+func (p *Pool) StoredView() *StoredView { return &StoredView{p: p} }
+
+// Keys snapshots every stored content address, deduplicated and sorted
+// for deterministic repair sweeps.
+func (v *StoredView) Keys() []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, k := range v.p.cache.Keys() {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	if v.p.store != nil {
+		for _, k := range v.p.store.Keys() { // already sorted
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Get resolves a content address from RAM or disk (not the journal —
+// repair sweeps are hot-path reads; the journal backstop stays behind
+// FindStored).
+func (v *StoredView) Get(id string) (*Result, bool) {
+	if res, ok := v.p.cache.Get(id); ok {
+		return res, true
+	}
+	return v.p.storeGet(id)
+}

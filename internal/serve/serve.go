@@ -243,11 +243,11 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 			}
 		}
 		// Drain gate: in-flight jobs (admitted before the drain) finish,
-		// and already-finished work is still served from the cache, but
-		// nothing new is computed — a request no peer could take is
-		// refused with 503 + Retry-After rather than admitted.
+		// and already-finished work is still served from RAM or the CAS
+		// store, but nothing new is computed — a request no peer could
+		// take is refused with 503 + Retry-After rather than admitted.
 		if h.draining.Load() {
-			if _, cached := h.pool.Cache().Get(spec.Hash()); !cached {
+			if !h.pool.HasStored(spec.Hash()) {
 				h.setRetryAfter(w)
 				writeError(w, http.StatusServiceUnavailable,
 					errors.New("node is draining; retry against another node"))
@@ -350,12 +350,12 @@ func (h *handler) tryForward(ctx context.Context, w http.ResponseWriter, spec jo
 }
 
 // serveReplica answers a fallback request from a peer-held replica of
-// an already-computed result, when one exists. The local cache is
-// checked first (pool.Do would hit it anyway — skip the network);
-// a fetched replica is stored locally so repeated requests during the
-// same partition are served without re-fetching.
+// an already-computed result, when one exists. Local tiers are checked
+// first — RAM cache and CAS store (pool.Do would hit either anyway —
+// skip the network); a fetched replica is stored locally so repeated
+// requests during the same partition are served without re-fetching.
 func (h *handler) serveReplica(ctx context.Context, w http.ResponseWriter, hash string) bool {
-	if _, ok := h.pool.Cache().Get(hash); ok {
+	if h.pool.HasStored(hash) {
 		return false // pool.Do will serve the local copy
 	}
 	res, ok := h.cluster.FetchResult(ctx, hash)
@@ -564,22 +564,18 @@ func (h *handler) jobStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // getResult serves GET /v1/results/{id}: the internal replication read.
-// It answers from the result cache first, then from the crash-safe
-// journal (a restarted node holds its finished work on disk before the
-// cache rewarms), and 404s otherwise. The response carries the digest
-// header like every JSON response, so the fetching peer verifies the
-// bytes end to end.
+// It resolves through every durable tier — result cache, then the CAS
+// store's segment index, then the crash-safe journal (a restarted node
+// holds its finished work on disk before the cache rewarms) — and 404s
+// otherwise. The response carries the digest header like every JSON
+// response, so the fetching peer verifies the bytes end to end.
 func (h *handler) getResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !validAddr(id) {
 		writeError(w, http.StatusBadRequest, errors.New("id must be 64 lowercase hex characters"))
 		return
 	}
-	if res, ok := h.pool.Cache().Get(id); ok {
-		writeJSON(w, http.StatusOK, res.Normalized())
-		return
-	}
-	if res, ok := h.pool.Journal().FindResult(id); ok {
+	if res, ok := h.pool.FindStored(id); ok {
 		writeJSON(w, http.StatusOK, res.Normalized())
 		return
 	}
@@ -687,6 +683,26 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	snap["abandoned_in_flight"] = h.pool.AbandonedInFlight()
 	snap["pending_requests"] = h.pending.Load()
 	snap["deadline_rejected"] = h.deadlineRejected.Load()
+	// With a disk tier attached, fold the store's own view (segment
+	// layout, byte accounting, compaction history) into the cas section
+	// the jobs metrics started: one scrape answers both "is the tier
+	// hitting" and "how big is it on disk".
+	if st := h.pool.Store(); st != nil {
+		if cs, ok := snap["cas"].(map[string]any); ok {
+			s := st.Stats()
+			cs["segments"] = s.Segments
+			cs["records"] = s.Records
+			cs["live_bytes"] = s.LiveBytes
+			cs["dead_bytes"] = s.DeadBytes
+			cs["total_bytes"] = s.TotalBytes
+			cs["puts"] = s.Puts
+			cs["compactions"] = s.Compactions
+			cs["evicted"] = s.Evicted
+			cs["corrupt_dropped"] = s.CorruptDropped
+			cs["torn_tails"] = s.TornTails
+			cs["boot_records"] = s.BootRecords
+		}
+	}
 	snap["breakers"] = h.pool.BreakerStates()
 	snap["uptime_seconds"] = time.Since(h.start).Seconds()
 	// build_info lets a load generator stamp its report with the exact
