@@ -21,9 +21,9 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net chaos-rolling chaos-cas fuzz gapd load-smoke
+.PHONY: tier1 fmt vet lint build test race bench chaos chaos-net chaos-rolling chaos-cas chaos-scrub soak-cas fuzz gapd load-smoke
 
-tier1: fmt vet lint build race load-smoke chaos chaos-net chaos-rolling chaos-cas
+tier1: fmt vet lint build race load-smoke chaos chaos-net chaos-rolling chaos-cas chaos-scrub
 
 fmt:
 	@out=$$(gofmt -s -l .); \
@@ -95,16 +95,41 @@ chaos-cas:
 	$(GO) test -race -count=1 ./internal/cas/
 	$(GO) test -race -count=1 -run 'TestChaosCAS' ./internal/jobs/
 
+# The storage-integrity chaos suite under the race detector: seeded
+# bit-flips (body, address, and digest bytes) injected into live segment
+# files under a running 3-node cluster. The scrubber must condemn every
+# injected fault, the read path must repair each from the replica set
+# (or recompute exactly once when no replica holds it), every answer
+# stays byte-identical to the serial reference, and the counter chain —
+# scrub_corrupt, cas_corrupt_reads, cluster_read_repaired,
+# scrub_repaired — matches the injected fault count exactly. /healthz
+# quarantine degradation rides along from internal/serve.
+chaos-scrub:
+	$(GO) test -race -count=1 \
+		-run 'TestChaosScrub|TestReadRepair|TestHealthzDegradesOnUnrepairableQuarantine' \
+		./internal/cluster/ ./internal/serve/
+
+# The storage endurance drill (not part of tier1): a million-record
+# churn of puts, supersedes, budget evictions, and compactions with the
+# scrubber running against it, asserting index-vs-disk consistency
+# (including across a reopen), a bounded dead-byte fraction, and that
+# the scrubber never condemns healthy data. GAP_SOAK_RECORDS scales it.
+soak-cas:
+	GAP_SOAK=1 $(GO) test -count=1 -timeout 30m -run 'TestSoakCAS' -v ./internal/cas/
+
 # Short fuzz passes over the hardened trust boundaries: the
 # structural-Verilog reader, job-spec canonicalization, the peer
-# response decoder (every byte a peer sends crosses it), and the CAS
+# response decoder (every byte a peer sends crosses it), the CAS
 # segment-record decoder (every byte the boot scan and compaction read
-# crosses it). CI-sized; raise -fuzztime for a real hunt.
+# crosses it), and the scrubber's per-record verdict (which must detect
+# every single-bit flip of a valid record and never panic on garbage).
+# CI-sized; raise -fuzztime for a real hunt.
 fuzz:
 	$(GO) test ./internal/netlist/ -run '^$$' -fuzz FuzzReadVerilog -fuzztime 30s
 	$(GO) test ./internal/jobs/ -run '^$$' -fuzz FuzzJobSpecCanonical -fuzztime 30s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzPeerResponseDecode -fuzztime 30s
 	$(GO) test ./internal/cas/ -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 30s
+	$(GO) test ./internal/cas/ -run '^$$' -fuzz FuzzScrubRecord -fuzztime 30s
 
 # The load-generator smoke gate: a seeded closed-loop gapload run over
 # the mixed corpus against an in-process gapd (capped at 5 s), asserting

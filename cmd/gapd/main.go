@@ -8,7 +8,8 @@
 //
 //	gapd [-addr :8080] [-workers N] [-parallel N] [-cache N] [-timeout 2m]
 //	     [-journal DIR] [-store-dir DIR] [-store-segment-bytes N]
-//	     [-store-max-bytes N] [-drain-timeout 30s] [-max-queue N]
+//	     [-store-max-bytes N] [-scrub-interval 1m] [-scrub-rate N]
+//	     [-scrub-seed N] [-drain-timeout 30s] [-max-queue N]
 //	     [-max-per-client N] [-node-id ID -peers ID=URL,...]
 //	     [-hedge-after 50ms] [-replicas N] [-antientropy-interval 30s]
 //	     [-gossip -advertise URL] [-gossip-interval 250ms]
@@ -31,6 +32,14 @@
 // -store-segment-bytes sets the rolling-segment size; -store-max-bytes
 // budgets the store (compaction evicts the coldest records past it;
 // 0 = unlimited).
+//
+// The store is continuously scrubbed: every -scrub-interval a background
+// pass verifies -scrub-rate records against their CRCs and SHA-256
+// digests, condemns any record that fails (it is quarantined, never
+// served, and its segment is compacted), and the read path repairs
+// condemned records from the replica set before recomputing. -scrub-seed
+// varies the deterministic scan origin across nodes so a fleet does not
+// scrub in lockstep; -scrub-interval 0 disables scrubbing.
 //
 // With -peers (a static membership of id=url pairs including this node,
 // named by -node-id), N gapd processes become one sharded service: each
@@ -92,6 +101,9 @@ func main() {
 	storeDir := flag.String("store-dir", "", "content-addressed result store directory: disk tier under the RAM cache (empty disables)")
 	storeSegBytes := flag.Int64("store-segment-bytes", 0, "store rolling-segment size in bytes (0 = 64 MiB)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store live-byte budget; compaction evicts the coldest records past it (0 = unlimited)")
+	scrubInterval := flag.Duration("scrub-interval", time.Minute, "spacing of background store-integrity scrub steps (0 disables)")
+	scrubRate := flag.Int("scrub-rate", 256, "records verified per scrub step")
+	scrubSeed := flag.Int64("scrub-seed", 1, "seed for the scrubber's deterministic scan origin")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain limit for in-flight jobs")
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond workers before shedding 429s (0 = 4x workers, negative disables)")
 	maxPerClient := flag.Int("max-per-client", 0, "concurrent submissions per client (0 = 2x workers, negative disables)")
@@ -142,6 +154,7 @@ func main() {
 			Dir:          *storeDir,
 			SegmentBytes: *storeSegBytes,
 			MaxBytes:     *storeMaxBytes,
+			ScrubSeed:    *scrubSeed,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gapd: %v\n", err)
@@ -166,6 +179,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background integrity scrub: pace lives here (a plain ticker), while
+	// the scrubber itself is purely operation-driven — ScrubStep(n)
+	// verifies the next n records and the store handles condemnation,
+	// quarantine, and compaction. Log lines appear only when a pass
+	// completes with damage, so a healthy store scrubs silently.
+	if store != nil && *scrubInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*scrubInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					pr := store.ScrubStep(*scrubRate)
+					if pr.Corrupt > 0 {
+						log.Printf("gapd: scrub condemned %d of %d records this step (quarantined for repair; segment compaction triggered)",
+							pr.Corrupt, pr.Scanned)
+					}
+				}
+			}
+		}()
+	}
 
 	// Replay the journal before listening: completed results re-warm the
 	// cache, interrupted jobs re-execute, and the journal compacts to

@@ -26,12 +26,16 @@ var ServicePackages = []string{"jobs", "serve", "cluster"}
 var MeasurementPackages = []string{"loadgen"}
 
 // StoragePackages extend the determinism guarantee to the result
-// store: segment layout, record encoding, admission estimates, and
-// compaction order must be pure functions of the operation sequence, so
-// two stores that saw the same Puts compact to byte-identical segments
-// and a restart rebuilds the identical index. The single sanctioned
-// wall-clock seam — the opened_at display timestamp on Stats — is
-// annotated in cas/clock.go.
+// store: segment layout, record encoding, admission estimates,
+// compaction order, and the integrity scrubber's cursor walk must be
+// pure functions of the operation sequence, so two stores that saw the
+// same Puts compact to byte-identical segments, a restart rebuilds the
+// identical index, and a scrub pass condemns the same records on
+// replay. The scrubber's only randomness is its seeded first-pass
+// origin (rand.New(rand.NewSource(seed)), which the determinism
+// analyzer permits); its pacing lives in cmd/gapd, so the single
+// sanctioned wall-clock seam — the opened_at display timestamp on
+// Stats — remains the one annotated in cas/clock.go.
 var StoragePackages = []string{"cas"}
 
 // MembershipPackages extend the determinism guarantee to the gossip

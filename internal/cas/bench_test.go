@@ -103,3 +103,34 @@ func BenchmarkSketchTouch(b *testing.B) {
 		s.Touch(addrs[i%len(addrs)])
 	}
 }
+
+// BenchmarkScrubStep measures the scrubber's per-record cost (index
+// snapshot + sort amortized over the step, ReadAt, CRC + SHA-256
+// verification) — the number the -scrub-rate flag budgets against.
+func BenchmarkScrubStep(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), CompactDeadFrac: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if err := s.Put(testAddr(fmt.Sprintf("s-%d", i)), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		pr := s.ScrubStep(256)
+		records += pr.Scanned
+		if pr.Corrupt != 0 {
+			b.Fatalf("clean store reported %d corrupt records", pr.Corrupt)
+		}
+	}
+	b.StopTimer()
+	if records > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(records), "ns/record")
+	}
+}

@@ -18,6 +18,7 @@ package cas
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,6 +45,11 @@ type Options struct {
 	// SketchEntries sizes the admission sketch (default 4096 expected
 	// hot entries).
 	SketchEntries int
+	// ScrubSeed seeds the scrubber's starting position (default 1), so
+	// a fleet of stores opened with different seeds scrubs different
+	// regions first instead of sweeping in lockstep. The walk itself is
+	// a pure function of the operation sequence; see scrub.go.
+	ScrubSeed int64
 }
 
 // recordLoc locates one live record.
@@ -69,13 +75,14 @@ type Store struct {
 	opt    Options
 	sketch *Sketch
 
-	mu      sync.Mutex
-	index   map[string]recordLoc
-	segs    map[uint32]*segment
-	active  *segment
-	w       *os.File // append handle for the active segment
-	nextSeg uint32
-	closed  bool
+	mu         sync.Mutex
+	index      map[string]recordLoc
+	segs       map[uint32]*segment
+	active     *segment
+	w          *os.File // append handle for the active segment
+	nextSeg    uint32
+	closed     bool
+	quarantine map[string]QuarantineEntry // corrupt drops awaiting repair
 
 	liveBytes int64
 	deadBytes int64
@@ -99,6 +106,23 @@ type Store struct {
 	tornTails      atomic.Int64 // segments truncated at boot
 	bootRecords    int64
 	createdAt      string // display only; see clock.go
+
+	// Scrub state (scrub.go). scrubMu single-flights scrub steps and
+	// guards the cursor walk; the counters are atomics so Stats reads
+	// them without touching the scrub lock (lock order is always
+	// scrubMu → mu, never the reverse).
+	scrubMu      sync.Mutex
+	scrubRng     *rand.Rand
+	scrubCursor  scrubPos
+	scrubInPass  bool
+	scrubStarted bool
+
+	scrubVerified  atomic.Int64
+	scrubCorrupt   atomic.Int64
+	scrubPasses    atomic.Int64
+	scrubRepaired  atomic.Int64
+	scrubCursorSeg atomic.Int64 // Stats mirror of scrubCursor
+	scrubCursorOff atomic.Int64
 }
 
 // Stats is the store's operational snapshot.
@@ -108,6 +132,8 @@ type Stats struct {
 	LiveBytes      int64  `json:"live_bytes"`
 	DeadBytes      int64  `json:"dead_bytes"`
 	TotalBytes     int64  `json:"total_bytes"`
+	SegmentBytes   int64  `json:"segment_bytes"`
+	MaxBytes       int64  `json:"max_bytes"`
 	Puts           int64  `json:"puts"`
 	Rewrites       int64  `json:"rewrites"`
 	Compactions    int64  `json:"compactions"`
@@ -115,6 +141,12 @@ type Stats struct {
 	CorruptDropped int64  `json:"corrupt_dropped"`
 	TornTails      int64  `json:"torn_tails"`
 	BootRecords    int64  `json:"boot_records"`
+	ScrubVerified  int64  `json:"scrub_verified"`
+	ScrubCorrupt   int64  `json:"scrub_corrupt"`
+	ScrubRepaired  int64  `json:"scrub_repaired"`
+	ScrubPasses    int64  `json:"scrub_passes"`
+	ScrubCursor    string `json:"scrub_cursor"`
+	Quarantined    int    `json:"quarantined"`
 	OpenedAt       string `json:"opened_at,omitempty"`
 }
 
@@ -139,17 +171,22 @@ func Open(opt Options) (*Store, error) {
 	if opt.SketchEntries <= 0 {
 		opt.SketchEntries = 4096
 	}
+	if opt.ScrubSeed == 0 {
+		opt.ScrubSeed = 1
+	}
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cas: dir: %w", err)
 	}
 	s := &Store{
-		opt:       opt,
-		sketch:    NewSketch(opt.SketchEntries),
-		index:     make(map[string]recordLoc),
-		segs:      make(map[uint32]*segment),
-		syncCh:    make(chan chan error, 128),
-		done:      make(chan struct{}),
-		createdAt: displayNow(),
+		opt:        opt,
+		sketch:     NewSketch(opt.SketchEntries),
+		index:      make(map[string]recordLoc),
+		segs:       make(map[uint32]*segment),
+		quarantine: make(map[string]QuarantineEntry),
+		syncCh:     make(chan chan error, 128),
+		done:       make(chan struct{}),
+		createdAt:  displayNow(),
+		scrubRng:   rand.New(rand.NewSource(opt.ScrubSeed)),
 	}
 	if err := s.boot(); err != nil {
 		return nil, err
@@ -310,6 +347,12 @@ func (s *Store) Put(addr string, body []byte) error {
 	s.index[addr] = loc
 	s.liveBytes += loc.size
 	s.puts.Add(1)
+	if _, q := s.quarantine[addr]; q {
+		// A fresh verified copy heals the quarantined address — whether
+		// it arrived by read-repair from a replica or by recompute.
+		delete(s.quarantine, addr)
+		s.scrubRepaired.Add(1)
+	}
 	s.mu.Unlock()
 
 	if err := s.waitSynced(); err != nil {
@@ -377,20 +420,37 @@ func (s *Store) flusher() {
 	}
 }
 
+// ErrNotFound reports an address with no live record. Every other
+// error from GetE means a record existed but failed verification — the
+// corrupt-read case callers may want to repair rather than recompute.
+var ErrNotFound = errors.New("cas: not found")
+
 // Get returns the stored body for addr. The record's CRC and SHA-256
 // digest are verified on every read; a record that fails verification
 // is dropped from the index (counted corrupt_dropped) and reported as a
 // miss, so a flipped bit degrades to one recompute, never a wrong
 // answer.
 func (s *Store) Get(addr string) ([]byte, bool) {
+	b, err := s.GetE(addr)
+	return b, err == nil
+}
+
+// GetE is Get with the failure class preserved: ErrNotFound for an
+// absent address, a codec error (ErrHeaderCRC, ErrBodyCRC,
+// ErrDigestMismatch, ...) for a record that existed but failed
+// verification. A corrupt record is dropped from the index and
+// quarantined before GetE returns, so the caller sees the corruption
+// exactly once and a repair path (replica fetch or recompute) can
+// re-Put under the same address.
+func (s *Store) GetE(addr string) ([]byte, error) {
 	if s == nil {
-		return nil, false
+		return nil, ErrNotFound
 	}
 	s.mu.Lock()
 	loc, ok := s.index[addr]
 	if !ok {
 		s.mu.Unlock()
-		return nil, false
+		return nil, ErrNotFound
 	}
 	seg := s.segs[loc.seg]
 	r := seg.r
@@ -398,15 +458,19 @@ func (s *Store) Get(addr string) ([]byte, bool) {
 
 	buf := make([]byte, loc.size)
 	if _, err := r.ReadAt(buf, loc.off); err != nil {
-		s.dropCorrupt(addr, loc)
-		return nil, false
+		err = fmt.Errorf("cas: read seg %d off %d: %w", loc.seg, loc.off, err)
+		s.dropCorrupt(addr, loc, err)
+		return nil, err
 	}
 	rec, _, err := DecodeRecord(buf)
-	if err != nil || rec.Addr != addr {
-		s.dropCorrupt(addr, loc)
-		return nil, false
+	if err == nil && rec.Addr != addr {
+		err = fmt.Errorf("%w: record holds %s, index expected %s", ErrBadAddress, rec.Addr, addr)
 	}
-	return rec.Body, true
+	if err != nil {
+		s.dropCorrupt(addr, loc, err)
+		return nil, err
+	}
+	return rec.Body, nil
 }
 
 // Has reports whether addr is indexed (without reading the body).
@@ -468,8 +532,11 @@ func (s *Store) Admit(candidate, victim string) bool {
 // Sketch returns the store's admission sketch.
 func (s *Store) Sketch() *Sketch { return s.sketch }
 
-// dropCorrupt removes addr from the index if it still points at loc.
-func (s *Store) dropCorrupt(addr string, loc recordLoc) {
+// dropCorrupt removes addr from the index if it still points at loc,
+// marking the record's bytes dead and quarantining the address: the
+// entry stays in the scrub report until a verified copy is re-Put (by
+// read-repair or recompute), which clears it and counts scrub_repaired.
+func (s *Store) dropCorrupt(addr string, loc recordLoc, reason error) {
 	s.mu.Lock()
 	if cur, ok := s.index[addr]; ok && cur == loc {
 		delete(s.index, addr)
@@ -477,6 +544,13 @@ func (s *Store) dropCorrupt(addr string, loc recordLoc) {
 		s.liveBytes -= loc.size
 		s.deadBytes += loc.size
 		s.corruptDropped.Add(1)
+		why := "unknown"
+		if reason != nil {
+			why = reason.Error()
+		}
+		s.quarantine[addr] = QuarantineEntry{
+			Addr: addr, Segment: loc.seg, Offset: loc.off, Reason: why,
+		}
 	}
 	s.mu.Unlock()
 }
@@ -488,13 +562,16 @@ func (s *Store) Stats() Stats {
 	}
 	s.mu.Lock()
 	st := Stats{
-		Segments:  len(s.segs),
-		Records:   len(s.index),
-		LiveBytes: s.liveBytes,
-		DeadBytes: s.deadBytes,
+		Segments:    len(s.segs),
+		Records:     len(s.index),
+		LiveBytes:   s.liveBytes,
+		DeadBytes:   s.deadBytes,
+		Quarantined: len(s.quarantine),
 	}
 	s.mu.Unlock()
 	st.TotalBytes = st.LiveBytes + st.DeadBytes
+	st.SegmentBytes = s.opt.SegmentBytes
+	st.MaxBytes = s.opt.MaxBytes
 	st.Puts = s.puts.Load()
 	st.Rewrites = s.rewrites.Load()
 	st.Compactions = s.compactions.Load()
@@ -502,6 +579,11 @@ func (s *Store) Stats() Stats {
 	st.CorruptDropped = s.corruptDropped.Load()
 	st.TornTails = s.tornTails.Load()
 	st.BootRecords = s.bootRecords
+	st.ScrubVerified = s.scrubVerified.Load()
+	st.ScrubCorrupt = s.scrubCorrupt.Load()
+	st.ScrubRepaired = s.scrubRepaired.Load()
+	st.ScrubPasses = s.scrubPasses.Load()
+	st.ScrubCursor = fmt.Sprintf("%d:%d", s.scrubCursorSeg.Load(), s.scrubCursorOff.Load())
 	st.OpenedAt = s.createdAt
 	return st
 }

@@ -191,13 +191,12 @@ func (s *Store) compact() (CompactStats, error) {
 		buf := make([]byte, lr.loc.size)
 		if _, err := seg.r.ReadAt(buf, lr.loc.off); err != nil {
 			st.DroppedCorrupt++
-			s.dropCorrupt(lr.addr, lr.loc)
+			s.dropCorrupt(lr.addr, lr.loc, fmt.Errorf("cas: compact read: %w", err))
 			continue
 		}
-		rec, _, err := DecodeRecord(buf)
-		if err != nil || rec.Addr != lr.addr {
+		if err := VerifyRecord(buf, lr.addr); err != nil {
 			st.DroppedCorrupt++
-			s.dropCorrupt(lr.addr, lr.loc)
+			s.dropCorrupt(lr.addr, lr.loc, err)
 			continue
 		}
 		if out == nil || out.size+int64(len(buf)) > s.opt.SegmentBytes {

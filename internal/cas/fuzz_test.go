@@ -55,3 +55,52 @@ func FuzzSegmentDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScrubRecord drives the scrubber's verify/quarantine decision.
+// Two properties: (1) VerifyRecord classifies arbitrary bytes with the
+// typed codec taxonomy and never panics; (2) every single-byte
+// mutation of a valid record is condemned — the record format leaves
+// no byte uncovered (header CRC over the fixed prefix, body CRC and
+// SHA-256 digest over the payload), so the scrubber's quarantine
+// decision cannot pass rotted bytes.
+func FuzzScrubRecord(f *testing.F) {
+	addr := testAddr("scrub-seed")
+	good, err := EncodeRecord(addr, testBody("scrub-seed"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{}, uint16(0), byte(1))
+	f.Add(good, uint16(1), byte(0x80))            // addr byte
+	f.Add(good, uint16(40), byte(0x08))           // digest byte
+	f.Add(good, uint16(70), byte(0x01))           // bodyLen byte
+	f.Add(good, uint16(headerSize+5), byte(0x40)) // body byte
+	f.Add(good, uint16(len(good)-1), byte(0x02))  // trailer CRC byte
+	f.Add([]byte("GCS1 but not a record"), uint16(3), byte(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16, flip byte) {
+		// Arbitrary bytes: no panic, and every failure is typed.
+		if err := VerifyRecord(data, addr); err != nil {
+			switch {
+			case errors.Is(err, ErrShortRecord),
+				errors.Is(err, ErrBadMagic),
+				errors.Is(err, ErrHeaderCRC),
+				errors.Is(err, ErrBodyCRC),
+				errors.Is(err, ErrDigestMismatch),
+				errors.Is(err, ErrBadAddress):
+			default:
+				t.Fatalf("untyped verify error: %v", err)
+			}
+		}
+		// The quarantine decision: flipping any bit of a valid record
+		// must fail verification.
+		if flip == 0 {
+			flip = 1
+		}
+		mut := append([]byte(nil), good...)
+		i := int(pos) % len(mut)
+		mut[i] ^= flip
+		if err := VerifyRecord(mut, addr); err == nil {
+			t.Fatalf("record mutated at byte %d (xor %#x) passed verification", i, flip)
+		}
+	})
+}

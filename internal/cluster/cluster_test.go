@@ -95,6 +95,14 @@ func (n *node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // only through passive forward reports — deterministic for the chaos
 // tests; tweak overrides per-test knobs.
 func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
+	return startClusterPools(t, n, nil, tweak)
+}
+
+// startClusterPools is startCluster with per-node pool control: poolOpt
+// builds each node's jobs.Options (nil = the default RAM-only pool).
+// The store-integrity chaos tests use it to attach a disk tier to every
+// node and disable the RAM cache so reads actually exercise the store.
+func startClusterPools(t testing.TB, n int, poolOpt func(id string) jobs.Options, tweak func(*cluster.Options)) []*node {
 	t.Helper()
 	nodes := make([]*node, n)
 	peers := make([]cluster.Peer, n)
@@ -109,10 +117,14 @@ func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
 		nodes[i] = nd
 	}
 	for _, nd := range nodes {
-		// The pool exists before the cluster so its cache can back the
+		// The pool exists before the cluster so its tiers can back the
 		// cluster's replication reads (Results); with the default
 		// Replicas of 1 the wiring is inert.
-		nd.pool = jobs.NewPool(jobs.Options{Workers: 2})
+		po := jobs.Options{Workers: 2}
+		if poolOpt != nil {
+			po = poolOpt(nd.id)
+		}
+		nd.pool = jobs.NewPool(po)
 		opt := cluster.Options{
 			SelfID:         nd.id,
 			Peers:          peers,
@@ -120,7 +132,10 @@ func startCluster(t testing.TB, n int, tweak func(*cluster.Options)) []*node {
 			RequestTimeout: 30 * time.Second,
 			ProbeInterval:  time.Hour,
 			DeadAfter:      1, // one torn forward = dead, no probe wait
-			Results:        nd.pool.Cache(),
+			// The cluster-facing result set is cache ∪ store, the same
+			// view gapd wires: anti-entropy and replica reads must cover
+			// what the cache evicted but the store still holds.
+			Results: nd.pool.StoredView(),
 		}
 		if tweak != nil {
 			tweak(&opt)

@@ -36,6 +36,11 @@ type Metrics struct {
 	// missing on a replica peer and re-pushed — the convergence signal
 	// after a partition heals.
 	AntiEntropyRepaired atomic.Int64
+	// ReadRepaired counts locally corrupt or quarantined results healed
+	// by fetching a verified copy from the replica set on the read path
+	// — each one a recompute the scrub + repair machinery did not pay
+	// for.
+	ReadRepaired atomic.Int64
 	// FlapsSuppressed counts dead->alive promotions withheld by flap
 	// damping because the peer had not yet produced the required streak
 	// of consecutive probe successes.
@@ -80,6 +85,7 @@ func (m *Metrics) Counters() map[string]int64 {
 		"cluster_replicated":           m.Replicated.Load(),
 		"cluster_replica_hits":         m.ReplicaHits.Load(),
 		"cluster_antientropy_repaired": m.AntiEntropyRepaired.Load(),
+		"cluster_read_repaired":        m.ReadRepaired.Load(),
 		"cluster_flaps_suppressed":     m.FlapsSuppressed.Load(),
 		"cluster_hedges_suppressed":    m.HedgesSuppressed.Load(),
 		"cluster_gossip_rounds":        m.GossipRounds.Load(),

@@ -161,6 +161,28 @@ func (c *Cluster) fetchFrom(ctx context.Context, p Peer, hash string) (*jobs.Res
 	return res, nil
 }
 
+// ReadRepair fetches a verified copy of a result this node's store
+// condemned (corrupt on read, or quarantined by the scrubber) from its
+// replica set — the hook the jobs pool consults before admitting a
+// recompute. The fetch path digest-verifies the bytes and checks they
+// decode to the requested content address; the pool re-verifies the
+// spec hash and re-Puts the body locally, which clears the store's
+// quarantine. Each successful fetch counts cluster_read_repaired.
+func (c *Cluster) ReadRepair(ctx context.Context, hash string) (*jobs.Result, bool) {
+	res, ok := c.FetchResult(ctx, hash)
+	if ok {
+		c.metrics.ReadRepaired.Add(1)
+	}
+	return res, ok
+}
+
+// ReplicationEnabled reports whether this cluster keeps replicas at
+// all (replication factor above one) — when false, a condemned record
+// has no peer to be repaired from and /healthz should say so.
+func (c *Cluster) ReplicationEnabled() bool {
+	return c != nil && c.replicas > 1
+}
+
 // AntiEntropyNow runs one repair sweep: every result this node holds
 // whose replica set includes peers is re-pushed to the currently usable
 // ones. Receivers dedup (200 vs 201), so a sweep over an already

@@ -25,10 +25,15 @@ type Metrics struct {
 	// Disk-tier (CAS store) counters: a CacheMiss that resolves from
 	// the store is a CASHit (no recompute); CASMisses proceed to
 	// compute; CASErrors count store reads/writes that failed or
-	// decoded to a mismatched envelope.
-	CASHits   atomic.Int64
-	CASMisses atomic.Int64
-	CASErrors atomic.Int64
+	// decoded to a mismatched envelope. CASCorruptReads count reads on
+	// the serve path that hit a record failing CRC/digest verification
+	// (or an address still quarantined from a scrub) — treated as a
+	// miss, never served, and routed through read-repair before a
+	// recompute is admitted.
+	CASHits         atomic.Int64
+	CASMisses       atomic.Int64
+	CASErrors       atomic.Int64
+	CASCorruptReads atomic.Int64
 
 	// Fault-handling counters (retry/backoff, watchdog, admission
 	// control, circuit breaker, journal).
@@ -105,9 +110,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"replicas_stored": m.ReplicasStored.Load(),
 	}
 	cas := map[string]any{
-		"hits":   m.CASHits.Load(),
-		"misses": m.CASMisses.Load(),
-		"errors": m.CASErrors.Load(),
+		"hits":          m.CASHits.Load(),
+		"misses":        m.CASMisses.Load(),
+		"errors":        m.CASErrors.Load(),
+		"corrupt_reads": m.CASCorruptReads.Load(),
 	}
 	breaker := map[string]any{
 		"trips":          m.BreakerTrips.Load(),

@@ -122,6 +122,12 @@ type Pool struct {
 	jobs     map[string]*Job
 	finished []string // FIFO of finished job ids, for registry eviction
 	inflight map[string]*Job
+
+	// repair, when set (SetReadRepair), fetches a verified copy of a
+	// locally corrupt/quarantined result from its replica set before Do
+	// admits a recompute. Guarded by mu; read only on the cold corrupt
+	// path.
+	repair func(ctx context.Context, id string) (*Result, bool)
 }
 
 // Job tracks one submission through the pool.
@@ -312,7 +318,8 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 	}
 	p.metrics.CacheMisses.Add(1)
 	if p.store != nil {
-		if res, ok := p.storeGet(id); ok {
+		res, rerr := p.storeGetE(id)
+		if rerr == nil {
 			p.metrics.CASHits.Add(1)
 			p.metrics.Observe("tier_hit_cas", time.Since(lookupStart))
 			// Promote to RAM (admission-gated) so a second hit is a RAM
@@ -322,6 +329,19 @@ func (p *Pool) Do(ctx context.Context, s Spec) (*Result, error) {
 			hit.Cached = true
 			hit.Service = p.metrics.ServiceCounters()
 			return hit, nil
+		}
+		if p.probeCorrupt(rerr, id) {
+			// The record existed and rotted (or is still quarantined
+			// from a scrub). Never served; before admitting a recompute,
+			// try to repair from the replica set.
+			p.metrics.CASCorruptReads.Add(1)
+			if res, ok := p.readRepair(ctx, id); ok {
+				p.metrics.Observe("tier_hit_repair", time.Since(lookupStart))
+				hit := res.shallowCopy()
+				hit.Cached = true
+				hit.Service = p.metrics.ServiceCounters()
+				return hit, nil
+			}
 		}
 		p.metrics.CASMisses.Add(1)
 	}

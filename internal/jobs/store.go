@@ -1,7 +1,10 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/cas"
@@ -23,19 +26,30 @@ func (p *Pool) Store() *cas.Store { return p.store }
 // rejects an envelope whose ID disagrees with its address, so a stored
 // body can never surface under the wrong key.
 func (p *Pool) storeGet(id string) (*Result, bool) {
+	res, err := p.storeGetE(id)
+	return res, err == nil
+}
+
+// storeGetE is storeGet with the failure class preserved: ErrNotFound
+// for an absent address, anything else for a record that existed but
+// failed verification — the signal Do routes through read-repair.
+func (p *Pool) storeGetE(id string) (*Result, error) {
 	if p.store == nil {
-		return nil, false
+		return nil, cas.ErrNotFound
 	}
-	body, ok := p.store.Get(id)
-	if !ok {
-		return nil, false
+	body, err := p.store.GetE(id)
+	if err != nil {
+		return nil, err
 	}
 	var res Result
-	if err := json.Unmarshal(body, &res); err != nil || res.ID != id {
+	if uerr := json.Unmarshal(body, &res); uerr != nil || res.ID != id {
+		// The bytes verified but the envelope is wrong — a writer bug,
+		// not bit rot. Counted as a CAS error and treated as corrupt so
+		// the repair path can fetch a sane copy.
 		p.metrics.CASErrors.Add(1)
-		return nil, false
+		return nil, fmt.Errorf("cas: stored envelope does not decode to its address %s", id[:min(12, len(id))])
 	}
-	return &res, true
+	return &res, nil
 }
 
 // storePut persists the result's normalized envelope under its content
@@ -67,6 +81,60 @@ func (p *Pool) persistResult(id string, res *Result) {
 		p.metrics.CASErrors.Add(1)
 	}
 	p.journalDone(id, res)
+}
+
+// SetReadRepair installs the read-repair hook — in production, the
+// cluster layer's replica fetch (digest and content-address verified
+// on its side of the wire). When a store read finds a corrupt or
+// quarantined record, Do consults the hook before admitting a
+// recompute; a repaired result is re-verified, re-Put into the local
+// store (clearing the quarantine), and served as a cached hit. Install
+// before traffic starts; a nil hook disables repair.
+func (p *Pool) SetReadRepair(fn func(ctx context.Context, id string) (*Result, bool)) {
+	p.mu.Lock()
+	p.repair = fn
+	p.mu.Unlock()
+}
+
+// readRepair runs the installed hook for id and adopts the fetched
+// result after verifying it the same way StoreResult verifies a
+// replica write: the payload's canonical spec must hash to the
+// address. Adoption persists the body (the re-Put that heals the
+// quarantine) and promotes it to RAM.
+func (p *Pool) readRepair(ctx context.Context, id string) (*Result, bool) {
+	p.mu.Lock()
+	fn := p.repair
+	p.mu.Unlock()
+	if fn == nil {
+		return nil, false
+	}
+	res, ok := fn(ctx, id)
+	if !ok || res == nil || res.ID != id {
+		return nil, false
+	}
+	canon, err := res.Spec.Canon()
+	if err != nil || canon.Hash() != id {
+		p.metrics.CASErrors.Add(1)
+		return nil, false
+	}
+	cp := res.Normalized()
+	p.cache.Put(cp.ID, cp)
+	p.persistResult(cp.ID, cp)
+	return cp, true
+}
+
+// probeCorrupt classifies a failed store read: true when the address
+// held a record that failed verification, or is still quarantined from
+// an earlier condemnation (by scrub, read, or compaction) — the cases
+// where a replica fetch should precede a recompute.
+func (p *Pool) probeCorrupt(readErr error, id string) bool {
+	if p.store == nil {
+		return false
+	}
+	if readErr != nil && !errors.Is(readErr, cas.ErrNotFound) {
+		return true
+	}
+	return p.store.Quarantined(id)
 }
 
 // FindStored resolves a content address through every durable tier:

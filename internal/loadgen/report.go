@@ -47,6 +47,17 @@ type TargetInfo struct {
 	// ("static" or "gossip"); Nodes under gossip counts the routable
 	// members of the live view at measurement time.
 	Membership string `json:"membership,omitempty"`
+	// StoreMode records the target's result-store tier: "disk" when a
+	// content-addressed store backs the RAM cache, "ram" otherwise. A
+	// throughput number against a disk-tier server is a different
+	// experiment from a RAM-only one — the hit path includes CRC and
+	// digest verification per read.
+	StoreMode string `json:"store_mode,omitempty"`
+	// StoreSegmentBytes / StoreMaxBytes are the measured store's
+	// geometry (rolling-segment size and live-byte budget; 0 = unlimited
+	// budget), zero when StoreMode is "ram".
+	StoreSegmentBytes int64 `json:"store_segment_bytes,omitempty"`
+	StoreMaxBytes     int64 `json:"store_max_bytes,omitempty"`
 }
 
 // RequestCounts are the run's volume numbers.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/jobs"
 	"repro/internal/serve"
 )
@@ -202,5 +203,38 @@ func TestFetchTargetInfo(t *testing.T) {
 	}
 	if v, ok := info.Build["go"].(string); !ok || v == "" {
 		t.Errorf("build_info.go missing: %v", info.Build)
+	}
+	if info.StoreMode != "ram" {
+		t.Errorf("store mode %q for a RAM-only pool, want ram", info.StoreMode)
+	}
+	if info.StoreSegmentBytes != 0 || info.StoreMaxBytes != 0 {
+		t.Errorf("RAM-only target reports store geometry %d/%d", info.StoreSegmentBytes, info.StoreMaxBytes)
+	}
+}
+
+// TestFetchTargetInfoStoreProvenance: a disk-tier target stamps its
+// store mode and geometry into the report — a throughput number means
+// something different when every hit crosses CRC+digest verification.
+func TestFetchTargetInfoStoreProvenance(t *testing.T) {
+	st, err := cas.Open(cas.Options{Dir: t.TempDir(), SegmentBytes: 8 << 20, MaxBytes: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	pool := jobs.NewPool(jobs.Options{Workers: 2, Store: st})
+	srv := newGapd(t, serve.Options{Pool: pool})
+
+	info, err := FetchTargetInfo(context.Background(), nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StoreMode != "disk" {
+		t.Errorf("store mode %q, want disk", info.StoreMode)
+	}
+	if info.StoreSegmentBytes != 8<<20 {
+		t.Errorf("segment bytes %d, want %d", info.StoreSegmentBytes, int64(8<<20))
+	}
+	if info.StoreMaxBytes != 128<<20 {
+		t.Errorf("max bytes %d, want %d", info.StoreMaxBytes, int64(128<<20))
 	}
 }

@@ -24,12 +24,26 @@ func FetchTargetInfo(ctx context.Context, client *http.Client, base string) (Tar
 	var metrics struct {
 		Uptime float64        `json:"uptime_seconds"`
 		Build  map[string]any `json:"build_info"`
+		CAS    *struct {
+			SegmentBytes int64 `json:"segment_bytes"`
+			MaxBytes     int64 `json:"max_bytes"`
+		} `json:"cas"`
 	}
 	if err := getInto(ctx, client, base+"/metrics", &metrics); err != nil {
 		return info, fmt.Errorf("loadgen: reading %s/metrics: %w", base, err)
 	}
 	info.UptimeSeconds = metrics.Uptime
 	info.Build = metrics.Build
+	// Store provenance: a cas block carrying geometry means a disk tier
+	// is attached (RAM-only pools emit cas counters but no segment
+	// layout). The store mode changes what a hit costs, so it belongs
+	// next to the build stamp.
+	info.StoreMode = "ram"
+	if metrics.CAS != nil && metrics.CAS.SegmentBytes > 0 {
+		info.StoreMode = "disk"
+		info.StoreSegmentBytes = metrics.CAS.SegmentBytes
+		info.StoreMaxBytes = metrics.CAS.MaxBytes
+	}
 	var cluster struct {
 		Mode    string            `json:"mode"`
 		Peers   []json.RawMessage `json:"peers"`

@@ -51,6 +51,15 @@ type Options struct {
 	// RetryAfter is the backoff hint sent with shed responses (default
 	// 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// CorruptThreshold is how many quarantined (condemned, unrepaired)
+	// store records /healthz tolerates before degrading — but only when
+	// no replica repair path exists (no cluster, or replication factor
+	// 1): with replicas, read-repair and anti-entropy heal quarantined
+	// records as a matter of course, while without them every
+	// quarantined record is a recompute waiting to happen and operators
+	// should know. Default 0 (any unrepairable quarantined record
+	// degrades).
+	CorruptThreshold int
 }
 
 // handler carries the resolved options and the admission state.
@@ -62,6 +71,7 @@ type handler struct {
 	maxPending     int // workers + MaxQueueDepth; -1 disables
 	maxPerClient   int
 	retryAfter     time.Duration
+	corruptMax     int // quarantined records tolerated sans repair path
 
 	// pending counts admitted-but-unfinished submissions, which strictly
 	// bounds the pool-facing queue: a request sheds before entering the
@@ -144,8 +154,15 @@ func NewHandler(opt Options) *Handler {
 		requestTimeout: opt.RequestTimeout,
 		maxPerClient:   opt.MaxPerClient,
 		retryAfter:     opt.RetryAfter,
+		corruptMax:     opt.CorruptThreshold,
 		start:          time.Now(),
 		perClient:      map[string]int{},
+	}
+	if opt.Cluster != nil {
+		// Read-repair wiring: a corrupt or quarantined store record is
+		// fetched back from its replica set (digest + content-address
+		// verified) before the pool admits a recompute.
+		opt.Pool.SetReadRepair(opt.Cluster.ReadRepair)
 	}
 	if h.maxBodyBytes <= 0 {
 		h.maxBodyBytes = 1 << 20
@@ -661,6 +678,19 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		body["status"] = "degraded"
 		status = http.StatusServiceUnavailable
 	}
+	if st := h.pool.Store(); st != nil {
+		q := st.Stats().Quarantined
+		body["quarantined"] = q
+		if q > h.corruptMax && (h.cluster == nil || !h.cluster.ReplicationEnabled()) {
+			// Condemned records with no replica set to repair from: every
+			// one is data this node claimed to hold durably and now can
+			// only recompute. With replicas the read-repair path heals
+			// them silently and this stays "ok".
+			body["status"] = "degraded"
+			body["corrupt_quarantined"] = q
+			status = http.StatusServiceUnavailable
+		}
+	}
 	if h.draining.Load() {
 		// Draining outranks degraded: load balancers and gossip probes
 		// should route around this node while it finishes in-flight work,
@@ -701,6 +731,14 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 			cs["corrupt_dropped"] = s.CorruptDropped
 			cs["torn_tails"] = s.TornTails
 			cs["boot_records"] = s.BootRecords
+			cs["segment_bytes"] = s.SegmentBytes
+			cs["max_bytes"] = s.MaxBytes
+			cs["scrub_verified"] = s.ScrubVerified
+			cs["scrub_corrupt"] = s.ScrubCorrupt
+			cs["scrub_repaired"] = s.ScrubRepaired
+			cs["scrub_passes"] = s.ScrubPasses
+			cs["scrub_cursor"] = s.ScrubCursor
+			cs["quarantined"] = s.Quarantined
 		}
 	}
 	snap["breakers"] = h.pool.BreakerStates()

@@ -2,15 +2,20 @@ package serve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
@@ -636,5 +641,94 @@ func TestMetricsBuildInfo(t *testing.T) {
 	getJSON(t, srv.URL+"/metrics", &snap2)
 	if up2 := snap2["uptime_seconds"].(float64); up2 <= up {
 		t.Errorf("uptime did not advance: %v then %v", up, up2)
+	}
+}
+
+// TestHealthzDegradesOnUnrepairableQuarantine: a record the scrubber
+// condemned, on a node with no replica set to repair from, flips
+// /healthz to 503 (every such record is a recompute waiting to happen);
+// a handler with a tolerant CorruptThreshold stays ok. Also pins the
+// scrub counters and store geometry the /metrics cas block exposes.
+func TestHealthzDegradesOnUnrepairableQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := cas.Open(cas.Options{Dir: dir, ScrubSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	body := []byte(`{"payload":"storage integrity probe"}`)
+	sum := sha256.Sum256(body)
+	addr := hex.EncodeToString(sum[:])
+	if err := st.Put(addr, body); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := jobs.NewPool(jobs.Options{Workers: 1, CacheEntries: -1, Store: st})
+	srv := httptest.NewServer(NewHandler(Options{Pool: pool}))
+	defer srv.Close()
+
+	var h map[string]any
+	if resp := getJSON(t, srv.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before damage = %d %v", resp.StatusCode, h)
+	}
+	if int(h["quarantined"].(float64)) != 0 {
+		t.Errorf("quarantined = %v before damage", h["quarantined"])
+	}
+
+	// Rot one body byte on disk (the record header is 76 bytes) and let
+	// the scrubber find and condemn it.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.cas"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segment files = %v (%v)", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 80); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x40
+	if _, err := f.WriteAt(buf, 80); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for i := 0; i < 100; i++ {
+		if pr := st.ScrubStep(16); pr.PassComplete {
+			break
+		}
+	}
+	if got := st.Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d after scrub, want 1", got)
+	}
+
+	hresp := getJSON(t, srv.URL+"/healthz", &h)
+	if hresp.StatusCode != http.StatusServiceUnavailable || h["status"] != "degraded" {
+		t.Errorf("healthz with unrepairable quarantine = %d %v", hresp.StatusCode, h)
+	}
+	if int(h["corrupt_quarantined"].(float64)) != 1 {
+		t.Errorf("corrupt_quarantined = %v, want 1", h["corrupt_quarantined"])
+	}
+
+	var m struct {
+		CAS map[string]any `json:"cas"`
+	}
+	getJSON(t, srv.URL+"/metrics", &m)
+	for _, k := range []string{"scrub_verified", "scrub_corrupt", "scrub_repaired",
+		"scrub_passes", "scrub_cursor", "quarantined", "segment_bytes", "max_bytes"} {
+		if _, ok := m.CAS[k]; !ok {
+			t.Errorf("metrics cas block missing %s", k)
+		}
+	}
+	if got, ok := m.CAS["scrub_corrupt"].(float64); !ok || got != 1 {
+		t.Errorf("metrics cas.scrub_corrupt = %v, want 1", m.CAS["scrub_corrupt"])
+	}
+
+	// The same store behind a threshold of 1 is tolerated.
+	srv2 := httptest.NewServer(NewHandler(Options{Pool: pool, CorruptThreshold: 1}))
+	defer srv2.Close()
+	if resp := getJSON(t, srv2.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz within threshold = %d %v", resp.StatusCode, h)
 	}
 }
