@@ -360,6 +360,10 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("gapd: drain expired: %v", err)
 		}
+		// Replica pushes spawned off the response path may still be in
+		// flight; wait for them before the final handoff sweep counts
+		// what is left to migrate (and before Leave tears the peer down).
+		handler.Quiesce()
 		if clu != nil && clu.GossipEnabled() {
 			// Results that completed during the drain window migrate in a
 			// final sweep now that the server has quiesced; then announce

@@ -3,16 +3,31 @@
 // finding. It enforces the invariants every quantitative claim in the
 // reproduction rests on:
 //
-//	determinism  core evaluation packages stay a pure function of
-//	             their inputs (no wall clock, no global rand)
-//	errtaxonomy  service-boundary errors stay classifiable by the
-//	             jobs failure taxonomy
-//	ctxflow      contexts propagate instead of being re-minted
-//	metricname   registered metric names are unique and snake_case
+//	determinism         core evaluation packages stay a pure function
+//	                    of their inputs (no wall clock, no global rand)
+//	errtaxonomy         service-boundary errors stay classifiable by
+//	                    the jobs failure taxonomy
+//	ctxflow             contexts propagate instead of being re-minted
+//	metricname          registered metric names are unique, snake_case
+//	lockdiscipline      a field guarded by a mutex at a majority of
+//	                    sites is guarded at every site; no bare-Lock
+//	                    early returns
+//	goroutinelifecycle  every goroutine in the service packages has a
+//	                    provable shutdown path
+//	chanhygiene         no timer-per-iteration retry loops, closes of
+//	                    handed-in channels, double-close shapes, or
+//	                    receiverless sends
 //
 // Usage:
 //
-//	gaplint [packages]
+//	gaplint [flags] [packages]
+//
+//	-json         emit findings as newline-delimited JSON records
+//	              {file, line, col, analyzer, message}
+//	-list-allows  audit mode: list every //gaplint:allow directive
+//	              with its reason instead of running the analyzers
+//	-workers N    analysis worker count (0 = GOMAXPROCS; output is
+//	              byte-identical at any value)
 //
 // With no arguments or "./..." the whole module is checked. Directory
 // arguments ("./internal/sta") restrict which packages' findings are
@@ -29,6 +44,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -45,6 +62,13 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("gaplint", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit findings as newline-delimited JSON")
+	listAllows := fs.Bool("list-allows", false, "list every //gaplint:allow directive instead of running the analyzers")
+	workers := fs.Int("workers", 0, "analysis worker count (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	root, err := moduleRoot()
 	if err != nil {
 		return err
@@ -53,14 +77,67 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	findings := analysis.Run(pkgs, analysis.RepoAnalyzers("repro"))
-	findings = filterFindings(findings, root, args)
+	if *listAllows {
+		allows := filterAllows(analysis.CollectAllows(pkgs, root), fs.Args())
+		if *asJSON {
+			return writeAllowsJSON(allows)
+		}
+		os.Stdout.WriteString(analysis.FormatAllows(allows))
+		return nil
+	}
+	findings := analysis.RunWorkers(pkgs, analysis.RepoAnalyzers("repro"), *workers)
+	findings = filterFindings(findings, root, fs.Args())
 	if len(findings) == 0 {
 		return nil
 	}
-	os.Stdout.WriteString(analysis.Format(findings, root))
+	if *asJSON {
+		out, err := analysis.FormatJSON(findings, root)
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(out)
+	} else {
+		os.Stdout.WriteString(analysis.Format(findings, root))
+	}
 	os.Exit(1)
 	return nil
+}
+
+// writeAllowsJSON emits the audit listing as NDJSON records.
+func writeAllowsJSON(allows []analysis.Allow) error {
+	enc := json.NewEncoder(os.Stdout)
+	for _, a := range allows {
+		if err := enc.Encode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filterAllows restricts the audit listing to the requested package
+// dirs (module-relative slash paths).
+func filterAllows(allows []analysis.Allow, args []string) []analysis.Allow {
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return allows
+		}
+		a = strings.TrimSuffix(a, "/...")
+		dirs = append(dirs, filepath.ToSlash(filepath.Clean(a)))
+	}
+	if len(dirs) == 0 {
+		return allows
+	}
+	var out []analysis.Allow
+	for _, al := range allows {
+		for _, d := range dirs {
+			if al.File == d || strings.HasPrefix(al.File, d+"/") {
+				out = append(out, al)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -20,8 +20,11 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Finding is one diagnostic at a resolved source position.
@@ -98,17 +101,70 @@ func parseAllows(fset *token.FileSet, f *ast.File) map[int]*allow {
 	return out
 }
 
-// Run executes the analyzers over the packages, applies suppressions,
-// and returns the surviving findings sorted by position. Driver-level
-// diagnostics (malformed or unused suppressions) are reported under the
-// "gaplint" pseudo-analyzer.
+// Run executes the analyzers over the packages with the default worker
+// count, applies suppressions, and returns the surviving findings
+// sorted by position. Driver-level diagnostics (malformed or unused
+// suppressions) are reported under the "gaplint" pseudo-analyzer.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var raw []Finding
-	collect := func(f Finding) { raw = append(raw, f) }
+	return RunWorkers(pkgs, analyzers, 0)
+}
+
+// RunWorkers is Run with an explicit worker count: the (analyzer,
+// package) units fan out over a bounded pool (workers <= 0 means
+// GOMAXPROCS; 1 is the serial debugging mode). The type-checked
+// packages are shared read-only across workers; each analyzer's
+// Package method must therefore be safe for concurrent calls on
+// different packages (stateless, or internally locked like
+// MetricName's site accumulator). The final sort key — file, line,
+// column, analyzer, message — is total, so the output is byte-
+// identical at any worker count.
+func RunWorkers(pkgs []*Package, analyzers []Analyzer, workers int) []Finding {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type unit struct {
+		az  Analyzer
+		pkg *Package
+	}
+	units := make([]unit, 0, len(analyzers)*len(pkgs))
 	for _, az := range analyzers {
 		for _, pkg := range pkgs {
-			az.Package(&Pass{Pkg: pkg, report: collect})
+			units = append(units, unit{az, pkg})
 		}
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perUnit := make([][]Finding, len(units))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				u.az.Package(&Pass{Pkg: u.pkg, report: func(f Finding) {
+					perUnit[i] = append(perUnit[i], f)
+				}})
+			}
+		}()
+	}
+	wg.Wait()
+
+	var raw []Finding
+	for _, fs := range perUnit {
+		raw = append(raw, fs...)
+	}
+	collect := func(f Finding) { raw = append(raw, f) }
+	for _, az := range analyzers {
 		if fin, ok := az.(Finisher); ok {
 			fin.Finish(collect)
 		}

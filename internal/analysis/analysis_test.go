@@ -47,6 +47,27 @@ var fixtureCases = []struct {
 		},
 	},
 	{
+		name: "lockdiscipline",
+		dirs: []string{"lockdisc"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewLockDiscipline("fixture/lockdisc")}
+		},
+	},
+	{
+		name: "goroutinelifecycle",
+		dirs: []string{"goroutine"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewGoroutineLifecycle("fixture/goroutine")}
+		},
+	},
+	{
+		name: "chanhygiene",
+		dirs: []string{"chanhyg"},
+		analyzers: func() []Analyzer {
+			return []Analyzer{NewChanHygiene("fixture/chanhyg")}
+		},
+	},
+	{
 		// Driver-level behaviour: reasoned allows suppress, reasonless
 		// allows don't (and are reported), stale allows are reported.
 		name: "suppress",

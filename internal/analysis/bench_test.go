@@ -7,21 +7,63 @@ import (
 
 // BenchmarkGaplint measures one full gaplint pass over the real module
 // — source loading, type checking (full bodies for module packages,
-// declarations only for stdlib), all four analyzers, and suppression
+// declarations only for stdlib), all seven analyzers, and suppression
 // filtering. This is the marginal cost `make lint` adds to tier1;
-// EXPERIMENTS.md tracks it.
+// EXPERIMENTS.md tracks it. The Serial/Parallel split isolates what
+// the worker pool buys: loading and type checking are shared, only the
+// analyzer fan-out differs.
 func BenchmarkGaplint(b *testing.B) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
 		b.Fatal(err)
 	}
-	for i := 0; i < b.N; i++ {
-		pkgs, err := LoadModule(root)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if findings := Run(pkgs, RepoAnalyzers("repro")); len(findings) != 0 {
-			b.Fatalf("module not lint-clean: %d findings", len(findings))
-		}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"Serial", 1},
+		{"Parallel", 0}, // GOMAXPROCS — the make lint configuration
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pkgs, err := LoadModule(root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if findings := RunWorkers(pkgs, RepoAnalyzers("repro"), bench.workers); len(findings) != 0 {
+					b.Fatalf("module not lint-clean: %d findings", len(findings))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGaplintAnalyzeOnly loads and type-checks the module once,
+// then times just the analyzer fan-out — the part the worker pool
+// parallelizes. Analyzers are rebuilt per iteration because MetricName
+// accumulates state across packages.
+func BenchmarkGaplintAnalyzeOnly(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"Serial", 1},
+		{"Parallel", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if findings := RunWorkers(pkgs, RepoAnalyzers("repro"), bench.workers); len(findings) != 0 {
+					b.Fatalf("module not lint-clean: %d findings", len(findings))
+				}
+			}
+		})
 	}
 }

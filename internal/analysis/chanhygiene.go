@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanHygiene catches the channel misuse patterns that -race cannot:
+// they are not data races but leaks and panics-in-waiting.
+//
+//   - time.After inside a loop: each iteration allocates a timer the
+//     runtime only reclaims when it fires, so a tight retry loop with a
+//     long interval pins an unbounded timer population. Hoist a
+//     time.NewTimer/NewTicker outside the loop.
+//   - close of a channel received as a parameter: the closer must be
+//     the owner (the sender side); a callee closing a channel it was
+//     handed invites double-close panics and sends on closed channels.
+//   - double-close-prone shapes: the same channel variable or field
+//     closed at more than one site in the package, or a close inside a
+//     loop body — each a single refactor away from a close panic.
+//   - sends on channels with no reachable receiver: a send on an
+//     unbuffered channel that never escapes the function (no goroutine,
+//     no call, no return, no select) blocks forever.
+type ChanHygiene struct {
+	pkgs map[string]bool
+}
+
+// NewChanHygiene builds the analyzer for the given package import
+// paths; packages outside the list are ignored.
+func NewChanHygiene(pkgPaths ...string) *ChanHygiene {
+	m := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		m[p] = true
+	}
+	return &ChanHygiene{pkgs: m}
+}
+
+// Name implements Analyzer.
+func (a *ChanHygiene) Name() string { return "chanhygiene" }
+
+// closeSite is one close(x) call on a resolved channel object.
+type closeSite struct {
+	obj    types.Object
+	pos    token.Pos
+	inLoop bool
+}
+
+// Package implements Analyzer.
+func (a *ChanHygiene) Package(p *Pass) {
+	if !a.pkgs[p.Pkg.Path] {
+		return
+	}
+	var closes []closeSite
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkTimeAfterInLoops(p, fd.Body)
+			closes = append(closes, a.collectCloses(p, fd)...)
+			a.checkDeadSends(p, fd)
+		}
+	}
+	// Double-close-prone: the same channel object closed at >1 site.
+	firstClose := make(map[types.Object]token.Pos)
+	for _, c := range closes {
+		if c.obj == nil {
+			continue
+		}
+		if first, ok := firstClose[c.obj]; ok {
+			p.Reportf(a.Name(), c.pos,
+				"channel %s is also closed at %s; a second close panics — funnel all closes through one owner (or a sync.Once)",
+				objectName(c.obj), shortPos(p.Pkg.Fset.Position(first)))
+			continue
+		}
+		firstClose[c.obj] = c.pos
+	}
+}
+
+// checkTimeAfterInLoops reports time.After calls lexically inside a
+// for/range body (excluding nested function literals, which run on
+// their own schedule).
+func (a *ChanHygiene) checkTimeAfterInLoops(p *Pass, body *ast.BlockStmt) {
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				inLoop(m.Body, 0)
+				return false
+			case *ast.ForStmt:
+				inLoop(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				inLoop(m.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if depth > 0 {
+					if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+						if fn := pkgLevelFunc(p, sel); fn != nil && fn.Pkg().Path() == "time" && fn.Name() == "After" {
+							p.Reportf(a.Name(), m.Pos(),
+								"time.After inside a loop allocates a timer per iteration that is only reclaimed when it fires; hoist a time.NewTimer/NewTicker outside the loop")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	inLoop(body, 0)
+}
+
+// collectCloses records every close(x) in fd, flags closes of
+// parameter channels immediately, and reports closes inside loops.
+func (a *ChanHygiene) collectCloses(p *Pass, fd *ast.FuncDecl) []closeSite {
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	var sites []closeSite
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				id, ok := m.Fun.(*ast.Ident)
+				if !ok || id.Name != "close" || len(m.Args) != 1 {
+					return true
+				}
+				if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				obj := channelObject(p, m.Args[0])
+				if obj != nil && params[obj] {
+					p.Reportf(a.Name(), m.Pos(),
+						"closing channel parameter %s: the sender owns the close; a callee closing a channel it was handed risks double close and send-on-closed panics",
+						obj.Name())
+				}
+				if loopDepth > 0 {
+					p.Reportf(a.Name(), m.Pos(),
+						"close inside a loop: the second iteration closes a closed channel and panics")
+				}
+				sites = append(sites, closeSite{obj: obj, pos: m.Pos(), inLoop: loopDepth > 0})
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+	return sites
+}
+
+// channelObject resolves a close/send operand to a stable object: a
+// local/param var for identifiers, the field var for selector chains.
+func channelObject(p *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if fsel, ok := p.Pkg.Info.Selections[e]; ok && fsel.Kind() == types.FieldVal {
+			return fsel.Obj()
+		}
+	}
+	return nil
+}
+
+func objectName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return obj.Name()
+}
+
+// checkDeadSends flags sends on unbuffered channels that provably have
+// no receiver: the channel is made locally with no buffer, never
+// escapes the function (no call argument, return, assignment source,
+// goroutine capture, select case, or defer), and a plain send on it
+// exists — that send blocks forever.
+func (a *ChanHygiene) checkDeadSends(p *Pass, fd *ast.FuncDecl) {
+	// Find locals built by make(chan T) with no (or zero) buffer.
+	unbuffered := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Pkg.Info.Defs[id]
+			if obj == nil || !isUnbufferedMake(p, as.Rhs[i]) {
+				continue
+			}
+			unbuffered[obj] = true
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	// Disqualify channels that escape or are received from anywhere.
+	escaped := make(map[types.Object]bool)
+	received := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.SelectStmt, *ast.DeferStmt:
+			for obj := range unbuffered {
+				if nodeMentions(p, n, obj) {
+					escaped[obj] = true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if obj := channelObject(p, arg); obj != nil && unbuffered[obj] {
+					escaped[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := channelObject(p, res); obj != nil && unbuffered[obj] {
+					escaped[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := channelObject(p, n.X); obj != nil {
+					received[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := channelObject(p, n.X); obj != nil {
+				received[obj] = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if _, isMake := rhs.(*ast.CallExpr); isMake {
+					continue
+				}
+				if obj := channelObject(p, rhs); obj != nil && unbuffered[obj] {
+					escaped[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		obj := channelObject(p, send.Chan)
+		if obj == nil || !unbuffered[obj] || escaped[obj] || received[obj] {
+			return true
+		}
+		p.Reportf(a.Name(), send.Pos(),
+			"send on unbuffered channel %s which never escapes this function and has no receiver: this send blocks forever",
+			obj.Name())
+		return true
+	})
+}
+
+// isUnbufferedMake matches make(chan T) and make(chan T, 0).
+func isUnbufferedMake(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	if len(call.Args) == 2 {
+		if sz, ok := p.Pkg.Info.Types[call.Args[1]]; ok && sz.Value != nil {
+			return sz.Value.String() == "0"
+		}
+	}
+	return false
+}
+
+// nodeMentions reports whether obj is referenced anywhere under n.
+func nodeMentions(p *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GoroutineLifecycle requires every go statement in the configured
+// service packages to have a provable shutdown path. The repo's
+// availability story (drains, rolling restarts, zero-loss shutdown)
+// rests on goroutines that actually stop: a fire-and-forget goroutine
+// still running after Close returns races the teardown it was supposed
+// to precede, and -race only catches the interleavings the tests
+// happen to hit.
+//
+// A go statement passes when any of these holds:
+//
+//  1. ctx-aware: its body selects on (or receives from) ctx.Done() or
+//     a stop channel captured from outside the goroutine, or it hands
+//     a cancelable context captured from the enclosing scope to a
+//     callee. A context minted inside the goroutine (or a literal
+//     context.Background()/TODO() at the spawn site) does not count —
+//     nothing outside can cancel it.
+//  2. WaitGroup-tracked: the body calls Done on a sync.WaitGroup whose
+//     Wait is reachable — same function for a local WaitGroup, or any
+//     function in the package (a Close/Stop/drain method) for a field.
+//  3. Annotated: //gaplint:allow goroutinelifecycle — <reason> at the
+//     spawn site, making the deliberate abandonment visible in review.
+//
+// go pkg.Method(...) spawns resolve one level into same-package callee
+// bodies, so `go s.flusher()` is judged by what flusher does.
+type GoroutineLifecycle struct {
+	pkgs map[string]bool
+}
+
+// NewGoroutineLifecycle builds the analyzer for the given package
+// import paths; packages outside the list are ignored.
+func NewGoroutineLifecycle(pkgPaths ...string) *GoroutineLifecycle {
+	m := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		m[p] = true
+	}
+	return &GoroutineLifecycle{pkgs: m}
+}
+
+// Name implements Analyzer.
+func (a *GoroutineLifecycle) Name() string { return "goroutinelifecycle" }
+
+// Package implements Analyzer.
+func (a *GoroutineLifecycle) Package(p *Pass) {
+	if !a.pkgs[p.Pkg.Path] {
+		return
+	}
+	decls := indexFuncDecls(p)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					a.checkGo(p, g, fd, decls)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// indexFuncDecls maps each function object to its declaration so
+// `go s.method()` can be judged by the callee's body.
+func indexFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGo applies the shutdown-path rules to one go statement inside
+// enclosing (the top-level function declaration containing it).
+func (a *GoroutineLifecycle) checkGo(p *Pass, g *ast.GoStmt, enclosing *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calleeFunc(p, g.Call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				body = fd.Body
+			}
+		}
+	}
+
+	// A cancelable context handed to the goroutine at the spawn site.
+	for _, arg := range g.Call.Args {
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			if _, fresh := freshContextCall(p, argAsCall(arg)); !fresh {
+				return
+			}
+		}
+	}
+	if body != nil {
+		if a.bodyHasShutdownPath(p, body) {
+			return
+		}
+		if wg := bodyWaitGroupDone(p, body); wg != nil && waitReachable(p, wg, enclosing) {
+			return
+		}
+	}
+
+	msg := "goroutine has no provable shutdown path: it neither selects on a ctx.Done()/stop channel, nor hands off a cancelable context, nor is tracked by a WaitGroup with a reachable Wait"
+	if caps := capturedMutables(p, g); caps != "" {
+		msg += fmt.Sprintf("; it captures %s", caps)
+	}
+	msg += " — tie it to a lifecycle or annotate with //gaplint:allow goroutinelifecycle — <reason>"
+	p.Reportf(a.Name(), g.Pos(), "%s", msg)
+}
+
+// calleeFunc resolves the called function of a non-literal go
+// statement to a same-package *types.Func.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Pkg.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != p.Pkg.Path {
+		return nil
+	}
+	return fn
+}
+
+// bodyHasShutdownPath scans a goroutine body for a ctx.Done() call, a
+// receive (or range) over a channel declared outside the body, or a
+// call passing an outside context to a callee.
+func (a *GoroutineLifecycle) bodyHasShutdownPath(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if tv, ok := p.Pkg.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					if outsideObject(p, body, sel.X) {
+						found = true
+						return false
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := p.Pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+					if outsideObject(p, body, arg) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isOutsideChannel(p, body, n.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isOutsideChannel(p, body, n.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isOutsideChannel reports whether e is a channel-typed expression
+// rooted at an object declared outside body — a stop/work channel the
+// outside world can close.
+func isOutsideChannel(p *Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	return outsideObject(p, body, e)
+}
+
+// outsideObject reports whether the root object of e (an identifier or
+// a selector chain's base) is declared outside body — i.e. captured
+// from the enclosing scope, a parameter, or a receiver field, rather
+// than minted inside the goroutine.
+func outsideObject(p *Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			obj := p.Pkg.Info.Uses[x]
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// bodyWaitGroupDone finds a wg.Done() call in body (plain or deferred)
+// and returns the WaitGroup's object.
+func bodyWaitGroupDone(p *Pass, body *ast.BlockStmt) types.Object {
+	var wg types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := waitGroupMethodTarget(p, call, "Done"); obj != nil {
+			wg = obj
+			return false
+		}
+		return true
+	})
+	return wg
+}
+
+// waitGroupMethodTarget matches x.<method>() where x is a
+// sync.WaitGroup (possibly a field selection) and returns the root
+// object identifying the WaitGroup: the field var for fields, the
+// local/param var otherwise.
+func waitGroupMethodTarget(p *Pass, call *ast.CallExpr, method string) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	recv := sel.X
+	tv, ok := p.Pkg.Info.Types[recv]
+	if !ok || !isWaitGroup(tv.Type) {
+		return nil
+	}
+	switch r := recv.(type) {
+	case *ast.Ident:
+		return p.Pkg.Info.Uses[r]
+	case *ast.SelectorExpr:
+		if fsel, ok := p.Pkg.Info.Selections[r]; ok && fsel.Kind() == types.FieldVal {
+			return fsel.Obj()
+		}
+	}
+	return nil
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (or a pointer to it).
+func isWaitGroup(t types.Type) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// waitReachable reports whether Wait is called on the same WaitGroup
+// object: anywhere in the package for a struct field (the Close/Stop
+// side), or within the enclosing function for a local.
+func waitReachable(p *Pass, wg types.Object, enclosing *ast.FuncDecl) bool {
+	v, ok := wg.(*types.Var)
+	if !ok {
+		return false
+	}
+	var roots []ast.Node
+	if v.IsField() {
+		for _, file := range p.Pkg.Files {
+			roots = append(roots, file)
+		}
+	} else {
+		roots = []ast.Node{enclosing}
+	}
+	found := false
+	for _, root := range roots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if waitGroupMethodTarget(p, call, "Wait") == wg {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedMutables names the enclosing-scope variables (including any
+// receiver) a goroutine literal captures, for the diagnostic.
+func capturedMutables(p *Pass, g *ast.GoStmt) string {
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return ""
+	}
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		// Captured: declared outside the literal but not package-level.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		if !seen[obj.Name()] {
+			seen[obj.Name()] = true
+			names = append(names, obj.Name())
+		}
+		return true
+	})
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return "enclosing-scope variable(s) " + strings.Join(names, ", ")
+}

@@ -1,0 +1,822 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDiscipline infers the mutex-guarding contract of every struct in
+// the configured packages and enforces it at each access site. The
+// premise: `go test -race` proves only the interleavings the tests
+// happen to execute, but the guarding rule itself — "field f of T is
+// only touched under T.mu" — is a static property the gate can prove on
+// all code, every run.
+//
+// Inference, per struct type T declaring a sync.Mutex/RWMutex field:
+//
+//  1. every method body is walked with an abstract lock state (which
+//     mutex fields of the receiver are held), flow-sensitively: Lock /
+//     RLock acquire, Unlock / RUnlock release, defer Unlock holds to
+//     function exit, branches merge by intersection, and a branch that
+//     returns does not pollute the fall-through state;
+//  2. the walk is interprocedural within the package: a method whose
+//     every call site holds T.mu analyzes its own body with T.mu held
+//     at entry (fixpointed), so locked helpers like a cursor-advance
+//     called under the scrub lock need no annotation;
+//  3. methods reachable only from the function that constructs the
+//     value (receiver built from a composite literal in the caller)
+//     are pre-publication — no other goroutine can hold a reference —
+//     and are exempt, so boot/init helpers stay clean.
+//
+// A field guarded by one mutex at a strict majority of its access
+// sites must be guarded at every site: each uncovered access is
+// reported. Independently, a return reachable while a bare Lock (no
+// deferred Unlock) is still held is reported — the shape that deadlocks
+// the next caller when an early-return path is added later. TryLock is
+// deliberately untracked: its conditional-acquire and lock-handoff
+// patterns (single-flight latches) are not amenable to this analysis.
+type LockDiscipline struct {
+	pkgs map[string]bool
+}
+
+// NewLockDiscipline builds the analyzer for the given package import
+// paths; packages outside the list are ignored.
+func NewLockDiscipline(pkgPaths ...string) *LockDiscipline {
+	m := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		m[p] = true
+	}
+	return &LockDiscipline{pkgs: m}
+}
+
+// Name implements Analyzer.
+func (a *LockDiscipline) Name() string { return "lockdiscipline" }
+
+// lockedStruct is one struct type under analysis: its mutex fields and
+// the plain fields whose guarding contract is inferred.
+type lockedStruct struct {
+	named   *types.Named
+	mutexes []*types.Var
+	isMutex map[*types.Var]bool
+}
+
+// fieldAccess is one read or write of a plain field through a method
+// receiver.
+type fieldAccess struct {
+	field *types.Var
+	pos   token.Pos
+	held  map[*types.Var]bool // locally held mutexes at the site
+	owner *methodFacts
+}
+
+// methodCall is one intra-type call site: method m called on the
+// receiver with the given lock state.
+type methodCall struct {
+	callee *types.Func
+	held   map[*types.Var]bool
+	owner  *methodFacts
+	prePub bool
+}
+
+// lockedReturn is a return statement reached while a bare Lock is held.
+type lockedReturn struct {
+	mutex *types.Var
+	pos   token.Pos
+}
+
+// methodFacts is the per-method summary the fixpoint refines.
+type methodFacts struct {
+	fn        *types.Func
+	accesses  []*fieldAccess
+	returns   []lockedReturn
+	entryHeld map[*types.Var]bool // mutexes held at every call site
+	sites     int                 // intra-package call sites seen
+	preOnly   bool                // every call site is pre-publication
+}
+
+// Package implements Analyzer.
+func (a *LockDiscipline) Package(p *Pass) {
+	if !a.pkgs[p.Pkg.Path] {
+		return
+	}
+	structs := findLockedStructs(p)
+	if len(structs) == 0 {
+		return
+	}
+	for _, ls := range structs {
+		a.checkStruct(p, ls)
+	}
+}
+
+// findLockedStructs collects the package's struct types that declare a
+// direct sync.Mutex or sync.RWMutex field.
+func findLockedStructs(p *Pass) []*lockedStruct {
+	var out []*lockedStruct
+	scope := p.Pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		ls := &lockedStruct{named: named, isMutex: make(map[*types.Var]bool)}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isSyncMutex(f.Type()) {
+				ls.mutexes = append(ls.mutexes, f)
+				ls.isMutex[f] = true
+			}
+		}
+		if len(ls.mutexes) > 0 {
+			out = append(out, ls)
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkStruct runs the whole pipeline for one struct type.
+func (a *LockDiscipline) checkStruct(p *Pass, ls *lockedStruct) {
+	facts := make(map[*types.Func]*methodFacts)
+	var calls []*methodCall
+
+	// Pass 1: walk every function in the package. Methods of ls
+	// contribute accesses and locked returns; every function contributes
+	// call sites on ls-typed values (with pre-publication detection).
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			w := newLockWalker(p, ls, fd, fn)
+			if w == nil {
+				continue
+			}
+			w.walkStmts(fd.Body.List, newLockState())
+			if w.facts != nil {
+				facts[fn] = w.facts
+			}
+			calls = append(calls, w.calls...)
+		}
+	}
+
+	// Pass 2: fixpoint the entry-held sets. A method's entry set is the
+	// intersection of the held sets at all its non-pre-publication call
+	// sites; call-site held sets include the caller's own entry set.
+	// Pre-publication is transitive: a call made by a method that is
+	// itself only reachable pre-publication (boot calling a shared
+	// helper) is pre-publication too, so construction paths never drag a
+	// dual-use helper's entry set down to empty.
+	for f := range facts {
+		facts[f].entryHeld = nil // unknown until a site is seen
+	}
+	for iter := 0; iter < len(facts)+2; iter++ {
+		changed := false
+		agg := make(map[*types.Func]*methodFacts, len(facts))
+		for fn, mf := range facts {
+			agg[fn] = &methodFacts{fn: fn, preOnly: true}
+			_ = mf
+		}
+		for _, c := range calls {
+			tgt, ok := agg[c.callee]
+			if !ok {
+				continue
+			}
+			tgt.sites++
+			if c.prePub || (c.owner != nil && facts[c.owner.fn] != nil && facts[c.owner.fn].preOnly) {
+				continue
+			}
+			tgt.preOnly = false
+			held := unionHeld(c.held, callerEntry(facts, c.owner))
+			if tgt.entryHeld == nil {
+				tgt.entryHeld = copyHeld(held)
+			} else {
+				tgt.entryHeld = intersectHeld(tgt.entryHeld, held)
+			}
+		}
+		for fn, mf := range facts {
+			na := agg[fn]
+			ne := na.entryHeld
+			if na.sites == 0 {
+				ne = nil
+				na.preOnly = false
+			}
+			if !sameHeld(mf.entryHeld, ne) || mf.preOnly != (na.preOnly && na.sites > 0) || mf.sites != na.sites {
+				changed = true
+			}
+			mf.entryHeld = ne
+			mf.sites = na.sites
+			mf.preOnly = na.preOnly && na.sites > 0
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 3: majority vote per field, then report uncovered sites and
+	// locked returns.
+	type siteInfo struct {
+		pos     token.Pos
+		heldBy  map[*types.Var]bool
+		skipped bool
+	}
+	byField := make(map[*types.Var][]siteInfo)
+	var fieldOrder []*types.Var
+	for _, mf := range facts {
+		if mf.preOnly {
+			continue // construction path: value not yet published
+		}
+		for _, acc := range mf.accesses {
+			eff := unionHeld(acc.held, mf.entryHeld)
+			if _, seen := byField[acc.field]; !seen {
+				fieldOrder = append(fieldOrder, acc.field)
+			}
+			byField[acc.field] = append(byField[acc.field], siteInfo{pos: acc.pos, heldBy: eff})
+		}
+		for _, lr := range mf.returns {
+			p.Reportf(a.Name(), lr.pos,
+				"return while %s.%s is locked with no deferred unlock; an early-return path here deadlocks the next caller — use defer %s.Unlock() or unlock before returning",
+				ls.named.Obj().Name(), lr.mutex.Name(), lr.mutex.Name())
+		}
+	}
+	sort.Slice(fieldOrder, func(i, j int) bool { return fieldOrder[i].Name() < fieldOrder[j].Name() })
+	for _, f := range fieldOrder {
+		sites := byField[f]
+		total := len(sites)
+		for _, mu := range ls.mutexes {
+			guarded := 0
+			for _, s := range sites {
+				if s.heldBy[mu] {
+					guarded++
+				}
+			}
+			if guarded*2 <= total || guarded == total {
+				continue // no strict majority under mu, or fully covered
+			}
+			for _, s := range sites {
+				if !s.heldBy[mu] {
+					p.Reportf(a.Name(), s.pos,
+						"field %s.%s is guarded by %s at %d of %d access sites but not here; hold %s (or annotate with //gaplint:allow lockdiscipline — <reason>)",
+						ls.named.Obj().Name(), f.Name(), mu.Name(), guarded, total, mu.Name())
+				}
+			}
+			break // attribute each field to its dominant mutex once
+		}
+	}
+}
+
+// callerEntry returns the entry-held set of the calling method, or nil
+// for call sites in plain functions.
+func callerEntry(facts map[*types.Func]*methodFacts, owner *methodFacts) map[*types.Var]bool {
+	if owner == nil {
+		return nil
+	}
+	if mf, ok := facts[owner.fn]; ok {
+		return mf.entryHeld
+	}
+	return nil
+}
+
+func newLockState() map[*types.Var]bool { return make(map[*types.Var]bool) }
+
+func copyHeld(m map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func unionHeld(a, b map[*types.Var]bool) map[*types.Var]bool {
+	out := copyHeld(a)
+	for k, v := range b {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func intersectHeld(a, b map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for k := range a {
+		if a[k] && b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sameHeld(a, b map[*types.Var]bool) bool {
+	if len(copyHeld(a)) != len(copyHeld(b)) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockWalker walks one function body tracking the receiver's lock
+// state. For methods of the tracked struct, recv is the receiver
+// object and facts accumulates the summary; for plain functions only
+// call sites (with pre-publication marking) are collected.
+type lockWalker struct {
+	p     *Pass
+	ls    *lockedStruct
+	recv  types.Object // receiver var for methods of ls, else nil
+	facts *methodFacts
+	calls []*methodCall
+	// construct holds locals initialized from a composite literal of
+	// ls's type in this function — values not yet published.
+	construct map[types.Object]bool
+	// deferred marks mutexes with a registered deferred unlock.
+	deferred map[*types.Var]bool
+}
+
+// newLockWalker prepares a walker for fd, or returns nil when the
+// function can contribute nothing (no receiver of ls and no mention of
+// ls-typed locals).
+func newLockWalker(p *Pass, ls *lockedStruct, fd *ast.FuncDecl, fn *types.Func) *lockWalker {
+	w := &lockWalker{p: p, ls: ls, construct: make(map[types.Object]bool), deferred: make(map[*types.Var]bool)}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		tv, ok := p.Pkg.Info.Types[fd.Recv.List[0].Type]
+		if ok && namedType(tv.Type) == ls.named.Obj() {
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				w.recv = p.Pkg.Info.Defs[names[0]]
+				w.facts = &methodFacts{fn: fn}
+			}
+		}
+	}
+	// Record construction sites so calls on a just-built value are
+	// recognized as pre-publication.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Pkg.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if isCompositeOf(p, as.Rhs[i], w.ls.named.Obj()) {
+				w.construct[obj] = true
+			}
+		}
+		return true
+	})
+	return w
+}
+
+// namedType unwraps pointers and returns the named type's TypeName.
+func namedType(t types.Type) *types.TypeName {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isCompositeOf reports whether e constructs a value of type tn:
+// T{...}, &T{...}, or new(T).
+func isCompositeOf(p *Pass, e ast.Expr, tn *types.TypeName) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return isCompositeOf(p, e.X, tn)
+		}
+	case *ast.CompositeLit:
+		if tv, ok := p.Pkg.Info.Types[e]; ok {
+			return namedType(tv.Type) == tn
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			if tv, ok := p.Pkg.Info.Types[e.Args[0]]; ok {
+				return namedType(tv.Type) == tn
+			}
+		}
+	}
+	return false
+}
+
+// walkStmts interprets a statement list, mutating state in place and
+// reporting whether the list always terminates (ends in return).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, state map[*types.Var]bool) (terminated bool) {
+	for _, s := range stmts {
+		if w.walkStmt(s, state) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt interprets one statement; true means control never falls
+// through (return).
+func (w *lockWalker) walkStmt(s ast.Stmt, state map[*types.Var]bool) bool {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, state)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, state)
+		w.applyLockOps(s.X, state)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, state)
+			w.applyLockOps(e, state)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, state)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e, state)
+				return false
+			}
+			return true
+		})
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, state)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, state)
+		w.scanExpr(s.Value, state)
+	case *ast.DeferStmt:
+		if mu := w.unlockTarget(s.Call); mu != nil {
+			w.deferred[mu] = true
+			return false
+		}
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, state)
+		}
+		// Other deferred bodies run at exit under an unknowable lock
+		// state; skip them rather than misclassify.
+	case *ast.GoStmt:
+		// The spawned body runs concurrently: no lock held.
+		fresh := newLockState()
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			saved := w.deferred
+			w.deferred = make(map[*types.Var]bool)
+			w.walkStmts(fl.Body.List, fresh)
+			w.deferred = saved
+			for _, arg := range s.Call.Args {
+				w.scanExpr(arg, fresh)
+			}
+		} else {
+			w.scanExpr(s.Call, fresh)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, state)
+			w.applyLockOps(e, state)
+		}
+		if w.facts != nil {
+			for _, mu := range w.ls.mutexes {
+				if state[mu] && !w.deferred[mu] {
+					w.facts.returns = append(w.facts.returns, lockedReturn{mutex: mu, pos: s.Pos()})
+				}
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, state)
+		}
+		w.scanExpr(s.Cond, state)
+		w.applyLockOps(s.Cond, state)
+		thenState := copyHeld(state)
+		thenTerm := w.walkStmts(s.Body.List, thenState)
+		var elseState map[*types.Var]bool
+		elseTerm := false
+		if s.Else != nil {
+			elseState = copyHeld(state)
+			elseTerm = w.walkStmt(s.Else, elseState)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				merge(state, intersectHeld(state, thenState))
+			}
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			merge(state, elseState)
+		case elseTerm:
+			merge(state, thenState)
+		default:
+			merge(state, intersectHeld(thenState, elseState))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, state)
+		}
+		body := copyHeld(state)
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		merge(state, intersectHeld(state, body))
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, state)
+		body := copyHeld(state)
+		w.walkStmts(s.Body.List, body)
+		merge(state, intersectHeld(state, body))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.walkBranches(s, state)
+	}
+	return false
+}
+
+// walkBranches handles switch/type-switch/select: each clause runs
+// from the entry state; the merged exit is the intersection across
+// clauses and the entry (a switch may match nothing).
+func (w *lockWalker) walkBranches(s ast.Stmt, state map[*types.Var]bool) {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, state)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	exit := copyHeld(state)
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, state)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, copyHeld(state))
+			}
+			body = c.Body
+		}
+		cs := copyHeld(state)
+		if !w.walkStmts(body, cs) {
+			exit = intersectHeld(exit, cs)
+		}
+	}
+	merge(state, exit)
+}
+
+// merge overwrites dst with src in place.
+func merge(dst, src map[*types.Var]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		if v {
+			dst[k] = true
+		}
+	}
+}
+
+// applyLockOps updates state for any mu.Lock/RLock/Unlock/RUnlock
+// calls inside e (statement-level expressions only).
+func (w *lockWalker) applyLockOps(e ast.Expr, state map[*types.Var]bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	mu, op := w.lockOp(call)
+	if mu == nil {
+		return
+	}
+	switch op {
+	case "Lock", "RLock":
+		state[mu] = true
+	case "Unlock", "RUnlock":
+		delete(state, mu)
+	}
+}
+
+// lockOp matches recv.mu.Lock()-shaped calls on the walker's receiver
+// and returns the mutex field and operation name. TryLock and
+// TryRLock are deliberately not matched.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	if !w.isReceiver(inner.X) {
+		return nil, ""
+	}
+	fsel, ok := w.p.Pkg.Info.Selections[inner]
+	if !ok || fsel.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	f, ok := fsel.Obj().(*types.Var)
+	if !ok || !w.ls.isMutex[f] {
+		return nil, ""
+	}
+	return f, op
+}
+
+// unlockTarget matches defer recv.mu.Unlock()/RUnlock().
+func (w *lockWalker) unlockTarget(call *ast.CallExpr) *types.Var {
+	mu, op := w.lockOp(call)
+	if mu != nil && (op == "Unlock" || op == "RUnlock") {
+		return mu
+	}
+	return nil
+}
+
+// isReceiver reports whether e is the method's receiver identifier.
+func (w *lockWalker) isReceiver(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || w.recv == nil {
+		return false
+	}
+	return w.p.Pkg.Info.Uses[id] == w.recv
+}
+
+// baseObject resolves e to the object of a plain identifier.
+func (w *lockWalker) baseObject(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.p.Pkg.Info.Defs[id]
+}
+
+// scanExpr records field accesses and intra-type method calls inside e
+// under the current state. Function literals are walked inline under
+// the caller's state (callbacks like sort.Slice run synchronously);
+// go-statement bodies are handled separately with a fresh state.
+func (w *lockWalker) scanExpr(e ast.Expr, state map[*types.Var]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, copyHeld(state))
+			return false
+		case *ast.CallExpr:
+			w.recordCall(n, state)
+		case *ast.SelectorExpr:
+			w.recordAccess(n, state)
+		}
+		return true
+	})
+}
+
+// recordAccess notes a plain-field selection on the method receiver.
+func (w *lockWalker) recordAccess(sel *ast.SelectorExpr, state map[*types.Var]bool) {
+	if w.facts == nil || !w.isReceiver(sel.X) {
+		return
+	}
+	fsel, ok := w.p.Pkg.Info.Selections[sel]
+	if !ok || fsel.Kind() != types.FieldVal {
+		return
+	}
+	f, ok := fsel.Obj().(*types.Var)
+	if !ok || w.ls.isMutex[f] || !declaredOn(w.ls.named, f) {
+		return
+	}
+	if isSyncType(f.Type()) {
+		return // WaitGroups, Onces, atomics: safe without the mutex
+	}
+	w.facts.accesses = append(w.facts.accesses, &fieldAccess{
+		field: f, pos: sel.Sel.Pos(), held: copyHeld(state), owner: w.facts,
+	})
+}
+
+// declaredOn reports whether f is a direct field of named's struct.
+func declaredOn(named *types.Named, f *types.Var) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncType reports whether t is a sync or sync/atomic type (or a
+// channel), all of which have their own synchronization story.
+func isSyncType(t types.Type) bool {
+	t = types.Unalias(t)
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}
+
+// recordCall notes x.m(...) where m is a method of the tracked struct,
+// with the current lock state and pre-publication marking.
+func (w *lockWalker) recordCall(call *ast.CallExpr, state map[*types.Var]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	msel, ok := w.p.Pkg.Info.Selections[sel]
+	if !ok || msel.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := msel.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv == nil || namedType(recv.Type()) != w.ls.named.Obj() {
+		return
+	}
+	base := w.baseObject(sel.X)
+	if base == nil {
+		return
+	}
+	onReceiver := w.recv != nil && base == w.recv
+	prePub := !onReceiver && w.construct[base]
+	if !onReceiver && !prePub {
+		// A call on some other reachable value: treat as an unlocked
+		// external site so entry-held stays sound.
+		w.calls = append(w.calls, &methodCall{callee: fn, held: newLockState(), owner: nil})
+		return
+	}
+	var owner *methodFacts
+	if onReceiver {
+		owner = w.facts
+	}
+	w.calls = append(w.calls, &methodCall{callee: fn, held: copyHeld(state), owner: owner, prePub: prePub})
+}

@@ -9,6 +9,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // MetricName keeps the /metrics contract coherent module-wide. Metric
@@ -22,6 +23,10 @@ import (
 // series. Dynamic names ("stage_"+stage) are out of scope by design:
 // they namespace with a literal prefix that the static sites own.
 type MetricName struct {
+	// mu guards sites: under the parallel driver, Package runs
+	// concurrently for different packages. Finish sorts by a total
+	// position key, so accumulation order never shows in the output.
+	mu    sync.Mutex
 	sites []metricSite
 }
 
@@ -117,7 +122,9 @@ func (a *MetricName) record(p *Pass, lit *ast.BasicLit) {
 			"metric name %q is not snake_case (want [a-z][a-z0-9_]*)", name)
 		return
 	}
+	a.mu.Lock()
 	a.sites = append(a.sites, metricSite{name: name, pos: pos})
+	a.mu.Unlock()
 }
 
 // Finish implements Finisher: duplicate names across the whole run are
@@ -128,7 +135,13 @@ func (a *MetricName) Finish(report func(Finding)) {
 		if si.pos.Filename != sj.pos.Filename {
 			return si.pos.Filename < sj.pos.Filename
 		}
-		return si.pos.Line < sj.pos.Line
+		if si.pos.Line != sj.pos.Line {
+			return si.pos.Line < sj.pos.Line
+		}
+		if si.pos.Column != sj.pos.Column {
+			return si.pos.Column < sj.pos.Column
+		}
+		return si.name < sj.name
 	})
 	first := make(map[string]token.Position)
 	for _, s := range a.sites {

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one finding rendered for machine consumption: gaplint
+// -json emits one Record per line (NDJSON), in the driver's total
+// (file, line, col, analyzer, message) order, so CI annotators and
+// dashboards can diff runs byte-for-byte.
+type Record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Records converts findings to Records with base-relative slash paths.
+func Records(findings []Finding, base string) []Record {
+	out := make([]Record, len(findings))
+	for i, f := range findings {
+		out[i] = Record{
+			File:     relTo(base, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+	}
+	return out
+}
+
+// FormatJSON renders findings as newline-delimited JSON, one Record
+// per line.
+func FormatJSON(findings []Finding, base string) (string, error) {
+	var b strings.Builder
+	for _, r := range Records(findings, base) {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return "", err
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Allow is one //gaplint:allow directive, for the -list-allows audit:
+// every deliberate exception in the module, with the reason its author
+// gave, in one reviewable listing.
+type Allow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// CollectAllows lists every suppression directive in the packages with
+// base-relative paths, sorted by (file, line). Reasonless directives
+// are included — the audit is exactly where they should be visible.
+func CollectAllows(pkgs []*Package, base string) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pos := pkg.Fset.Position(f.Pos())
+			for _, a := range parseAllows(pkg.Fset, f) {
+				out = append(out, Allow{
+					File:     relTo(base, pos.Filename),
+					Line:     a.pos.Line,
+					Analyzer: a.analyzer,
+					Reason:   a.reason,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// FormatAllows renders the audit listing as "file:line: [analyzer]
+// reason" lines; a missing reason is called out.
+func FormatAllows(allows []Allow) string {
+	var b strings.Builder
+	for _, a := range allows {
+		reason := a.Reason
+		if reason == "" {
+			reason = "(no reason given — this directive does not suppress)"
+		}
+		b.WriteString(a.File)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(a.Line))
+		b.WriteString(": [")
+		b.WriteString(a.Analyzer)
+		b.WriteString("] ")
+		b.WriteString(reason)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// relTo renders name relative to base (slash-separated) when it is
+// inside base, mirroring Format.
+func relTo(base, name string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return filepath.ToSlash(name)
+}

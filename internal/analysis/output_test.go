@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFormatJSONRecords checks the -json rendering: one valid JSON
+// object per line, fields matching the findings, paths base-relative.
+func TestFormatJSONRecords(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	pkgs, err := LoadDirs(src, "fixture", "chanhyg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, []Analyzer{NewChanHygiene("fixture/chanhyg")})
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings; JSON test is vacuous")
+	}
+	out, err := FormatJSON(findings, mustAbs(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != len(findings) {
+		t.Fatalf("got %d JSON lines for %d findings", len(lines), len(findings))
+	}
+	for i, line := range lines {
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		f := findings[i]
+		if r.File != "chanhyg/chanhyg.go" {
+			t.Errorf("line %d: file = %q, want base-relative fixture path", i, r.File)
+		}
+		if r.Line != f.Pos.Line || r.Col != f.Pos.Column || r.Analyzer != f.Analyzer || r.Message != f.Message {
+			t.Errorf("line %d: record %+v does not match finding %+v", i, r, f)
+		}
+	}
+}
+
+// TestCollectAllows checks the -list-allows audit: every directive is
+// listed (reasoned or not), sorted by position, and the text rendering
+// calls out missing reasons.
+func TestCollectAllows(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	pkgs, err := LoadDirs(src, "fixture", "suppress", "lockdisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(pkgs, mustAbs(t, src))
+	byFile := map[string]int{}
+	reasonless := 0
+	for i, a := range allows {
+		byFile[a.File]++
+		if a.Reason == "" {
+			reasonless++
+		}
+		if i > 0 {
+			prev := allows[i-1]
+			if prev.File > a.File || (prev.File == a.File && prev.Line > a.Line) {
+				t.Errorf("allows out of order: %s:%d after %s:%d", a.File, a.Line, prev.File, prev.Line)
+			}
+		}
+	}
+	if byFile["suppress/suppress.go"] != 3 {
+		t.Errorf("suppress fixture: %d allows listed, want 3 (reasoned, reasonless, stale)", byFile["suppress/suppress.go"])
+	}
+	if byFile["lockdisc/lockdisc.go"] != 1 {
+		t.Errorf("lockdisc fixture: %d allows listed, want 1", byFile["lockdisc/lockdisc.go"])
+	}
+	if reasonless != 1 {
+		t.Errorf("%d reasonless allows, want exactly 1 (the suppress fixture's)", reasonless)
+	}
+	text := FormatAllows(allows)
+	if !strings.Contains(text, "no reason given") {
+		t.Error("FormatAllows does not call out the reasonless directive")
+	}
+	if !strings.Contains(text, "[lockdiscipline] monitoring-only read") {
+		t.Errorf("FormatAllows missing the lockdisc entry:\n%s", text)
+	}
+}
+
+// TestRunWorkersDeterministic is the parallel-driver contract: the
+// formatted output is byte-identical at any worker count, including
+// the serial debugging mode and the GOMAXPROCS default.
+func TestRunWorkersDeterministic(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	dirs := []string{"det", "notcore", "errtax", "ctxflow", "metricname", "metricname2",
+		"suppress", "lockdisc", "goroutine", "chanhyg"}
+	pkgs, err := LoadDirs(src, "fixture", dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh analyzers per run: MetricName accumulates sites.
+	mk := func() []Analyzer {
+		return []Analyzer{
+			NewDeterminism("fixture/det", "fixture/suppress"),
+			NewErrTaxonomy("fixture/errtax"),
+			NewCtxFlow(),
+			NewMetricName(),
+			NewLockDiscipline("fixture/lockdisc"),
+			NewGoroutineLifecycle("fixture/goroutine"),
+			NewChanHygiene("fixture/chanhyg"),
+		}
+	}
+	base := Format(RunWorkers(pkgs, mk(), 1), mustAbs(t, src))
+	if base == "" {
+		t.Fatal("no findings across the fixtures; determinism test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		for round := 0; round < 3; round++ {
+			got := Format(RunWorkers(pkgs, mk(), workers), mustAbs(t, src))
+			if got != base {
+				t.Fatalf("workers=%d round %d: output differs from serial run\n--- got ---\n%s--- want ---\n%s",
+					workers, round, got, base)
+			}
+		}
+	}
+}

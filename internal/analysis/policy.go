@@ -38,6 +38,17 @@ var MeasurementPackages = []string{"loadgen"}
 // Stats — remains the one annotated in cas/clock.go.
 var StoragePackages = []string{"cas"}
 
+// ConcurrencyPackages are the deeply concurrent service packages the
+// concurrency-hygiene analyzers guard: every goroutine must have a
+// provable shutdown path (goroutinelifecycle), every majority-guarded
+// struct field must be guarded at all sites (lockdiscipline), and the
+// channel leak/panic patterns are barred (chanhygiene). `go test
+// -race` proves only the interleavings the tests execute; these
+// analyzers prove the invariants on all code, every run.
+var ConcurrencyPackages = []string{
+	"jobs", "cluster", "gossip", "cas", "serve", "loadgen",
+}
+
 // MembershipPackages extend the determinism guarantee to the gossip
 // membership protocol: probe order, ping-req proxy picks, and state
 // transitions are driven by rounds, not wall time, and must be pure
@@ -64,5 +75,8 @@ func RepoAnalyzers(modPath string) []Analyzer {
 		NewErrTaxonomy(prefix(ServicePackages)...),
 		NewCtxFlow(),
 		NewMetricName(),
+		NewLockDiscipline(prefix(ConcurrencyPackages)...),
+		NewGoroutineLifecycle(prefix(ConcurrencyPackages)...),
+		NewChanHygiene(prefix(ConcurrencyPackages)...),
 	}
 }

@@ -1,0 +1,100 @@
+// Package chanhyg is the chanhygiene fixture: timer leaks in retry
+// loops, closes of handed-in channels, double-close-prone shapes, and
+// sends no receiver can ever reach.
+package chanhyg
+
+import "time"
+
+type Worker struct {
+	quit chan struct{}
+	out  chan int
+}
+
+// RetryLoop allocates one timer per iteration; only firing reclaims it.
+func (w *Worker) RetryLoop(attempts int) {
+	for i := 0; i < attempts; i++ {
+		select {
+		case <-w.quit:
+			return
+		case <-time.After(time.Second): // want "time.After inside a loop"
+		}
+	}
+}
+
+// HoistedTicker is the fix shape: one ticker serves every iteration.
+func (w *Worker) HoistedTicker(attempts int) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for i := 0; i < attempts; i++ {
+		select {
+		case <-w.quit:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// OneShot: time.After outside a loop is the intended use.
+func (w *Worker) OneShot() {
+	select {
+	case <-w.quit:
+	case <-time.After(time.Second):
+	}
+}
+
+// Sanctioned polls on a multi-hour interval; the reasoned allow keeps
+// the deliberate timer-per-pass visible in review.
+func (w *Worker) Sanctioned() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		//gaplint:allow chanhygiene — poll interval is hours; at most one extra timer is ever live
+		case <-time.After(6 * time.Hour):
+		}
+	}
+}
+
+// CloseParam closes a channel it was handed: the sender owns the close.
+func CloseParam(results chan int) {
+	close(results) // want "closing channel parameter"
+}
+
+// Shutdown and Abort both close out — one refactor away from a
+// double-close panic.
+func (w *Worker) Shutdown() {
+	close(w.out)
+}
+
+func (w *Worker) Abort() {
+	close(w.out) // want "also closed at"
+}
+
+// FanIn closes inside the loop: the second iteration panics.
+func FanIn(n int) {
+	agg := make(chan int, n)
+	for i := 0; i < n; i++ {
+		close(agg) // want "close inside a loop"
+	}
+}
+
+// DeadSend: the channel never escapes this function and nothing ever
+// receives — the send blocks forever.
+func DeadSend() {
+	ready := make(chan struct{})
+	ready <- struct{}{} // want "blocks forever"
+}
+
+// HandedOff is the negative: the goroutine is the receiver's peer, so
+// the send completes.
+func HandedOff() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Buffered sends never block while the buffer has room; out of scope.
+func Buffered() {
+	done := make(chan int, 1)
+	done <- 1
+}

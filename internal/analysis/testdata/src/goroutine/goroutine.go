@@ -1,0 +1,132 @@
+// Package goroutine is the goroutinelifecycle fixture: every go
+// statement must have a provable shutdown path — a select on a
+// ctx.Done()/stop channel declared outside the body, a cancelable
+// context handed through the spawn, or a WaitGroup Done with a
+// reachable Wait. Fire-and-forget spawns are flagged.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	jobs chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Leak is the positive: the spawned loop has no way to learn the
+// server is shutting down.
+func (s *Server) Leak() {
+	go func() {
+		for v := range make([]int, 8) {
+			s.handle(v) // keeps s alive forever
+		}
+	}() // want "no provable shutdown path"
+}
+
+func (s *Server) handle(int) {}
+
+// Run is the negative everyone writes: the body selects on ctx.Done.
+func (s *Server) Run(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.jobs:
+				s.handle(v)
+			}
+		}
+	}()
+}
+
+// Pump is the stop-channel negative: receiving from a channel declared
+// outside the body (a struct field) counts as a shutdown signal.
+func (s *Server) Pump() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.jobs:
+				s.handle(v)
+			}
+		}
+	}()
+}
+
+// Drain is the range negative: ranging an outside channel ends when
+// the owner closes it.
+func (s *Server) Drain() {
+	go func() {
+		for v := range s.jobs {
+			s.handle(v)
+		}
+	}()
+}
+
+// Tracked is the WaitGroup negative: Done in the body, Wait reachable
+// on the same field elsewhere in the package (Close).
+func (s *Server) Tracked() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.handle(0)
+	}()
+}
+
+func (s *Server) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// Handoff is the context-passing negative: the spawn hands a cancelable
+// ctx to the callee, which is then responsible for honoring it.
+func (s *Server) Handoff(ctx context.Context) {
+	go s.worker(ctx)
+}
+
+func (s *Server) worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Detached is the positive twin of Handoff: context.Background() at the
+// spawn site severs the cancellation chain, and the callee body (looked
+// up one level, same package) has no other shutdown path.
+func (s *Server) Detached() {
+	go s.spin(context.Background()) // want "no provable shutdown path"
+}
+
+func (s *Server) spin(context.Context) {
+	for {
+		s.handle(1)
+	}
+}
+
+// ViaCallee is the method-resolution negative: the go statement names a
+// method whose body selects on the stop field.
+func (s *Server) ViaCallee() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case v := <-s.jobs:
+			s.handle(v)
+		}
+	}
+}
+
+// Sanctioned is the suppressed positive: genuinely fire-and-forget, but
+// annotated with a reasoned allow.
+func (s *Server) Sanctioned() {
+	//gaplint:allow goroutinelifecycle — best-effort telemetry flush; process exit reclaims it
+	go func() {
+		s.handle(2)
+	}()
+}

@@ -1,0 +1,101 @@
+// Package lockdisc is the lockdiscipline fixture: Counter.count is
+// guarded by mu at a strict majority of its access sites, so the
+// analyzer must infer the contract and flag the stragglers — while the
+// construction path, locked helpers, and the no-majority struct stay
+// silent.
+package lockdisc
+
+import "sync"
+
+type Counter struct {
+	mu    sync.Mutex
+	count int
+	name  string
+}
+
+// NewCounter builds a Counter. Everything reachable only from here runs
+// pre-publication: no other goroutine can hold the value yet, so the
+// unguarded writes are exempt — transitively, through init and reset.
+func NewCounter(name string) *Counter {
+	c := &Counter{}
+	c.init(name)
+	return c
+}
+
+func (c *Counter) init(name string) {
+	c.name = name
+	c.reset()
+}
+
+// reset is dual-use: called pre-publication by init and under mu by
+// Zero. The pre-publication site must not drag its inferred entry set
+// down to empty.
+func (c *Counter) reset() {
+	c.count = 0
+}
+
+func (c *Counter) Zero() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Add returns early while holding a bare Lock: the locked-return shape
+// that deadlocks the next caller once someone extends the early path.
+func (c *Counter) Add(n int) int {
+	c.mu.Lock()
+	c.count += n
+	if n > 100 {
+		return c.count // want "return while Counter.mu is locked"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Racy reads count without the lock the other sites hold.
+func (c *Counter) Racy() int {
+	return c.count // want "guarded by mu at .. of .. access sites but not here"
+}
+
+// AsyncInc touches count from a goroutine: the spawned body runs with
+// no lock held regardless of the spawner's state.
+func (c *Counter) AsyncInc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.count++ // want "guarded by mu"
+	}()
+}
+
+// SnapshotUnlocked is a sanctioned torn read; the reasoned allow
+// suppresses the finding.
+func (c *Counter) SnapshotUnlocked() int {
+	//gaplint:allow lockdiscipline — monitoring-only read; a torn value is acceptable here
+	return c.count
+}
+
+// Loose has a mutex but no majority-guarded field: without a dominant
+// contract there is nothing to enforce.
+type Loose struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *Loose) A() int { return l.n }
+func (l *Loose) B() int { return l.n }
+func (l *Loose) Touch() {
+	l.mu.Lock()
+	l.mu.Unlock()
+}

@@ -94,7 +94,13 @@ type Store struct {
 	syncCh chan chan error
 	done   chan struct{}
 
-	compactMu sync.Mutex   // single-flights compaction passes
+	compactMu sync.Mutex // single-flights compaction passes
+	// compactWG tracks the background pass spawned by maybeCompact /
+	// triggerCompact so Close can wait for it before closing the
+	// segment read handles the pass is still copying from. Adds happen
+	// under mu with closed checked first, so no pass starts after Close
+	// begins waiting.
+	compactWG sync.WaitGroup
 	compGen   atomic.Int64 // bumps on every completed compaction
 
 	// Counters surfaced in Stats (and from there in /metrics).
@@ -618,6 +624,16 @@ func (s *Store) Close() error {
 		}
 		s.w = nil
 	}
+	s.mu.Unlock()
+
+	// A background compaction pass may still be copying records out of
+	// the sealed segments; closing their read handles under its feet
+	// turns the pass's reads into failures on a closed fd. closed is
+	// already set, so the pass aborts at its next mu acquisition and no
+	// new pass can start — wait it out, then drop the handles.
+	s.compactWG.Wait()
+
+	s.mu.Lock()
 	for _, seg := range s.segs {
 		if seg.r != nil {
 			seg.r.Close()

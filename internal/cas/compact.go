@@ -49,7 +49,25 @@ func (s *Store) maybeCompact() {
 	if !s.compactMu.TryLock() {
 		return // a pass is already running; it absorbs this trigger
 	}
+	s.spawnCompact()
+}
+
+// spawnCompact launches the single background compaction pass. Caller
+// holds s.compactMu, which the pass releases when it finishes. The
+// closed re-check and the WaitGroup Add share one mu critical section,
+// so Close (which sets closed under mu, then waits) either sees the
+// Add or prevents the spawn — never a pass it did not wait for.
+func (s *Store) spawnCompact() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.compactMu.Unlock()
+		return
+	}
+	s.compactWG.Add(1)
+	s.mu.Unlock()
 	go func() {
+		defer s.compactWG.Done()
 		defer s.compactMu.Unlock()
 		_, _ = s.compact()
 	}()

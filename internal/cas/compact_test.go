@@ -178,3 +178,44 @@ func TestBackgroundCompactionTrigger(t *testing.T) {
 		}
 	}
 }
+
+// TestCloseWaitsForBackgroundCompaction pins the shutdown contract the
+// goroutinelifecycle gate enforces: Close must wait out a background
+// pass (which is still reading the sealed segment handles) before it
+// closes those handles, and a trigger that wins the single-flight
+// latch after Close must decline to spawn and release the latch.
+func TestCloseWaitsForBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 1024})
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 20; i++ {
+			addr := testAddr(fmt.Sprintf("cw-%d", i))
+			body := []byte(fmt.Sprintf(`{"round":%d,"i":%d}`, round, i))
+			if err := s.Put(addr, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !s.compactMu.TryLock() {
+		t.Fatal("compaction latch unexpectedly held")
+	}
+	s.spawnCompact() // background pass now owns the latch
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close waited for the pass, so the latch must already be free —
+	// asserted immediately, no sleeps or polling.
+	if !s.compactMu.TryLock() {
+		t.Fatal("background compaction still running after Close returned")
+	}
+	s.compactMu.Unlock()
+
+	if !s.compactMu.TryLock() {
+		t.Fatal("compaction latch held after Close")
+	}
+	s.spawnCompact() // store is closed: must not start a pass
+	if !s.compactMu.TryLock() {
+		t.Fatal("post-Close spawnCompact kept the single-flight latch locked")
+	}
+	s.compactMu.Unlock()
+}

@@ -223,10 +223,7 @@ func (s *Store) triggerCompact() {
 	if !s.compactMu.TryLock() {
 		return // a pass is already running; it absorbs this trigger
 	}
-	go func() {
-		defer s.compactMu.Unlock()
-		_, _ = s.compact()
-	}()
+	s.spawnCompact()
 }
 
 // Quarantined reports whether addr is awaiting repair: its record was

@@ -371,6 +371,10 @@ func (g *gossipRunner) drain(ctx context.Context) (int, error) {
 	g.maybeRebuild()
 	g.announce(ctx)
 	total := 0
+	// One ticker for the whole retry loop: time.After here would leak a
+	// timer per failed sweep until each fired.
+	retry := time.NewTicker(g.interval)
+	defer retry.Stop()
 	for {
 		migrated, unplaced := g.handoffSweep(ctx)
 		total += migrated
@@ -380,7 +384,7 @@ func (g *gossipRunner) drain(ctx context.Context) (int, error) {
 		select {
 		case <-ctx.Done():
 			return total, fmt.Errorf("cluster: drain handoff incomplete, %d replica pushes unplaced: %w", unplaced, ctx.Err())
-		case <-time.After(g.interval):
+		case <-retry.C:
 		}
 	}
 }

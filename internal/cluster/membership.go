@@ -118,6 +118,7 @@ func (m *membership) stop() {
 // probeAll probes every non-self peer concurrently.
 func (m *membership) probeAll(ctx context.Context) {
 	var wg sync.WaitGroup
+	//gaplint:allow lockdiscipline — order is written once in newMembership before the value is published and is immutable thereafter; lock-free iteration is safe
 	for _, id := range m.order {
 		if id == m.self {
 			continue

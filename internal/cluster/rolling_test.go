@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -714,5 +715,61 @@ func TestGossipStaleViewRejected(t *testing.T) {
 	waitAlive(t, []*node{a, b2}, "a", "b")
 	if m, _ := memberRecord(a, "b"); m.Incarnation <= left.Incarnation {
 		t.Errorf("rejoined b at incarnation %d, want > departure incarnation %d", m.Incarnation, left.Incarnation)
+	}
+}
+
+// TestDrainRetryHonorsContext pins the drain retry loop's contract:
+// when every replica push keeps failing, drain retries on its single
+// hoisted ticker (the chanhygiene gate bars the per-iteration
+// time.After it used to leak) and returns the incomplete-handoff error
+// promptly once ctx expires — it neither spins hot nor hangs past the
+// deadline.
+func TestDrainRetryHonorsContext(t *testing.T) {
+	a := newGossipNode(t, "a")
+	b := newGossipNode(t, "b")
+	seeds := []cluster.Peer{{ID: "a", URL: a.srv.URL}, {ID: "b", URL: b.srv.URL}}
+	bootGossipNode(t, a, seeds, jobs.Options{}, nil)
+	bootGossipNode(t, b, seeds, jobs.Options{}, nil)
+
+	// b answers gossip and probes normally but refuses every replica
+	// push, so each handoff sweep ends with the result still unplaced.
+	// Installed before the compute so the off-path replication at
+	// compute time cannot pre-place the result on b either.
+	b.mu.Lock()
+	inner := b.inner
+	b.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/results/") {
+			http.Error(w, `{"error":"disk full"}`, http.StatusInsufficientStorage)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	b.mu.Unlock()
+	waitAlive(t, []*node{a, b}, "a", "b")
+
+	spec := clusterBatch(11)[0]
+	if resp, raw := postSpec(t, a, spec, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compute on a: status %d: %s", resp.StatusCode, raw)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	migrated, err := a.clu.Drain(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("drain reported success while every replica push was refused")
+	}
+	if !strings.Contains(err.Error(), "drain handoff incomplete") {
+		t.Errorf("drain error = %v, want the incomplete-handoff message", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("drain error = %v, want it to wrap context.DeadlineExceeded", err)
+	}
+	if migrated != 0 {
+		t.Errorf("migrated = %d, want 0 (every push was refused)", migrated)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("drain returned %v after a 300ms deadline; the retry loop is not honoring ctx", elapsed)
 	}
 }

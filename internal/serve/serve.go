@@ -96,6 +96,11 @@ type handler struct {
 
 	mu        sync.Mutex
 	perClient map[string]int
+
+	// bg tracks the off-response-path goroutines the handler spawns
+	// (replica pushes, async drains) so shutdown can wait for them
+	// (Handler.Quiesce) instead of killing a replication mid-push.
+	bg sync.WaitGroup
 }
 
 // Handler is the gapd HTTP handler plus its operational controls. It
@@ -128,6 +133,12 @@ func (hd *Handler) StartDrain(ctx context.Context) (int, error) {
 
 // Draining reports whether the node is in drain mode.
 func (hd *Handler) Draining() bool { return hd.inner.draining.Load() }
+
+// Quiesce blocks until every background goroutine the handler spawned
+// (replica pushes off the response path, async drains) has finished.
+// Call it after the HTTP server has stopped accepting requests and
+// before tearing down the cluster client those goroutines use.
+func (hd *Handler) Quiesce() { hd.inner.bg.Wait() }
 
 // NewHandler builds the gapd route table:
 //
@@ -295,8 +306,17 @@ func (h *handler) submit(kind jobs.Kind) http.HandlerFunc {
 		if h.cluster != nil && !res.Cached {
 			// Freshly computed: push copies to the replica peers off the
 			// response path. A cached result was replicated when first
-			// computed (or arrived via replication itself).
-			go h.cluster.Replicate(context.Background(), res)
+			// computed (or arrived via replication itself). The push is
+			// bg-tracked so Quiesce can wait for it at shutdown, and
+			// bounded by its own timeout rather than the dead request
+			// context.
+			h.bg.Add(1)
+			go func() {
+				defer h.bg.Done()
+				rctx, cancel := context.WithTimeout(context.Background(), h.requestTimeout)
+				defer cancel()
+				h.cluster.Replicate(rctx, res)
+			}()
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
@@ -441,7 +461,9 @@ func (h *handler) drain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "drained", "migrated": migrated})
 		return
 	}
+	h.bg.Add(1)
 	go func() {
+		defer h.bg.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), h.requestTimeout)
 		defer cancel()
 		_, _ = h.cluster.Drain(ctx)

@@ -6,16 +6,19 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cas"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
@@ -730,5 +733,75 @@ func TestHealthzDegradesOnUnrepairableQuarantine(t *testing.T) {
 	defer srv2.Close()
 	if resp := getJSON(t, srv2.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz within threshold = %d %v", resp.StatusCode, h)
+	}
+}
+
+// TestQuiesceWaitsForReplication pins Handler.Quiesce's contract — the
+// shutdown path the goroutinelifecycle gate demands for the off-path
+// replica push: after a fresh compute's response returns, Quiesce must
+// block until the background push to the replica peer has finished,
+// not abandon it mid-flight.
+func TestQuiesceWaitsForReplication(t *testing.T) {
+	var pushStarted, pushFinished atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/results/") {
+			pushStarted.Store(true)
+			// Long enough that a Quiesce that does not actually wait
+			// observes the push still unfinished.
+			time.Sleep(150 * time.Millisecond)
+			pushFinished.Store(true)
+			w.WriteHeader(http.StatusCreated)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(peer.Close)
+
+	pool := jobs.NewPool(jobs.Options{Workers: 2})
+	clu, err := cluster.New(cluster.Options{
+		SelfID:         "self",
+		Peers:          []cluster.Peer{{ID: "self", URL: "http://self.invalid"}, {ID: "peer", URL: peer.URL}},
+		Replicas:       2,
+		HedgeAfter:     -1,
+		RequestTimeout: 5 * time.Second,
+		Results:        pool.Cache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clu.Close)
+	h := NewHandler(Options{Pool: pool, Cluster: clu})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	body := `{"design":{"name":"datapath","width":8,"depth":2},"methodology":{"base":"typical-asic"},"seed":9}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/evaluate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "test-origin") // pin the compute local
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+
+	// The push must actually start, or the Quiesce assertion below
+	// passes vacuously.
+	deadline := time.Now().Add(5 * time.Second)
+	for !pushStarted.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("replication push never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.Quiesce()
+	if !pushFinished.Load() {
+		t.Fatal("Quiesce returned while the replica push was still in flight")
 	}
 }
